@@ -1,0 +1,156 @@
+package bashsim
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/tester"
+	"repro/internal/workload"
+)
+
+// System construction and measurement (internal/core).
+type (
+	// Config describes a simulated machine.
+	Config = core.Config
+	// System is a complete simulated machine.
+	System = core.System
+	// Node is one integrated processor/memory node.
+	Node = core.Node
+	// Metrics is the result of one measured run.
+	Metrics = core.Metrics
+	// Protocol selects a coherence protocol.
+	Protocol = core.Protocol
+	// Workload generates one processor's reference stream.
+	Workload = core.Workload
+	// Trace records message deliveries for walkthroughs.
+	Trace = core.Trace
+)
+
+// Protocols.
+const (
+	Snooping            = core.Snooping
+	Directory           = core.Directory
+	BASH                = core.BASH
+	BashAlwaysBroadcast = core.BashAlwaysBroadcast
+	BashAlwaysUnicast   = core.BashAlwaysUnicast
+	BashSwitch          = core.BashSwitch
+)
+
+// Identifiers and simulated time.
+type (
+	// NodeID identifies a node.
+	NodeID = network.NodeID
+	// Addr is a cache block address.
+	Addr = cache.Addr
+	// Time is simulated nanoseconds (= cycles).
+	Time = sim.Time
+	// Op is one processor memory operation.
+	Op = coherence.Op
+)
+
+// NewSystem builds a simulated machine.
+func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
+
+// Workloads (internal/workload).
+type (
+	// LockingWorkload is the paper's locking microbenchmark.
+	LockingWorkload = workload.Locking
+	// SyntheticWorkload models one of the paper's full-system workloads.
+	SyntheticWorkload = workload.Synthetic
+)
+
+// NewLockingWorkload returns the Section 4.1 microbenchmark.
+func NewLockingWorkload(locks int, think Time) *LockingWorkload {
+	return workload.NewLocking(locks, think)
+}
+
+// Workload constructors for the five Table 2 workloads.
+var (
+	OLTP      = workload.OLTP
+	Apache    = workload.Apache
+	SPECjbb   = workload.SPECjbb
+	Slashcode = workload.Slashcode
+	BarnesHut = workload.BarnesHut
+)
+
+// WorkloadByName resolves a Table 2 workload by name (nil if unknown).
+func WorkloadByName(name string) *SyntheticWorkload { return workload.ByName(name) }
+
+// Adaptive mechanism (internal/adaptive).
+type (
+	// AdaptiveConfig parameterizes the Section 2 mechanism.
+	AdaptiveConfig = adaptive.Config
+	// UtilizationCounter is the signed saturating counter of Figure 3.
+	UtilizationCounter = adaptive.UtilizationCounter
+	// PolicyCounter is the unsigned saturating policy counter.
+	PolicyCounter = adaptive.PolicyCounter
+	// LFSR is the hardware pseudo-random number generator.
+	LFSR = adaptive.LFSR
+)
+
+// NewUtilizationCounter returns the Figure 3 counter for a threshold.
+func NewUtilizationCounter(thresholdPercent int, limit int64) *UtilizationCounter {
+	return adaptive.NewUtilizationCounter(thresholdPercent, limit)
+}
+
+// NewPolicyCounter returns a saturating policy counter of the given width.
+func NewPolicyCounter(bits uint) *PolicyCounter { return adaptive.NewPolicyCounter(bits) }
+
+// NewLFSR returns the 16-bit Galois LFSR used for request decisions.
+func NewLFSR(seed uint16) *LFSR { return adaptive.NewLFSR(seed) }
+
+// Experiments (internal/experiments): regenerate the paper's artifacts.
+type (
+	// ExperimentOptions selects scale and seeds.
+	ExperimentOptions = experiments.Options
+	// Figure is a reproduced figure.
+	Figure = experiments.Figure
+	// TableResult is a reproduced table.
+	TableResult = experiments.TableResult
+	// Renderable is any reproduced artifact.
+	Renderable = experiments.Renderable
+)
+
+// Experiment scales.
+const (
+	Quick = experiments.Quick
+	Full  = experiments.Full
+)
+
+// RunExperiment regenerates one table or figure by id ("fig1".."fig12",
+// "table1", "stability", "ablation").
+func RunExperiment(id string, o ExperimentOptions) ([]Renderable, error) {
+	return experiments.Run(id, o)
+}
+
+// ExperimentIDs lists the available experiments.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Random protocol tester (internal/tester).
+type (
+	// TesterConfig parameterizes a random protocol test.
+	TesterConfig = tester.Config
+	// TesterReport is the outcome.
+	TesterReport = tester.Report
+)
+
+// RunTester executes one randomized protocol test (Section 3.4).
+func RunTester(cfg TesterConfig) TesterReport { return tester.Run(cfg) }
+
+// Queueing model (internal/queueing, Figure 2).
+type QueueResult = queueing.Result
+
+// QueueAnalytic solves the closed machine-repairman model exactly.
+func QueueAnalytic(n int, meanThink float64) QueueResult {
+	return queueing.Analytic(n, meanThink)
+}
+
+// QueueSimulate runs the same model by discrete-event simulation.
+func QueueSimulate(n int, meanThink float64, completions int, seed uint64) QueueResult {
+	return queueing.Simulate(n, meanThink, completions, seed)
+}

@@ -1,0 +1,131 @@
+package bashsim_test
+
+import (
+	"strings"
+	"testing"
+
+	bashsim "repro"
+)
+
+// TestPublicQuickstart exercises the facade the way examples/quickstart
+// does: build a BASH system, warm it, measure, and sanity-check the
+// headline numbers.
+func TestPublicQuickstart(t *testing.T) {
+	const nodes = 16
+	sys := bashsim.NewSystem(bashsim.Config{
+		Protocol:     bashsim.BASH,
+		Nodes:        nodes,
+		BandwidthMBs: 1600,
+	})
+	lk := bashsim.NewLockingWorkload(128*nodes, 0)
+	for i, a := range lk.WarmBlocks() {
+		sys.PreheatOwned(a, bashsim.NodeID(i%nodes), uint64(i)+1)
+	}
+	sys.AttachWorkload(func(bashsim.NodeID) bashsim.Workload { return lk })
+	m := sys.Measure(1000, 5000)
+
+	if m.Throughput <= 0 {
+		t.Fatalf("throughput %v", m.Throughput)
+	}
+	// At 1600 MB/s the mechanism should be pinned near its 75% target.
+	if m.Utilization < 0.65 || m.Utilization > 0.85 {
+		t.Errorf("utilization %.2f, want ~0.75", m.Utilization)
+	}
+	if m.AvgMissLatency < 125 {
+		t.Errorf("miss latency %.0f below the uncontended cache-to-cache floor", m.AvgMissLatency)
+	}
+	if m.BytesPerOp <= 0 {
+		t.Errorf("traffic accounting broken: %v bytes/op", m.BytesPerOp)
+	}
+	h := sys.LatencyHistogram()
+	if h.N() == 0 {
+		t.Error("latency histogram empty")
+	}
+	if p95 := h.Percentile(0.95); p95 < m.AvgMissLatency {
+		t.Errorf("p95 %.0f below mean %.0f", p95, m.AvgMissLatency)
+	}
+}
+
+// TestPublicProtocolComparison is the examples/locking flow at one
+// bandwidth: the protocols rank correctly at plentiful bandwidth.
+func TestPublicProtocolComparison(t *testing.T) {
+	run := func(p bashsim.Protocol) bashsim.Metrics {
+		const nodes = 8
+		sys := bashsim.NewSystem(bashsim.Config{
+			Protocol:     p,
+			Nodes:        nodes,
+			BandwidthMBs: 8000,
+		})
+		lk := bashsim.NewLockingWorkload(128*nodes, 0)
+		for i, a := range lk.WarmBlocks() {
+			sys.PreheatOwned(a, bashsim.NodeID(i%nodes), uint64(i)+1)
+		}
+		sys.AttachWorkload(func(bashsim.NodeID) bashsim.Workload { return lk })
+		return sys.Measure(500, 3000)
+	}
+	snoop := run(bashsim.Snooping)
+	dir := run(bashsim.Directory)
+	bash := run(bashsim.BASH)
+	if snoop.Throughput <= dir.Throughput {
+		t.Errorf("plentiful bandwidth: snooping %.4f <= directory %.4f",
+			snoop.Throughput, dir.Throughput)
+	}
+	if bash.Throughput < 0.9*snoop.Throughput {
+		t.Errorf("BASH %.4f should track snooping %.4f when bandwidth is plentiful",
+			bash.Throughput, snoop.Throughput)
+	}
+}
+
+// TestPublicTester drives the random protocol tester through the facade.
+func TestPublicTester(t *testing.T) {
+	rep := bashsim.RunTester(bashsim.TesterConfig{
+		Protocol: bashsim.BASH,
+		Ops:      8000,
+		JitterNs: 100,
+		Seed:     3,
+	})
+	if !rep.OK() {
+		t.Fatalf("tester violations: %v %v", rep.Violations, rep.FinalStateErrors)
+	}
+	if !strings.Contains(rep.Summary(), "no violations") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+// TestPublicQueueing checks the Figure 2 facade.
+func TestPublicQueueing(t *testing.T) {
+	a := bashsim.QueueAnalytic(16, 4)
+	s := bashsim.QueueSimulate(16, 4, 30000, 1)
+	if d := a.Utilization - s.Utilization; d > 0.05 || d < -0.05 {
+		t.Errorf("analytic %.3f vs simulated %.3f utilization", a.Utilization, s.Utilization)
+	}
+}
+
+// TestPublicExperimentIDs ensures the registry lists the full reproduction.
+func TestPublicExperimentIDs(t *testing.T) {
+	ids := bashsim.ExperimentIDs()
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "stability",
+		"ablation", "predictive"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+}
+
+// TestPublicWorkloads resolves every Table 2 workload.
+func TestPublicWorkloads(t *testing.T) {
+	for _, name := range []string{"OLTP", "Apache", "SPECjbb", "Slashcode", "Barnes-Hut"} {
+		if bashsim.WorkloadByName(name) == nil {
+			t.Errorf("workload %q unresolved", name)
+		}
+	}
+	if w := bashsim.OLTP(); w.SharingFraction <= bashsim.SPECjbb().SharingFraction {
+		t.Error("OLTP must share more than SPECjbb (the paper's contrast)")
+	}
+}

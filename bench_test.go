@@ -1,0 +1,107 @@
+package bashsim_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its artifact through the experiment harness at
+// Quick scale and logs the rows/series; `go run ./cmd/bashsim -scale full`
+// produces the EXPERIMENTS.md configurations. The benchmark metric is the
+// wall time to regenerate the artifact; custom metrics report simulated
+// throughput where meaningful.
+
+import (
+	"testing"
+
+	bashsim "repro"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		arts, err := bashsim.RunExperiment(id, bashsim.ExperimentOptions{Scale: bashsim.Quick})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, a := range arts {
+				b.Log("\n" + a.TSV())
+			}
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1: performance vs. available bandwidth
+// for the locking microbenchmark.
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2 regenerates Figure 2: queueing delay vs. utilization of the
+// closed queueing model.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Figure 3: the utilization counter trace.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4: the six protocol transaction
+// walkthroughs.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkTable1 regenerates Table 1: protocol complexity counts.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig5 regenerates Figure 5: normalized performance vs. bandwidth.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6: endpoint utilization vs. bandwidth.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7: utilization threshold sensitivity.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: performance per processor vs. system
+// size.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: miss latency vs. think time.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: the six workload panels at 16
+// processors.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: Figure 10 with 4x broadcast cost.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12: per-workload comparison at 1600
+// MB/s with 4x broadcast cost.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkStability regenerates the Section 2.1 probabilistic-vs-switch
+// comparison (the all-or-nothing mechanism oscillates).
+func BenchmarkStability(b *testing.B) { benchExperiment(b, "stability") }
+
+// BenchmarkAblation regenerates the design-choice ablations (static masks,
+// sampling interval, policy width).
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// lock-acquire transactions per wall second on a 16-node BASH system.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const nodes = 16
+	sys := bashsim.NewSystem(bashsim.Config{
+		Protocol:     bashsim.BASH,
+		Nodes:        nodes,
+		BandwidthMBs: 1600,
+	})
+	lk := bashsim.NewLockingWorkload(128*nodes, 0)
+	for i, a := range lk.WarmBlocks() {
+		sys.PreheatOwned(a, bashsim.NodeID(i%nodes), uint64(i)+1)
+	}
+	sys.AttachWorkload(func(bashsim.NodeID) bashsim.Workload { return lk })
+	sys.Start()
+	b.ResetTimer()
+	target := sys.TotalOps()
+	for i := 0; i < b.N; i++ {
+		target += 100
+		sys.Kernel.RunUntil(func() bool { return sys.TotalOps() >= target })
+	}
+	b.StopTimer()
+	b.ReportMetric(100, "txns/op")
+}

@@ -1,0 +1,165 @@
+// Command bashsim regenerates the tables and figures of "Bandwidth Adaptive
+// Snooping" (Martin, Sorin, Hill, Wood — HPCA 2002).
+//
+// Usage:
+//
+//	bashsim -exp fig1            # one experiment, quick scale
+//	bashsim -exp all -scale full # every experiment at paper scale
+//	bashsim -list                # list experiment ids
+//	bashsim -run -protocol bash -nodes 64 -bandwidth 800   # one ad-hoc run
+//
+// Output is TSV on stdout (or -out FILE), one block per artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.String("scale", "quick", "quick | full")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		out   = flag.String("out", "", "write output to a file instead of stdout")
+
+		single    = flag.Bool("run", false, "single ad-hoc run instead of an experiment")
+		protoName = flag.String("protocol", "bash", "snooping | directory | bash | bash-pred | bash-bcast | bash-ucast")
+		nodes     = flag.Int("nodes", 16, "processors (single run)")
+		bandwidth = flag.Float64("bandwidth", 1600, "endpoint MB/s (single run)")
+		bcost     = flag.Float64("bcost", 1, "broadcast cost multiplier (single run)")
+		wlName    = flag.String("workload", "locking", "locking | oltp | apache | specjbb | slashcode | barnes")
+		think     = flag.Int64("think", 0, "locking think time in cycles (single run)")
+		ops       = flag.Uint64("ops", 20000, "measured operations (single run)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *single {
+		singleRun(*protoName, *nodes, *bandwidth, *bcost, *wlName, *think, *ops)
+		return
+	}
+
+	opts := experiments.Options{}
+	switch *scale {
+	case "quick":
+		opts.Scale = experiments.Quick
+	case "full":
+		opts.Scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "bashsim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		arts, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, a := range arts {
+			fmt.Fprintln(w, a.TSV())
+		}
+		fmt.Fprintf(os.Stderr, "%-10s %6.1fs\n", id, time.Since(start).Seconds())
+	}
+}
+
+// singleRun simulates one ad-hoc configuration and prints the full metric
+// set: throughput, latency distribution, utilization, broadcast mix, and
+// the per-kind traffic breakdown.
+func singleRun(protoName string, nodes int, bandwidth, bcost float64, wlName string, think int64, ops uint64) {
+	protos := map[string]core.Protocol{
+		"snooping":   core.Snooping,
+		"directory":  core.Directory,
+		"bash":       core.BASH,
+		"bash-pred":  core.BashPredictive,
+		"bash-bcast": core.BashAlwaysBroadcast,
+		"bash-ucast": core.BashAlwaysUnicast,
+	}
+	p, ok := protos[strings.ToLower(protoName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bashsim: unknown protocol %q\n", protoName)
+		os.Exit(2)
+	}
+	sys := core.NewSystem(core.Config{
+		Protocol:         p,
+		Nodes:            nodes,
+		BandwidthMBs:     bandwidth,
+		BroadcastCost:    bcost,
+		WatchdogInterval: 2_000_000_000,
+	})
+	var wl core.Workload
+	if strings.EqualFold(wlName, "locking") {
+		lk := workload.NewLocking(128*nodes, 0)
+		if think > 0 {
+			lk.ThinkTime = sim.Time(think)
+		}
+		for i, a := range lk.WarmBlocks() {
+			sys.PreheatOwned(a, network.NodeID(i%nodes), uint64(i)+1)
+		}
+		wl = lk
+	} else {
+		w := workload.ByName(wlName)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "bashsim: unknown workload %q\n", wlName)
+			os.Exit(2)
+		}
+		for i, a := range w.WarmBlocks() {
+			sys.PreheatOwned(a, network.NodeID(i%nodes), uint64(i)+1)
+		}
+		wl = w
+	}
+	sys.AttachWorkload(func(network.NodeID) core.Workload { return wl })
+	warm := ops / 4
+	m := sys.Measure(warm, ops)
+	st := sys.CacheStats()
+	h := sys.LatencyHistogram()
+
+	fmt.Printf("protocol      %s (%d processors, %.0f MB/s, %gx broadcast cost, %s)\n",
+		p, nodes, bandwidth, bcost, wlName)
+	fmt.Printf("throughput    %.5f ops/ns over %d ops (%d ns simulated)\n", m.Throughput, m.Ops, m.Elapsed)
+	fmt.Printf("miss latency  mean %.0f ns, p50 %.0f, p95 %.0f, max %.0f\n",
+		m.AvgMissLatency, h.Percentile(0.5), h.Percentile(0.95), h.Max())
+	fmt.Printf("utilization   %.1f%% inbound-link average\n", 100*m.Utilization)
+	fmt.Printf("request mix   %.1f%% broadcast, %.1f%% unicast (%d reissues)\n",
+		100*m.BroadcastFraction, 100*(1-m.BroadcastFraction), st.Reissues)
+	fmt.Printf("misses        %d sharing, %d memory, %d upgrades, %d writebacks\n",
+		st.SharingMisses, st.MemoryMisses, st.Upgrades, st.Writebacks)
+	if st.Predicted > 0 {
+		fmt.Printf("prediction    %d predicted, %d first-instance hits (%.0f%%)\n",
+			st.Predicted, st.PredictedHits, 100*float64(st.PredictedHits)/float64(st.Predicted))
+	}
+	fmt.Printf("bash recovery %d retries, %d nacks\n", m.Retries, m.Nacks)
+	fmt.Printf("traffic       %.0f B/op (%.0f control)\n", m.BytesPerOp, m.ControlBytesPerOp)
+	fmt.Print(sys.Traffic())
+}

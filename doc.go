@@ -1,0 +1,29 @@
+// Package bashsim is a from-scratch Go reproduction of "Bandwidth Adaptive
+// Snooping" (Milo M. K. Martin, Daniel J. Sorin, Mark D. Hill, David A.
+// Wood — HPCA 2002): an execution-driven memory-system simulator with three
+// MOSI cache coherence protocols (broadcast Snooping, a GS320-style
+// Directory protocol, and BASH, the Bandwidth Adaptive Snooping Hybrid), the
+// per-processor bandwidth adaptive mechanism, the paper's workloads, and a
+// harness that regenerates every table and figure of its evaluation.
+//
+// This package is the public facade: it re-exports the system construction
+// API from internal/core, the workload generators, the experiment runners,
+// and the random protocol tester. See README.md for a tour, DESIGN.md for
+// the architecture and experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results.
+//
+// Quick start:
+//
+//	sys := bashsim.NewSystem(bashsim.Config{
+//		Protocol:     bashsim.BASH,
+//		Nodes:        16,
+//		BandwidthMBs: 1600,
+//	})
+//	lk := bashsim.NewLockingWorkload(2048, 0)
+//	for i, a := range lk.WarmBlocks() {
+//		sys.PreheatOwned(a, bashsim.NodeID(i%16), uint64(i)+1)
+//	}
+//	sys.AttachWorkload(func(bashsim.NodeID) bashsim.Workload { return lk })
+//	m := sys.Measure(1000, 5000)
+//	fmt.Println(m)
+package bashsim

@@ -1,0 +1,245 @@
+package adaptive
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLFSRFullPeriod(t *testing.T) {
+	l := NewLFSR(0xACE1)
+	seen := make(map[uint16]bool)
+	for i := 0; i < 70000; i++ {
+		s := l.Next()
+		if s == 0 {
+			t.Fatal("LFSR reached the all-zero fixed point")
+		}
+		if seen[s] && len(seen) != 65535 {
+			break
+		}
+		seen[s] = true
+	}
+	if len(seen) != 65535 {
+		t.Fatalf("period %d, want 65535 (maximal)", len(seen))
+	}
+}
+
+func TestLFSRZeroSeedReplaced(t *testing.T) {
+	l := NewLFSR(0)
+	if l.Next() == 0 {
+		t.Fatal("zero-seeded LFSR stuck at zero")
+	}
+}
+
+func TestLFSRByteUniformity(t *testing.T) {
+	l := NewLFSR(1)
+	var counts [256]int
+	const n = 65535
+	for i := 0; i < n; i++ {
+		counts[l.NextBits(8)]++
+	}
+	for v, c := range counts {
+		// Expect ~256 each over one full period.
+		if c < 128 || c > 512 {
+			t.Fatalf("byte %d occurred %d times of %d", v, c, n)
+		}
+	}
+}
+
+func TestUtilizationCounterPaperExample(t *testing.T) {
+	// Figure 3: 4 busy of 7 cycles at 75% gives the sign of -5 (ours is
+	// scaled by 25: -125).
+	u := NewUtilizationCounter(75, 0)
+	for _, busy := range []bool{true, false, true, true, false, false, true} {
+		u.Tick(busy)
+	}
+	if got := u.Value(); got != -125 {
+		t.Fatalf("counter = %d, want -125", got)
+	}
+	if u.SampleAndReset() {
+		t.Fatal("57%% utilization sampled as above a 75%% threshold")
+	}
+	if u.Value() != 0 {
+		t.Fatal("counter not reset after sample")
+	}
+}
+
+func TestUtilizationCounterZeroMeanAtThreshold(t *testing.T) {
+	// Exactly 3 busy of 4 at 75%: counter ends at zero.
+	u := NewUtilizationCounter(75, 0)
+	for _, busy := range []bool{true, true, true, false} {
+		u.Tick(busy)
+	}
+	if u.Value() != 0 {
+		t.Fatalf("counter = %d at exactly the threshold", u.Value())
+	}
+}
+
+// TestObserveEquivalence: the analytic window observation has the same sign
+// as the equivalent cycle-by-cycle ticks, for arbitrary busy patterns.
+func TestObserveEquivalence(t *testing.T) {
+	f := func(pattern []bool, thr uint8) bool {
+		threshold := int(thr)%98 + 1
+		if len(pattern) == 0 {
+			return true
+		}
+		ticked := NewUtilizationCounter(threshold, 0)
+		busy := 0
+		for _, b := range pattern {
+			ticked.Tick(b)
+			if b {
+				busy++
+			}
+		}
+		observed := NewUtilizationCounter(threshold, 0)
+		observed.Observe(float64(busy), float64(len(pattern)))
+		return ticked.Value() == observed.Value()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationCounterSaturates(t *testing.T) {
+	u := NewUtilizationCounter(75, 100)
+	for i := 0; i < 1000; i++ {
+		u.Tick(false)
+	}
+	if u.Value() != -100 {
+		t.Fatalf("counter = %d, want saturation at -100", u.Value())
+	}
+	for i := 0; i < 1000; i++ {
+		u.Tick(true)
+	}
+	if u.Value() != 100 {
+		t.Fatalf("counter = %d, want saturation at +100", u.Value())
+	}
+}
+
+func TestPolicyCounterSaturation(t *testing.T) {
+	p := NewPolicyCounter(8)
+	for i := 0; i < 300; i++ {
+		p.Inc()
+	}
+	if p.Value() != 255 {
+		t.Fatalf("value = %d, want 255", p.Value())
+	}
+	for i := 0; i < 300; i++ {
+		p.Dec()
+	}
+	if p.Value() != 0 {
+		t.Fatalf("value = %d, want 0", p.Value())
+	}
+}
+
+func TestPolicyCounterPaperExample(t *testing.T) {
+	// "an 8-bit policy counter with the value of 100 implies that a request
+	// should be unicast with probability of 100/255 or 39%".
+	p := NewPolicyCounter(8)
+	for i := 0; i < 100; i++ {
+		p.Inc()
+	}
+	if got := p.UnicastProbability(); got < 0.38 || got > 0.40 {
+		t.Fatalf("P(unicast) = %.3f, want ~0.39", got)
+	}
+}
+
+func TestAdaptiveFullSwing(t *testing.T) {
+	// Under persistent over-threshold pressure the mechanism swings from
+	// always-broadcast to (almost) always-unicast in 255 samples — the
+	// paper's 512*255 ≈ 130k cycles.
+	src := &fakeSource{}
+	a := New(Config{Seed: 9}, src)
+	for i := 0; i < 255; i++ {
+		src.busy += 512 // fully busy window
+		a.Sample()
+	}
+	if a.PolicyValue() != 255 {
+		t.Fatalf("policy = %d after 255 saturating samples", a.PolicyValue())
+	}
+	uni := 0
+	for i := 0; i < 1000; i++ {
+		if !a.ShouldBroadcast() {
+			uni++
+		}
+	}
+	if uni < 950 {
+		t.Fatalf("only %d/1000 unicasts at saturated policy", uni)
+	}
+	// And back down under idle links.
+	for i := 0; i < 255; i++ {
+		a.Sample() // zero busy delta
+	}
+	if a.PolicyValue() != 0 {
+		t.Fatalf("policy = %d after idle samples", a.PolicyValue())
+	}
+	bc := 0
+	for i := 0; i < 1000; i++ {
+		if a.ShouldBroadcast() {
+			bc++
+		}
+	}
+	if bc != 1000 {
+		t.Fatalf("%d/1000 broadcasts at policy 0", bc)
+	}
+}
+
+func TestAdaptiveProbabilityMatchesPolicy(t *testing.T) {
+	src := &fakeSource{}
+	a := New(Config{Seed: 5}, src)
+	// Drive policy to ~128.
+	for i := 0; i < 128; i++ {
+		src.busy += 512
+		a.Sample()
+	}
+	uni := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !a.ShouldBroadcast() {
+			uni++
+		}
+	}
+	got := float64(uni) / n
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("P(unicast) = %.3f at policy 128, want ~0.5", got)
+	}
+}
+
+func TestSwitchModeIsAllOrNothing(t *testing.T) {
+	src := &fakeSource{}
+	a := New(Config{Seed: 5, Switch: true}, src)
+	src.busy += 512
+	a.Sample() // above threshold -> all unicast
+	for i := 0; i < 50; i++ {
+		if a.ShouldBroadcast() {
+			t.Fatal("switch mode broadcast while above threshold")
+		}
+	}
+	a.Sample() // idle window -> all broadcast
+	for i := 0; i < 50; i++ {
+		if !a.ShouldBroadcast() {
+			t.Fatal("switch mode unicast while below threshold")
+		}
+	}
+}
+
+func TestAdaptiveSamplerScheduling(t *testing.T) {
+	k := sim.NewKernel()
+	src := &fakeSource{}
+	a := New(Config{Interval: 512, Seed: 2}, src)
+	a.Start(k)
+	k.Run(512 * 10)
+	if a.Samples != 10 {
+		t.Fatalf("samples = %d after 10 intervals", a.Samples)
+	}
+	a.Stop()
+	k.Drain()
+	if a.Samples != 10 {
+		t.Fatalf("sampler kept running after Stop: %d", a.Samples)
+	}
+}
+
+type fakeSource struct{ busy float64 }
+
+func (f *fakeSource) BusyNs() float64 { return f.busy }

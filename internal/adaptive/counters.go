@@ -1,0 +1,121 @@
+package adaptive
+
+// UtilizationCounter is the signed saturating counter of Section 2.2 and
+// Figure 3. Each cycle it is incremented when the link is busy and
+// decremented when idle, with magnitudes chosen so the counter is zero-mean
+// exactly at the target utilization: +(100-T) per busy cycle and -T per idle
+// cycle for a threshold of T percent. At the paper's 75% threshold this is
+// the +1/-3 scheme of Figure 3 scaled by 25, which preserves the sign — the
+// only property the sampler uses.
+type UtilizationCounter struct {
+	threshold int   // percent, e.g. 75
+	limit     int64 // saturation magnitude
+	value     int64
+}
+
+// NewUtilizationCounter returns a counter for a threshold in (0, 100).
+// limit bounds the magnitude (saturation); 0 selects a generous default.
+func NewUtilizationCounter(thresholdPercent int, limit int64) *UtilizationCounter {
+	if thresholdPercent <= 0 || thresholdPercent >= 100 {
+		panic("adaptive: threshold must be in (0,100)")
+	}
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &UtilizationCounter{threshold: thresholdPercent, limit: limit}
+}
+
+// Threshold returns the target utilization in percent.
+func (u *UtilizationCounter) Threshold() int { return u.threshold }
+
+// Tick records one cycle of link observation.
+func (u *UtilizationCounter) Tick(busy bool) {
+	if busy {
+		u.add(int64(100 - u.threshold))
+	} else {
+		u.add(-int64(u.threshold))
+	}
+}
+
+// Observe records a whole sampling window analytically: busyNs of the
+// windowNs were occupied. This is exactly equivalent to windowNs Tick calls
+// with the corresponding busy fraction (the event-driven simulator does not
+// tick every cycle).
+func (u *UtilizationCounter) Observe(busyNs, windowNs float64) {
+	if windowNs <= 0 {
+		return
+	}
+	if busyNs > windowNs {
+		busyNs = windowNs
+	}
+	delta := 100*busyNs - float64(u.threshold)*windowNs
+	u.add(int64(delta))
+}
+
+// Value returns the current counter value.
+func (u *UtilizationCounter) Value() int64 { return u.value }
+
+// SampleAndReset returns whether utilization exceeded the threshold over the
+// window (counter sign) and resets the counter to zero, as the paper's
+// mechanism does at each sampling interval.
+func (u *UtilizationCounter) SampleAndReset() (aboveThreshold bool) {
+	above := u.value > 0
+	u.value = 0
+	return above
+}
+
+func (u *UtilizationCounter) add(d int64) {
+	u.value += d
+	if u.value > u.limit {
+		u.value = u.limit
+	}
+	if u.value < -u.limit {
+		u.value = -u.limit
+	}
+}
+
+// PolicyCounter is the unsigned saturating counter of Section 2.2. A larger
+// value corresponds to a lower probability of broadcast; the paper uses 8
+// bits. The width is configurable for the ablation studies.
+type PolicyCounter struct {
+	value uint32
+	max   uint32
+	bits  uint
+}
+
+// NewPolicyCounter returns a counter of the given bit width (1..16),
+// starting at 0 (always broadcast — the snooping-optimist initial state).
+func NewPolicyCounter(bits uint) *PolicyCounter {
+	if bits == 0 || bits > 16 {
+		panic("adaptive: policy counter width must be 1..16")
+	}
+	return &PolicyCounter{max: 1<<bits - 1, bits: bits}
+}
+
+// Bits returns the counter width.
+func (p *PolicyCounter) Bits() uint { return p.bits }
+
+// Max returns the saturation value (2^bits - 1).
+func (p *PolicyCounter) Max() uint32 { return p.max }
+
+// Value returns the current value.
+func (p *PolicyCounter) Value() uint32 { return p.value }
+
+// Inc saturating-increments (utilization above threshold: unicast more).
+func (p *PolicyCounter) Inc() {
+	if p.value < p.max {
+		p.value++
+	}
+}
+
+// Dec saturating-decrements (utilization below threshold: broadcast more).
+func (p *PolicyCounter) Dec() {
+	if p.value > 0 {
+		p.value--
+	}
+}
+
+// UnicastProbability returns the fraction of requests that will be unicast.
+func (p *PolicyCounter) UnicastProbability() float64 {
+	return float64(p.value) / float64(p.max+1)
+}

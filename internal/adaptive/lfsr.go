@@ -1,0 +1,47 @@
+// Package adaptive implements the bandwidth adaptive mechanism of Section 2
+// of the paper: a per-processor estimate of interconnect utilization (signed
+// saturating utilization counter), an unsigned saturating policy counter that
+// integrates the estimate, and a probabilistic broadcast/unicast decision
+// driven by a linear feedback shift register.
+package adaptive
+
+// LFSR is a 16-bit Galois linear feedback shift register, the hardware
+// pseudo-random number generator the paper proposes (citing Golomb) for the
+// off-critical-path broadcast/unicast decision. The taps (0xB400:
+// x^16 + x^14 + x^13 + x^11 + 1) give a maximal period of 65535.
+type LFSR struct {
+	state uint16
+}
+
+// NewLFSR returns an LFSR seeded with the given non-zero value (a zero seed
+// is replaced with 1, since the all-zero state is a fixed point).
+func NewLFSR(seed uint16) *LFSR {
+	if seed == 0 {
+		seed = 1
+	}
+	return &LFSR{state: seed}
+}
+
+// Next advances the register one step and returns the new state.
+func (l *LFSR) Next() uint16 {
+	lsb := l.state & 1
+	l.state >>= 1
+	if lsb != 0 {
+		l.state ^= 0xB400
+	}
+	return l.state
+}
+
+// NextBits advances the register n times and returns the low n bits of the
+// final state (n <= 16). The policy comparison uses as many bits as the
+// policy counter is wide.
+func (l *LFSR) NextBits(n uint) uint16 {
+	if n > 16 {
+		panic("adaptive: LFSR width exceeds 16 bits")
+	}
+	var s uint16
+	for i := uint(0); i < n; i++ {
+		s = l.Next()
+	}
+	return s & (1<<n - 1)
+}

@@ -1,0 +1,170 @@
+package adaptive
+
+import "repro/internal/sim"
+
+// Paper defaults (Section 2.2): 75% utilization threshold, 512-cycle
+// sampling interval, 8-bit policy counter. With these values the mechanism
+// swings over its full range in 512*255 ≈ 130,000 cycles of consistent
+// pressure, about 1000 cache misses on the target system.
+const (
+	DefaultThresholdPercent = 75
+	DefaultInterval         = sim.Time(512)
+	DefaultPolicyBits       = 8
+)
+
+// Policy decides, per outgoing request, whether to broadcast. Writebacks
+// bypass the policy (always unicast, Section 3.3).
+type Policy interface {
+	// ShouldBroadcast makes the probabilistic (or static) decision for one
+	// request.
+	ShouldBroadcast() bool
+}
+
+// AlwaysBroadcast is the static snooping-like policy (also the
+// always-broadcast ablation of the hybrid engine).
+type AlwaysBroadcast struct{}
+
+// ShouldBroadcast always returns true.
+func (AlwaysBroadcast) ShouldBroadcast() bool { return true }
+
+// AlwaysUnicast is the static directory-like policy (also the always-unicast
+// ablation of the hybrid engine).
+type AlwaysUnicast struct{}
+
+// ShouldBroadcast always returns false.
+func (AlwaysUnicast) ShouldBroadcast() bool { return false }
+
+// UtilizationSource exposes cumulative link occupancy; network.Channel
+// satisfies it.
+type UtilizationSource interface {
+	BusyNs() float64
+}
+
+// Config parameterizes the adaptive mechanism.
+type Config struct {
+	ThresholdPercent int      // target link utilization (default 75)
+	Interval         sim.Time // sampling interval in cycles (default 512)
+	PolicyBits       uint     // policy counter width (default 8)
+	Seed             uint16   // LFSR seed (default 1)
+	// Switch selects the non-probabilistic all-or-nothing ablation the paper
+	// reports as unstable (Section 2.1): the policy broadcasts iff the last
+	// sample was below threshold, with no integration.
+	Switch bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ThresholdPercent == 0 {
+		c.ThresholdPercent = DefaultThresholdPercent
+	}
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.PolicyBits == 0 {
+		c.PolicyBits = DefaultPolicyBits
+	}
+	return c
+}
+
+// Adaptive is the per-processor bandwidth adaptive mechanism: it samples a
+// local utilization source every Interval cycles, integrates the
+// above/below-threshold signal into the policy counter, and decides
+// broadcast vs. unicast by comparing the policy counter to LFSR output.
+type Adaptive struct {
+	cfg           Config
+	util          *UtilizationCounter
+	policy        *PolicyCounter
+	lfsr          *LFSR
+	src           UtilizationSource
+	lastBusy      float64
+	switchUnicast bool // Switch-mode state
+	stopped       bool
+
+	// Samples counts sampling events (stats/diagnostics).
+	Samples uint64
+	// Broadcasts and Unicasts count decisions taken.
+	Broadcasts uint64
+	Unicasts   uint64
+}
+
+// New builds the mechanism reading from src. Call Start to arm the sampler.
+func New(cfg Config, src UtilizationSource) *Adaptive {
+	cfg = cfg.withDefaults()
+	return &Adaptive{
+		cfg:    cfg,
+		util:   NewUtilizationCounter(cfg.ThresholdPercent, 0),
+		policy: NewPolicyCounter(cfg.PolicyBits),
+		lfsr:   NewLFSR(cfg.Seed),
+		src:    src,
+	}
+}
+
+// Start schedules the recurring sampling event on the kernel.
+func (a *Adaptive) Start(k *sim.Kernel) {
+	var tick func()
+	tick = func() {
+		if a.stopped {
+			return
+		}
+		a.Sample()
+		k.Schedule(a.cfg.Interval, tick)
+	}
+	k.Schedule(a.cfg.Interval, tick)
+}
+
+// Stop halts the recurring sampler (quiesce support).
+func (a *Adaptive) Stop() { a.stopped = true }
+
+// Sample reads the utilization source, updates the counters, and resets the
+// utilization counter, exactly as at the paper's sampling interval.
+func (a *Adaptive) Sample() {
+	busy := a.src.BusyNs()
+	delta := busy - a.lastBusy
+	a.lastBusy = busy
+	a.util.Observe(delta, float64(a.cfg.Interval))
+	above := a.util.SampleAndReset()
+	a.Samples++
+	if a.cfg.Switch {
+		a.switchUnicast = above
+		return
+	}
+	if above {
+		a.policy.Inc()
+	} else {
+		a.policy.Dec()
+	}
+}
+
+// ShouldBroadcast makes the per-request decision: the processor unicasts if
+// the policy counter exceeds a pseudo-random number of the same width.
+// (The paper's prose says "unicasts if the policy counter is smaller than
+// the random number" but its own example — policy 100 of 255 means unicast
+// with probability 100/255 — fixes the intended direction, which we follow.)
+func (a *Adaptive) ShouldBroadcast() bool {
+	var bcast bool
+	if a.cfg.Switch {
+		bcast = !a.switchUnicast
+	} else {
+		r := uint32(a.lfsr.NextBits(a.cfg.PolicyBits))
+		bcast = r >= a.policy.Value()
+	}
+	if bcast {
+		a.Broadcasts++
+	} else {
+		a.Unicasts++
+	}
+	return bcast
+}
+
+// PolicyValue returns the current policy counter value (diagnostics).
+func (a *Adaptive) PolicyValue() uint32 { return a.policy.Value() }
+
+// UnicastProbability returns the current probability of unicasting.
+func (a *Adaptive) UnicastProbability() float64 {
+	if a.cfg.Switch {
+		if a.switchUnicast {
+			return 1
+		}
+		return 0
+	}
+	return a.policy.UnicastProbability()
+}

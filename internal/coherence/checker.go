@@ -1,0 +1,138 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Checker validates the two properties the paper's random tester targets:
+//
+//   - SWMR / coherence invariants: at most one owner per block; a Modified
+//     copy excludes all other valid copies.
+//   - Data value correctness: every transaction observes the value written
+//     by the most recent conflicting write in the global total order
+//     (the action/check pairs of Wood et al. that the paper cites).
+//
+// Each store writes a unique token. Commits are recorded against the
+// sequence number of the transaction's effective ordered instance, and the
+// per-block history must be consistent with that order.
+type Checker struct {
+	caches []CacheController
+	hist   map[Addr][]commit
+	// Violations collects failures when Panic is false.
+	Violations []string
+	// Panic makes any violation panic immediately (default true).
+	Panic bool
+	// WriteCommits and ReadCommits count checked operations.
+	WriteCommits, ReadCommits uint64
+}
+
+type commit struct {
+	seq   uint64
+	value uint64
+	node  network.NodeID
+}
+
+// NewChecker returns an empty checker that panics on violations.
+func NewChecker() *Checker {
+	return &Checker{hist: make(map[Addr][]commit), Panic: true}
+}
+
+// Register adds a cache controller to the SWMR scan set.
+func (c *Checker) Register(cc CacheController) { c.caches = append(c.caches, cc) }
+
+func (c *Checker) fail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if c.Panic {
+		panic("checker: " + msg)
+	}
+	c.Violations = append(c.Violations, msg)
+}
+
+// valueAt returns the committed value visible at sequence position seq
+// (i.e. from the latest write strictly before seq), defaulting to the
+// initial memory value 0.
+func (c *Checker) valueAt(addr Addr, seq uint64) uint64 {
+	h := c.hist[addr]
+	i := sort.Search(len(h), func(i int) bool { return h[i].seq >= seq })
+	if i == 0 {
+		return 0
+	}
+	return h[i-1].value
+}
+
+// WriteCommit records a store's commit at its effective instance and checks
+// that the data it observed (the block content it overwrites) is the value
+// of the immediately preceding write in the total order.
+func (c *Checker) WriteCommit(node network.NodeID, addr Addr, seq, token, observedOld uint64) {
+	c.WriteCommits++
+	if want := c.valueAt(addr, seq); observedOld != want {
+		c.fail("node %d write to %d at seq %d observed value %x, want %x",
+			node, addr, seq, observedOld, want)
+	}
+	h := c.hist[addr]
+	if n := len(h); n > 0 && h[n-1].seq >= seq {
+		c.fail("node %d write to %d commits at seq %d out of order (last %d)",
+			node, addr, seq, h[n-1].seq)
+	}
+	c.hist[addr] = append(h, commit{seq: seq, value: token, node: node})
+	c.checkSWMR(addr)
+}
+
+// ReadCommit checks a load's observed value against the write history at its
+// effective instance position.
+func (c *Checker) ReadCommit(node network.NodeID, addr Addr, seq, value uint64) {
+	c.ReadCommits++
+	if want := c.valueAt(addr, seq); value != want {
+		c.fail("node %d read of %d at seq %d observed value %x, want %x",
+			node, addr, seq, value, want)
+	}
+}
+
+// WBCommit checks writeback data landing at memory: it must carry the value
+// of the most recent write ordered before the writeback's marker. (A later
+// write may already have committed in physical time — e.g. an upgrade that
+// completed at its own marker while the writeback data was in flight — so
+// the comparison is at the writeback's order position, not at arrival time.)
+func (c *Checker) WBCommit(home network.NodeID, addr Addr, seq uint64, value uint64) {
+	if want := c.valueAt(addr, seq); value != want {
+		c.fail("home %d writeback of %d at seq %d carries value %x, want %x",
+			home, addr, seq, value, want)
+	}
+}
+
+// checkSWMR scans every registered cache's state for the block.
+//
+// The instantaneous invariant checked here is deliberately weaker than
+// logical-time SWMR: with a totally ordered request network, invalidations
+// and downgrades are performed at the order point but delivered later, so a
+// new Modified copy legally coexists with stale Shared (or even stale Owned)
+// copies whose invalidations are still in flight — e.g. an S->M upgrade that
+// commits at its own marker before the old owner has snooped it. Value
+// correctness over the total order is checked by Read/WriteCommit instead.
+// What can never coexist, even in physical time, is two Modified copies: a
+// store commit requires every earlier conflicting request to have been
+// delivered to this cache first (total order), demoting any would-be second
+// Modified before it completes.
+func (c *Checker) checkSWMR(addr Addr) {
+	modified := 0
+	for _, cc := range c.caches {
+		if cc.StateOf(addr) == Modified {
+			modified++
+		}
+	}
+	if modified > 1 {
+		c.fail("block %d has %d Modified copies", addr, modified)
+	}
+}
+
+// FinalValue returns the last committed token for a block (quiesce checks).
+func (c *Checker) FinalValue(addr Addr) uint64 {
+	h := c.hist[addr]
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1].value
+}

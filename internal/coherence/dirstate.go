@@ -1,0 +1,84 @@
+package coherence
+
+import "repro/internal/network"
+
+// dirEntry is the per-block state a memory controller keeps for blocks it is
+// home for. Snooping uses only the owner field ("one bit of state ... to
+// indicate if it is the owner", strengthened to an identity so stale
+// writebacks are locally detectable — see DESIGN.md Section 2). Directory
+// and BASH additionally keep the sharer superset.
+type dirEntry struct {
+	state   MemState
+	owner   network.NodeID // valid when state == CacheOwner
+	sharers network.Mask   // superset of S copies, excluding the owner
+	value   uint64         // memory's copy of the data token (verification)
+
+	// wbFrom is the cache whose writeback is in flight while state == MemWB.
+	wbFrom network.NodeID
+
+	// waiting holds same-block work deferred while state == MemWB.
+	waiting []func()
+}
+
+// dirState is the home-side block table. Entries default to "memory owns,
+// no sharers" (all memory is initially clean at memory).
+type dirState struct {
+	blocks map[Addr]*dirEntry
+}
+
+func newDirState() *dirState { return &dirState{blocks: make(map[Addr]*dirEntry)} }
+
+// entry returns the entry for addr, materializing the default.
+func (d *dirState) entry(addr Addr) *dirEntry {
+	e := d.blocks[addr]
+	if e == nil {
+		e = &dirEntry{state: MemOwner, owner: MemoryOwner}
+		d.blocks[addr] = e
+	}
+	return e
+}
+
+// peek returns the entry if present without materializing it.
+func (d *dirState) peek(addr Addr) *dirEntry { return d.blocks[addr] }
+
+// ownerOf returns the owner node, or MemoryOwner.
+func (e *dirEntry) ownerOf() network.NodeID {
+	if e.state == CacheOwner {
+		return e.owner
+	}
+	return MemoryOwner
+}
+
+// setCacheOwner installs a new owning cache and resets the sharer set (a GetM
+// invalidated every other copy).
+func (e *dirEntry) setCacheOwner(n network.NodeID) {
+	e.state = CacheOwner
+	e.owner = n
+	e.sharers = network.Mask{}
+}
+
+// addSharer records a new S copy (GetS by n).
+func (e *dirEntry) addSharer(n network.NodeID) { e.sharers.Set(n) }
+
+// acceptWB transitions to the writeback-pending state. Sharer state is
+// preserved: S copies survive an owner writeback.
+func (e *dirEntry) acceptWB(from network.NodeID) {
+	e.state = MemWB
+	e.owner = MemoryOwner
+	e.wbFrom = from
+}
+
+// completeWB lands the writeback data.
+func (e *dirEntry) completeWB(value uint64) {
+	e.state = MemOwner
+	e.value = value
+}
+
+// homeValue implements the MemController HomeValue query.
+func (d *dirState) homeValue(addr Addr) (uint64, bool) {
+	e := d.peek(addr)
+	if e == nil {
+		return 0, true
+	}
+	return e.value, e.state == MemOwner
+}

@@ -1,0 +1,92 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+)
+
+func TestPredictorLearnsAndPredicts(t *testing.T) {
+	p := NewOwnerPredictor(64)
+	if _, ok := p.Predict(5); ok {
+		t.Fatal("cold predictor predicted")
+	}
+	p.Learn(5, 3)
+	owner, ok := p.Predict(5)
+	if !ok || owner != 3 {
+		t.Fatalf("predict = %v/%v, want 3", owner, ok)
+	}
+}
+
+func TestPredictorHysteresis(t *testing.T) {
+	p := NewOwnerPredictor(64)
+	for i := 0; i < 3; i++ {
+		p.Learn(9, 2) // confidence saturates at 3
+	}
+	p.Learn(9, 7) // one conflicting observation must not flip it
+	if owner, ok := p.Predict(9); !ok || owner != 2 {
+		t.Fatalf("one observation flipped a confident entry: %v/%v", owner, ok)
+	}
+	p.Learn(9, 7)
+	p.Learn(9, 7) // confidence exhausted: flips
+	if owner, ok := p.Predict(9); !ok || owner != 7 {
+		t.Fatalf("predictor did not converge to the new owner: %v/%v", owner, ok)
+	}
+}
+
+func TestPredictorConflictEviction(t *testing.T) {
+	p := NewOwnerPredictor(8)
+	p.Learn(1, 4)
+	p.Learn(9, 5) // same slot (9 % 8 == 1): tag conflict replaces
+	if _, ok := p.Predict(1); ok {
+		t.Fatal("evicted entry still predicts")
+	}
+	if owner, _ := p.Predict(9); owner != 5 {
+		t.Fatal("replacing entry lost")
+	}
+}
+
+func TestPredictorInvalidate(t *testing.T) {
+	p := NewOwnerPredictor(8)
+	p.Learn(3, 1)
+	p.Invalidate(3)
+	if _, ok := p.Predict(3); ok {
+		t.Fatal("invalidated entry predicts")
+	}
+	p.Invalidate(100) // no-op on absent entries
+}
+
+func TestPredictorSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size did not panic")
+		}
+	}()
+	NewOwnerPredictor(100)
+}
+
+// TestPredictorConvergence: after enough consistent observations the
+// predictor always reports the dominant owner, for any interleaving of a
+// minority of noise observations.
+func TestPredictorConvergence(t *testing.T) {
+	f := func(noise []uint8) bool {
+		if len(noise) > 3 {
+			noise = noise[:3]
+		}
+		p := NewOwnerPredictor(16)
+		for _, n := range noise {
+			p.Learn(4, int16ToNode(n))
+		}
+		for i := 0; i < 8; i++ {
+			p.Learn(4, 11)
+		}
+		owner, ok := p.Predict(4)
+		return ok && owner == 11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func int16ToNode(v uint8) network.NodeID { return network.NodeID(v % 8) }

@@ -1,0 +1,128 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table records the legal (state, event) transitions of a controller, both
+// to dispatch uniformly and to regenerate the paper's Table 1 complexity
+// counts (states, events, transitions per controller). Transitions are
+// registered statically at controller construction, so the counts do not
+// depend on coverage.
+type Table struct {
+	name        string
+	states      map[string]bool
+	events      map[string]bool
+	transitions map[string]bool
+	hits        map[string]uint64 // coverage: fired transitions
+}
+
+// NewTable returns an empty transition table.
+func NewTable(name string) *Table {
+	return &Table{
+		name:        name,
+		states:      make(map[string]bool),
+		events:      make(map[string]bool),
+		transitions: make(map[string]bool),
+		hits:        make(map[string]uint64),
+	}
+}
+
+// Name returns the controller name.
+func (t *Table) Name() string { return t.name }
+
+func key(state, event string) string { return state + "/" + event }
+
+// Declare registers a legal transition.
+func (t *Table) Declare(state, event fmt.Stringer) {
+	s, e := state.String(), event.String()
+	t.states[s] = true
+	t.events[e] = true
+	t.transitions[key(s, e)] = true
+}
+
+// Fire records that a declared transition executed; it panics on an
+// undeclared transition, which is how protocol bugs surface as loud,
+// attributable failures in tests.
+func (t *Table) Fire(state, event fmt.Stringer) {
+	s, e := state.String(), event.String()
+	k := key(s, e)
+	if !t.transitions[k] {
+		panic(fmt.Sprintf("%s: illegal transition %s + %s", t.name, s, e))
+	}
+	t.hits[k]++
+}
+
+// States returns the number of distinct states.
+func (t *Table) States() int { return len(t.states) }
+
+// Events returns the number of distinct events.
+func (t *Table) Events() int { return len(t.events) }
+
+// Transitions returns the number of declared transitions.
+func (t *Table) Transitions() int { return len(t.transitions) }
+
+// Coverage returns fired/declared transition counts.
+func (t *Table) Coverage() (fired, declared int) {
+	return len(t.hits), len(t.transitions)
+}
+
+// Uncovered lists declared transitions that never fired, sorted.
+func (t *Table) Uncovered() []string {
+	var out []string
+	for k := range t.transitions {
+		if t.hits[k] == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds another table's declarations and hits into t (used to total a
+// protocol's cache and memory controllers, as Table 1 does).
+func (t *Table) Merge(o *Table) {
+	for s := range o.states {
+		t.states[s] = true
+	}
+	for e := range o.events {
+		t.events[e] = true
+	}
+	for k := range o.transitions {
+		t.transitions[k] = true
+	}
+	for k, n := range o.hits {
+		t.hits[k] += n
+	}
+}
+
+// ComplexityRow is one row of the paper's Table 1.
+type ComplexityRow struct {
+	Protocol                                   string
+	TotalStates, TotalEvents, TotalTransitions int
+	CacheStates, CacheEvents, CacheTransitions int
+	MemStates, MemEvents, MemTransitions       int
+}
+
+// Complexity builds a Table 1 row from a protocol's cache and memory tables.
+// Totals count the union of states/events and the sum of transitions, the
+// paper's convention (its per-controller columns sum to the total
+// transition count).
+func Complexity(protocol string, cacheTbl, memTbl *Table) ComplexityRow {
+	union := NewTable(protocol)
+	union.Merge(cacheTbl)
+	union.Merge(memTbl)
+	return ComplexityRow{
+		Protocol:         protocol,
+		TotalStates:      union.States(),
+		TotalEvents:      union.Events(),
+		TotalTransitions: cacheTbl.Transitions() + memTbl.Transitions(),
+		CacheStates:      cacheTbl.States(),
+		CacheEvents:      cacheTbl.Events(),
+		CacheTransitions: cacheTbl.Transitions(),
+		MemStates:        memTbl.States(),
+		MemEvents:        memTbl.Events(),
+		MemTransitions:   memTbl.Transitions(),
+	}
+}

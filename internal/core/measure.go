@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+// Metrics is the result of one measured run.
+type Metrics struct {
+	Protocol Protocol
+	// Ops is the number of memory operations completed in the measurement
+	// window; Elapsed is the window's simulated length.
+	Ops     uint64
+	Elapsed sim.Time
+	// Throughput is ops per nanosecond — the paper's "performance" for the
+	// locking microbenchmark (lock acquires per ns) and, with think time
+	// standing in for computation, for the macro workloads.
+	Throughput float64
+	// AvgMissLatency is the mean demand miss latency in ns (Figure 9).
+	AvgMissLatency float64
+	// Utilization is the mean endpoint inbound-link utilization over the
+	// window (Figure 6).
+	Utilization float64
+	// BroadcastFraction is the fraction of demand requests broadcast.
+	BroadcastFraction float64
+	// Retries and Nacks count BASH memory-side recovery actions.
+	Retries, Nacks uint64
+	// BytesPerOp is delivered interconnect bytes per completed operation in
+	// the measurement window (the protocols' bandwidth cost).
+	BytesPerOp float64
+	// ControlBytesPerOp is the 8-byte-message share of BytesPerOp.
+	ControlBytesPerOp float64
+}
+
+// String renders a compact single-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: %.6f ops/ns, miss %.0f ns, util %.1f%%, bcast %.0f%%",
+		m.Protocol, m.Throughput, m.AvgMissLatency, 100*m.Utilization, 100*m.BroadcastFraction)
+}
+
+// snapshot captures the counters that Measure differentiates.
+type snapshot struct {
+	ops        uint64
+	at         sim.Time
+	missLatSum sim.Time
+	missCount  uint64
+	busyIn     float64
+	bcast      uint64
+	ucast      uint64
+	bytes      uint64
+	ctrlBytes  uint64
+}
+
+func (s *System) snap() snapshot {
+	cs := s.CacheStats()
+	var busy float64
+	for _, n := range s.Nodes {
+		busy += s.Net.InChannel(n.ID).BusyNs()
+	}
+	return snapshot{
+		ops:        s.TotalOps(),
+		at:         s.Kernel.Now(),
+		missLatSum: cs.MissLatencySum,
+		missCount:  cs.MissLatencyCount,
+		busyIn:     busy,
+		bcast:      cs.BroadcastRequests,
+		ucast:      cs.UnicastRequests,
+		bytes:      s.traffic.TotalBytes(),
+		ctrlBytes:  s.traffic.ControlBytes(),
+	}
+}
+
+// Measure runs the attached workload for warmupOps operations (system-wide),
+// then measures for measureOps more, returning window metrics. The warm-up
+// brings the caches and the adaptive mechanism to steady state, as the
+// paper's methodology does.
+func (s *System) Measure(warmupOps, measureOps uint64) Metrics {
+	s.Start()
+	s.Kernel.RunUntil(func() bool { return s.TotalOps() >= warmupOps })
+	before := s.snap()
+	s.Kernel.RunUntil(func() bool { return s.TotalOps() >= warmupOps+measureOps })
+	after := s.snap()
+	s.StopAll()
+	if s.Watchdog != nil {
+		s.Watchdog.Stop()
+	}
+
+	elapsed := after.at - before.at
+	m := Metrics{Protocol: s.cfg.Protocol, Ops: after.ops - before.ops, Elapsed: elapsed}
+	if elapsed > 0 {
+		m.Throughput = float64(m.Ops) / float64(elapsed)
+		m.Utilization = (after.busyIn - before.busyIn) / (float64(elapsed) * float64(s.Net.Nodes()))
+		if m.Utilization > 1 {
+			m.Utilization = 1
+		}
+	}
+	if dc := after.missCount - before.missCount; dc > 0 {
+		m.AvgMissLatency = float64(after.missLatSum-before.missLatSum) / float64(dc)
+	}
+	if dr := (after.bcast - before.bcast) + (after.ucast - before.ucast); dr > 0 {
+		m.BroadcastFraction = float64(after.bcast-before.bcast) / float64(dr)
+	}
+	if m.Ops > 0 {
+		m.BytesPerOp = float64(after.bytes-before.bytes) / float64(m.Ops)
+		m.ControlBytesPerOp = float64(after.ctrlBytes-before.ctrlBytes) / float64(m.Ops)
+	}
+	m.Retries, m.Nacks = s.BashRecoveryCounts()
+	return m
+}
+
+// BashRecoveryCounts totals BASH memory-side retries and nacks (zero for the
+// base protocols).
+func (s *System) BashRecoveryCounts() (retries, nacks uint64) {
+	for _, n := range s.Nodes {
+		if bm, ok := n.Mem.(*coherence.BashMem); ok {
+			retries += bm.Stats().Retries
+			nacks += bm.Stats().Nacks
+		}
+	}
+	return retries, nacks
+}

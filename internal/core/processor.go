@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Workload generates the memory reference stream of one processor: think
+// time (cycles of computation between memory-system events) and the next
+// operation. Implementations live in internal/workload.
+type Workload interface {
+	Next(rng *sim.RNG, self network.NodeID) (think sim.Time, op coherence.Op)
+}
+
+// Processor is the paper's blocking processor model: it interleaves think
+// time with blocking requests to the unified L2, at most one outstanding
+// demand miss at a time.
+type Processor struct {
+	sys     *System
+	node    *Node
+	gen     Workload
+	rng     *sim.RNG
+	stopped bool
+
+	// Completed counts finished memory operations.
+	Completed uint64
+	// ThinkTime accumulates simulated compute time (diagnostics).
+	ThinkTime sim.Time
+}
+
+// NewProcessor builds a processor for a node.
+func NewProcessor(sys *System, node *Node, gen Workload) *Processor {
+	seed := sys.cfg.Seed*1000003 + uint64(node.ID)*7919 + 17
+	return &Processor{sys: sys, node: node, gen: gen, rng: sim.NewRNG(seed)}
+}
+
+// Start begins the fetch-execute loop.
+func (p *Processor) Start() { p.next() }
+
+// Stop halts the loop after the current operation completes.
+func (p *Processor) Stop() { p.stopped = true }
+
+func (p *Processor) next() {
+	if p.stopped {
+		return
+	}
+	think, op := p.gen.Next(p.rng, p.node.ID)
+	p.ThinkTime += think
+	issue := func() {
+		if p.stopped {
+			return
+		}
+		p.node.Cache.Access(op, func() {
+			p.Completed++
+			p.next()
+		})
+	}
+	if think > 0 {
+		p.sys.Kernel.Schedule(think, issue)
+	} else {
+		issue()
+	}
+}

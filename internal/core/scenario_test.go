@@ -1,0 +1,359 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// scenarioSystem builds a small checked system for directed interleavings.
+func scenarioSystem(t *testing.T, p core.Protocol, nodes int, retryBuf int) *core.System {
+	t.Helper()
+	return core.NewSystem(core.Config{
+		Protocol:         p,
+		Nodes:            nodes,
+		BandwidthMBs:     2000,
+		EnableChecker:    true,
+		RetryBuffer:      retryBuf,
+		WatchdogInterval: 10_000_000,
+	})
+}
+
+// access issues one blocking operation and returns a completion probe.
+func access(sys *core.System, n network.NodeID, store bool, a coherence.Addr) *bool {
+	done := new(bool)
+	sys.Nodes[n].Cache.Access(coherence.Op{Store: store, Addr: a}, func() { *done = true })
+	return done
+}
+
+func waitAll(t *testing.T, sys *core.System, probes ...*bool) {
+	t.Helper()
+	sys.Kernel.RunUntil(func() bool {
+		for _, p := range probes {
+			if !*p {
+				return false
+			}
+		}
+		return true
+	})
+	for _, p := range probes {
+		if !*p {
+			t.Fatal("operation did not complete")
+		}
+	}
+}
+
+// protocolsUnderTest covers the three paper protocols plus the hybrid
+// ablations and the predictive extension.
+var protocolsUnderTest = []core.Protocol{
+	core.Snooping, core.Directory, core.BASH,
+	core.BashAlwaysBroadcast, core.BashAlwaysUnicast, core.BashPredictive,
+}
+
+// TestUpgradeRace: two sharers upgrade the same block simultaneously. One
+// must win at the ordering point; the loser must convert to a full miss and
+// observe the winner's value (checked by the value checker).
+func TestUpgradeRace(t *testing.T) {
+	for _, p := range protocolsUnderTest {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sys := scenarioSystem(t, p, 4, 0)
+			const a = coherence.Addr(6)
+			sys.PreheatOwned(a, 3, 0xEE)
+			// Give nodes 0 and 1 S copies.
+			d0 := access(sys, 0, false, a)
+			d1 := access(sys, 1, false, a)
+			waitAll(t, sys, d0, d1)
+			// Simultaneous upgrades.
+			u0 := access(sys, 0, true, a)
+			u1 := access(sys, 1, true, a)
+			waitAll(t, sys, u0, u1)
+			sys.Quiesce()
+			// Exactly one M copy, holding the later writer's token.
+			owners := 0
+			for _, n := range sys.Nodes {
+				if n.Cache.StateOf(a) == coherence.Modified {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("%d Modified copies after racing upgrades", owners)
+			}
+		})
+	}
+}
+
+// TestWritebackRace: the owner evicts while another node fetches the same
+// block; every interleaving must deliver current data (value-checked) and
+// leave a consistent owner.
+func TestWritebackRace(t *testing.T) {
+	for _, p := range protocolsUnderTest {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			// A tiny cache forces node 2's eviction traffic.
+			sys := core.NewSystem(core.Config{
+				Protocol:         p,
+				Nodes:            4,
+				BandwidthMBs:     2000,
+				EnableChecker:    true,
+				WatchdogInterval: 10_000_000,
+				Cache:            cacheTiny(),
+			})
+			// Node 2 owns several blocks mapping to the same set.
+			blocks := []coherence.Addr{4, 12, 20, 28, 36} // set 0 with 4 sets
+			for i, b := range blocks {
+				sys.PreheatOwned(b, 2, uint64(0x100+i))
+			}
+			// Node 2 stores to a fresh same-set block, evicting an owned
+			// one (PutM), while node 0 fetches each preheated block.
+			d2 := access(sys, 2, true, 44)
+			probes := []*bool{d2}
+			for _, b := range blocks {
+				probes = append(probes, access(sys, 0, false, b))
+			}
+			waitAll(t, sys, probes...)
+			sys.Quiesce()
+		})
+	}
+}
+
+func cacheTiny() cache.Config { return cache.Config{Sets: 4, Ways: 2} }
+
+// TestBashEscalation: with every request unicast and ownership bouncing, a
+// chain of insufficient instances must escalate to broadcast by the third
+// retry rather than looping.
+func TestBashEscalation(t *testing.T) {
+	sys := scenarioSystem(t, core.BashAlwaysUnicast, 8, 0)
+	const a = coherence.Addr(5)
+	sys.PreheatOwned(a, 7, 0xAB)
+	// A convoy of stores to the same block from every node: ownership
+	// bounces, so retry masks computed from stale owners keep missing.
+	var probes []*bool
+	for n := 0; n < 8; n++ {
+		probes = append(probes, access(sys, network.NodeID(n), true, a))
+	}
+	waitAll(t, sys, probes...)
+	sys.Quiesce()
+	retries, _ := sys.BashRecoveryCounts()
+	if retries == 0 {
+		t.Fatal("expected retries in an all-unicast ownership convoy")
+	}
+}
+
+// TestBashNackRecovery: a zero-size... the smallest buffer (1) with heavy
+// same-block contention must produce nacks, and every nacked request must
+// still complete via broadcast reissue.
+func TestBashNackRecovery(t *testing.T) {
+	sys := scenarioSystem(t, core.BashAlwaysUnicast, 10, 1)
+	lk := workload.NewLocking(4, 0) // 4 locks, 10 nodes: constant collision
+	for i, a := range lk.WarmBlocks() {
+		sys.PreheatOwned(a, network.NodeID(i%10), uint64(i)+1)
+	}
+	sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
+	m := sys.Measure(200, 2000)
+	if m.Ops < 2000 {
+		t.Fatalf("only %d ops completed", m.Ops)
+	}
+	if m.Nacks == 0 {
+		t.Fatal("expected nacks with a one-entry retry buffer")
+	}
+	st := sys.CacheStats()
+	if st.Reissues == 0 {
+		t.Fatal("nacks must trigger broadcast reissues")
+	}
+}
+
+// TestSupersetStaleness: a silently dropped S copy leaves the node in the
+// directory's sharer superset; subsequent invalidations to it must be
+// harmless no-ops (Directory and BASH).
+func TestSupersetStaleness(t *testing.T) {
+	for _, p := range []core.Protocol{core.Directory, core.BashAlwaysUnicast} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sys := core.NewSystem(core.Config{
+				Protocol:         p,
+				Nodes:            4,
+				BandwidthMBs:     2000,
+				EnableChecker:    true,
+				WatchdogInterval: 10_000_000,
+				Cache:            cacheTiny(),
+			})
+			const a = coherence.Addr(9)
+			sys.PreheatOwned(a, 3, 0x77)
+			// Node 1 gets an S copy...
+			waitAll(t, sys, access(sys, 1, false, a))
+			// ...then silently drops it via conflict evictions (loads to
+			// same-set blocks; S eviction is silent).
+			for i := coherence.Addr(0); i < 8; i++ {
+				waitAll(t, sys, access(sys, 1, false, 9+8*(i+1)))
+			}
+			if st := sys.Nodes[1].Cache.StateOf(a); st != coherence.Invalid {
+				t.Fatalf("node 1 still holds %v; eviction pattern wrong", st)
+			}
+			// A GetM elsewhere invalidates the superset including node 1.
+			waitAll(t, sys, access(sys, 2, true, a))
+			sys.Quiesce()
+			if got := sys.Nodes[2].Cache.StateOf(a); got != coherence.Modified {
+				t.Fatalf("writer holds %v", got)
+			}
+		})
+	}
+}
+
+// TestMigratoryChain: ownership migrates through every node in sequence;
+// each writer must observe its predecessor's token exactly (the checker
+// asserts it) and the final owner holds the last token.
+func TestMigratoryChain(t *testing.T) {
+	for _, p := range protocolsUnderTest {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sys := scenarioSystem(t, p, 8, 0)
+			const a = coherence.Addr(3)
+			sys.PreheatOwned(a, 0, 0x1)
+			for round := 0; round < 3; round++ {
+				for n := 0; n < 8; n++ {
+					waitAll(t, sys, access(sys, network.NodeID(n), true, a))
+				}
+			}
+			sys.Quiesce()
+			if got := sys.Nodes[7].Cache.StateOf(a); got != coherence.Modified {
+				t.Fatalf("final owner state %v", got)
+			}
+			want := sys.Checker.FinalValue(a)
+			if got := sys.Nodes[7].Cache.ValueOf(a); got != want {
+				t.Fatalf("final value %x, want %x", got, want)
+			}
+		})
+	}
+}
+
+// TestReadSharingFanOut: one producer, many readers — the owner ends in O
+// (Snooping/BASH) with every reader holding the producer's value.
+func TestReadSharingFanOut(t *testing.T) {
+	for _, p := range protocolsUnderTest {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sys := scenarioSystem(t, p, 8, 0)
+			const a = coherence.Addr(2)
+			sys.PreheatOwned(a, 1, 0x5)
+			waitAll(t, sys, access(sys, 1, true, a)) // producer writes
+			var probes []*bool
+			for n := 0; n < 8; n++ {
+				if n != 1 {
+					probes = append(probes, access(sys, network.NodeID(n), false, a))
+				}
+			}
+			waitAll(t, sys, probes...)
+			sys.Quiesce()
+			want := sys.Checker.FinalValue(a)
+			for _, n := range sys.Nodes {
+				st := n.Cache.StateOf(a)
+				if st == coherence.Invalid {
+					continue
+				}
+				if got := n.Cache.ValueOf(a); got != want {
+					t.Fatalf("node %d holds %x, want %x", n.ID, got, want)
+				}
+			}
+			if st := sys.Nodes[1].Cache.StateOf(a); st != coherence.Owned {
+				t.Fatalf("producer state %v, want Owned", st)
+			}
+		})
+	}
+}
+
+// TestPredictorImprovesRetryRate: on a migratory workload the predictive
+// variant must need fewer memory retries per operation than plain unicast.
+func TestPredictorImprovesRetryRate(t *testing.T) {
+	run := func(pred bool) (retries, ops uint64) {
+		sys := core.NewSystem(core.Config{
+			Protocol:         core.BashAlwaysUnicast,
+			Nodes:            8,
+			BandwidthMBs:     2000,
+			EnableChecker:    true,
+			Predictor:        pred,
+			WatchdogInterval: 10_000_000,
+		})
+		lk := workload.NewLocking(64, 0)
+		for i, a := range lk.WarmBlocks() {
+			sys.PreheatOwned(a, network.NodeID(i%8), uint64(i)+1)
+		}
+		sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
+		m := sys.Measure(500, 3000)
+		return m.Retries, m.Ops
+	}
+	r0, _ := run(false)
+	r1, _ := run(true)
+	// Random lock selection keeps the last-owner table partially stale, so
+	// demand a solid but not heroic reduction.
+	if float64(r1) >= 0.8*float64(r0) {
+		t.Fatalf("predictor did not reduce retries by 20%%: %d -> %d", r0, r1)
+	}
+}
+
+// TestBashWritebackWindowGetS drives the narrow II_A window: a cache whose
+// writeback raced a conflicting GetM (entering II_A) observes a broadcast
+// GetS for the same block before retiring its own PutM marker. The ordering
+// is forced by issue order on the sequencer: GetM (seq 1), GetS (seq 2),
+// PutM (seq 3).
+func TestBashWritebackWindowGetS(t *testing.T) {
+	sys := core.NewSystem(core.Config{
+		Protocol:         core.BashAlwaysBroadcast,
+		Nodes:            4,
+		BandwidthMBs:     2000,
+		EnableChecker:    true,
+		WatchdogInterval: 10_000_000,
+		Cache:            cacheTiny(), // 4 sets x 2 ways
+	})
+	const blockA = coherence.Addr(4)   // set 0
+	const blockA2 = coherence.Addr(12) // set 0
+	const blockB = coherence.Addr(20)  // set 0: storing it evicts blockA (LRU)
+	sys.PreheatOwned(blockA, 3, 0x11)
+	sys.PreheatOwned(blockA2, 3, 0x12)
+	// Issue order fixes the total order: P0's GetM, P1's GetS, then node
+	// 3's eviction PutM for blockA.
+	d0 := access(sys, 0, true, blockA)
+	d1 := access(sys, 1, false, blockA)
+	d3 := access(sys, 3, true, blockB)
+	waitAll(t, sys, d0, d1, d3)
+	sys.Quiesce()
+	// The war story: node 3 answered the GetM from MI_A (entering II_A),
+	// ignored the GetS in II_A, and retired its stale PutM without data.
+	fired, _ := sys.Nodes[3].Cache.Table().Coverage()
+	if fired == 0 {
+		t.Fatal("no transitions fired")
+	}
+	for _, u := range sys.Nodes[3].Cache.Table().Uncovered() {
+		if u == "II_A/OtherGetS" {
+			t.Fatal("II_A/OtherGetS did not fire; interleaving broken")
+		}
+	}
+}
+
+// TestUnicastHint: hinted operations never broadcast, even under an
+// always-broadcast policy's opposite — here, with adaptive BASH at high
+// bandwidth where the policy would broadcast everything.
+func TestUnicastHint(t *testing.T) {
+	sys := scenarioSystem(t, core.BASH, 4, 0)
+	// High bandwidth: the adaptive policy stays at always-broadcast.
+	var probes []*bool
+	for i := 0; i < 50; i++ {
+		done := new(bool)
+		a := coherence.Addr(100 + i)
+		sys.Nodes[0].Cache.Access(coherence.Op{Store: true, Addr: a, HintUnicast: true},
+			func() { *done = true })
+		probes = append(probes, done)
+		waitAll(t, sys, done)
+	}
+	st := sys.Nodes[0].Cache.Stats()
+	if st.BroadcastRequests != 0 {
+		t.Fatalf("%d hinted requests broadcast", st.BroadcastRequests)
+	}
+	if st.UnicastRequests != 50 {
+		t.Fatalf("unicasts = %d, want 50", st.UnicastRequests)
+	}
+}

@@ -1,0 +1,316 @@
+// Package core assembles the paper's target system: N integrated
+// processor/memory nodes, each with a blocking processor, an L2 cache
+// controller, a slice of the globally shared memory (with home state), and a
+// single full-duplex endpoint link into the interconnect. It is the public
+// entry point the examples, experiments, and benchmarks build on.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Protocol selects a coherence protocol for the system.
+type Protocol int
+
+// Protocols. The two Bash* ablations run the hybrid engine with a static
+// mask policy, separating the value of adaptivity from the hybrid machinery.
+const (
+	Snooping Protocol = iota
+	Directory
+	BASH
+	BashAlwaysBroadcast
+	BashAlwaysUnicast
+	BashSwitch // the unstable all-or-nothing mechanism (Section 2.1)
+	// BashPredictive is BASH with the Section 7 destination-set predictor:
+	// non-broadcast requests add the predicted owner to their mask.
+	BashPredictive
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Snooping:
+		return "Snooping"
+	case Directory:
+		return "Directory"
+	case BASH:
+		return "BASH"
+	case BashAlwaysBroadcast:
+		return "BASH-bcast"
+	case BashAlwaysUnicast:
+		return "BASH-ucast"
+	case BashSwitch:
+		return "BASH-switch"
+	case BashPredictive:
+		return "BASH-pred"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Config describes a target system.
+type Config struct {
+	Protocol Protocol
+	Nodes    int
+	// BandwidthMBs is the endpoint link bandwidth per node (MB/s).
+	BandwidthMBs float64
+	// BroadcastCost multiplies the link occupancy of broadcast requests
+	// (4 for the paper's large-system approximation; default 1).
+	BroadcastCost float64
+	// Cache geometry; zero selects the paper's 4 MB 4-way 64 B L2.
+	Cache cache.Config
+	// Adaptive parameterizes the BASH mechanism (defaults per the paper).
+	Adaptive adaptive.Config
+	// RetryBuffer bounds concurrently retried transactions per memory
+	// controller (BASH); 0 selects the default.
+	RetryBuffer int
+	// Predictor attaches the destination-set predictor to any BASH variant
+	// (implied by Protocol BashPredictive). Size 0 selects the default.
+	Predictor     bool
+	PredictorSize int
+	// EnableChecker turns on SWMR/value invariant checking (tests).
+	EnableChecker bool
+	// WatchdogInterval trips on loss of forward progress; 0 disables.
+	WatchdogInterval sim.Time
+	// Seed perturbs workloads and per-node LFSRs.
+	Seed uint64
+	// JitterNs adds uniform random delay to message traversals (testing).
+	JitterNs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 16
+	}
+	if c.BandwidthMBs == 0 {
+		c.BandwidthMBs = 1600
+	}
+	if c.Cache.Sets == 0 || c.Cache.Ways == 0 {
+		c.Cache = cache.DefaultConfig()
+	}
+	return c
+}
+
+// Node is one integrated processor/memory node.
+type Node struct {
+	ID       network.NodeID
+	Cache    coherence.CacheController
+	Mem      coherence.MemController
+	Adaptive *adaptive.Adaptive // non-nil for Protocol BASH / BashSwitch
+	Proc     *Processor
+	sys      *System
+}
+
+// DeliverOrdered implements network.Handler: both the cache and the memory
+// slice snoop the totally ordered network.
+func (n *Node) DeliverOrdered(m *network.Message) {
+	n.sys.recordOrdered(n.ID, m)
+	n.sys.traffic.record(m.Payload.(*coherence.Packet).Kind, m.Size)
+	n.Cache.OnOrdered(m)
+	n.Mem.OnOrdered(m)
+}
+
+// DeliverUnordered implements network.Handler, routing by message kind.
+func (n *Node) DeliverUnordered(m *network.Message) {
+	n.sys.recordUnordered(n.ID, m)
+	pkt := m.Payload.(*coherence.Packet)
+	n.sys.traffic.record(pkt.Kind, m.Size)
+	switch pkt.Kind {
+	case coherence.Data, coherence.Ack, coherence.Nack:
+		n.Cache.OnUnordered(pkt)
+	case coherence.DataWB, coherence.GetS, coherence.GetM, coherence.PutM:
+		n.Mem.OnUnordered(pkt)
+	default:
+		panic(fmt.Sprintf("core: unroutable %s", pkt.Kind))
+	}
+}
+
+// System is a complete simulated machine.
+type System struct {
+	Kernel   *sim.Kernel
+	Net      *network.Network
+	Nodes    []*Node
+	Checker  *coherence.Checker
+	Watchdog *sim.Watchdog
+	cfg      Config
+	trace    *Trace
+	traffic  *TrafficStats
+}
+
+// NewSystem builds and wires a machine; processors are attached with
+// AttachWorkload and started by Run/Measure.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel()
+	net := network.New(k, network.Config{
+		Nodes:         cfg.Nodes,
+		BandwidthMBs:  cfg.BandwidthMBs,
+		BroadcastCost: cfg.BroadcastCost,
+		JitterNs:      cfg.JitterNs,
+		JitterSeed:    cfg.Seed,
+	})
+	s := &System{Kernel: k, Net: net, cfg: cfg, traffic: newTrafficStats()}
+	if cfg.EnableChecker {
+		s.Checker = coherence.NewChecker()
+	}
+	if cfg.WatchdogInterval > 0 {
+		s.Watchdog = sim.NewWatchdog(k, cfg.WatchdogInterval, nil)
+	}
+	homeOf := func(a coherence.Addr) network.NodeID {
+		return network.NodeID(a % coherence.Addr(cfg.Nodes))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := network.NodeID(i)
+		env := coherence.Env{
+			Kernel:  k,
+			Net:     net,
+			Self:    id,
+			HomeOf:  homeOf,
+			Checker: s.Checker,
+		}
+		if s.Watchdog != nil {
+			env.Progress = s.Watchdog.Progress
+		}
+		n := &Node{ID: id, sys: s}
+		switch cfg.Protocol {
+		case Snooping:
+			n.Cache = coherence.NewSnoopCache(env, cfg.Cache)
+			n.Mem = coherence.NewSnoopMem(env)
+		case Directory:
+			n.Cache = coherence.NewDirCache(env, cfg.Cache)
+			n.Mem = coherence.NewDirMem(env)
+		case BASH, BashSwitch, BashPredictive:
+			acfg := cfg.Adaptive
+			acfg.Seed = uint16(cfg.Seed>>4) ^ uint16(3*i+1)
+			acfg.Switch = cfg.Protocol == BashSwitch
+			ad := adaptive.New(acfg, net.InChannel(id))
+			ad.Start(k)
+			n.Adaptive = ad
+			bc := coherence.NewBashCache(env, cfg.Cache, ad)
+			if cfg.Predictor || cfg.Protocol == BashPredictive {
+				bc.EnablePredictor(cfg.PredictorSize)
+			}
+			n.Cache = bc
+			n.Mem = coherence.NewBashMem(env, cfg.RetryBuffer)
+		case BashAlwaysBroadcast:
+			n.Cache = coherence.NewBashCache(env, cfg.Cache, adaptive.AlwaysBroadcast{})
+			n.Mem = coherence.NewBashMem(env, cfg.RetryBuffer)
+		case BashAlwaysUnicast:
+			bc := coherence.NewBashCache(env, cfg.Cache, adaptive.AlwaysUnicast{})
+			if cfg.Predictor {
+				bc.EnablePredictor(cfg.PredictorSize)
+			}
+			n.Cache = bc
+			n.Mem = coherence.NewBashMem(env, cfg.RetryBuffer)
+		default:
+			panic(fmt.Sprintf("core: unknown protocol %v", cfg.Protocol))
+		}
+		if s.Checker != nil {
+			s.Checker.Register(n.Cache)
+		}
+		net.SetHandler(id, n)
+		s.Nodes = append(s.Nodes, n)
+	}
+	return s
+}
+
+// Config returns the (defaulted) system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// HomeOf returns the home node of a block.
+func (s *System) HomeOf(a coherence.Addr) network.NodeID {
+	return network.NodeID(a % coherence.Addr(s.cfg.Nodes))
+}
+
+// PreheatOwned installs a block as Modified in one cache, with consistent
+// home state, without generating traffic. Used to warm-start workloads so
+// sharing misses dominate from the first access (the paper reaches the same
+// state via warm-up runs).
+func (s *System) PreheatOwned(a coherence.Addr, owner network.NodeID, token uint64) {
+	s.Nodes[owner].Cache.Preheat(a, coherence.Modified, token)
+	s.Nodes[s.HomeOf(a)].Mem.Preheat(a, owner, 0)
+	if s.Checker != nil {
+		s.Checker.WriteCommit(owner, a, 0, token, 0)
+	}
+}
+
+// AttachWorkload gives every node a processor driven by the per-node
+// generator returned by gen.
+func (s *System) AttachWorkload(gen func(id network.NodeID) Workload) {
+	for _, n := range s.Nodes {
+		n.Proc = NewProcessor(s, n, gen(n.ID))
+	}
+}
+
+// Start launches all processors.
+func (s *System) Start() {
+	for _, n := range s.Nodes {
+		if n.Proc != nil {
+			n.Proc.Start()
+		}
+	}
+}
+
+// TotalOps sums completed processor operations.
+func (s *System) TotalOps() uint64 {
+	var total uint64
+	for _, n := range s.Nodes {
+		if n.Proc != nil {
+			total += n.Proc.Completed
+		}
+	}
+	return total
+}
+
+// StopAll halts the processors (outstanding transactions drain).
+func (s *System) StopAll() {
+	for _, n := range s.Nodes {
+		if n.Proc != nil {
+			n.Proc.Stop()
+		}
+	}
+}
+
+// Quiesce stops processors, samplers and the watchdog, then drains every
+// in-flight event so the system reaches a stable global state.
+func (s *System) Quiesce() {
+	s.StopAll()
+	for _, n := range s.Nodes {
+		if n.Adaptive != nil {
+			n.Adaptive.Stop()
+		}
+	}
+	if s.Watchdog != nil {
+		s.Watchdog.Stop()
+	}
+	s.Kernel.Drain()
+}
+
+// CacheStats aggregates cache controller stats across nodes.
+func (s *System) CacheStats() coherence.CacheStats {
+	var agg coherence.CacheStats
+	for _, n := range s.Nodes {
+		st := n.Cache.Stats()
+		agg.Loads += st.Loads
+		agg.Stores += st.Stores
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.SharingMisses += st.SharingMisses
+		agg.MemoryMisses += st.MemoryMisses
+		agg.Upgrades += st.Upgrades
+		agg.Writebacks += st.Writebacks
+		agg.BroadcastRequests += st.BroadcastRequests
+		agg.UnicastRequests += st.UnicastRequests
+		agg.Reissues += st.Reissues
+		agg.StaleDataDropped += st.StaleDataDropped
+		agg.Predicted += st.Predicted
+		agg.PredictedHits += st.PredictedHits
+		agg.MissLatencySum += st.MissLatencySum
+		agg.MissLatencyCount += st.MissLatencyCount
+	}
+	return agg
+}

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// allProtocols lists every protocol variant the system can assemble.
+var allProtocols = []core.Protocol{
+	core.Snooping, core.Directory, core.BASH,
+	core.BashAlwaysBroadcast, core.BashAlwaysUnicast, core.BashSwitch,
+}
+
+func newLockingSystem(t *testing.T, p core.Protocol, nodes int, seed uint64) *core.System {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		Protocol:         p,
+		Nodes:            nodes,
+		BandwidthMBs:     1600,
+		EnableChecker:    true,
+		WatchdogInterval: 10_000_000,
+		Seed:             seed,
+	})
+	locks := 64 * nodes
+	for i := 0; i < locks; i++ {
+		owner := network.NodeID(i % nodes)
+		sys.PreheatOwned(coherence.Addr(i), owner, uint64(i)+1)
+	}
+	lk := workload.NewLocking(locks, 0)
+	sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
+	return sys
+}
+
+// TestLockingSmoke runs the locking microbenchmark on every protocol with
+// the invariant checker enabled: every store must observe the latest write
+// in the global order, and SWMR must hold throughout.
+func TestLockingSmoke(t *testing.T) {
+	for _, p := range allProtocols {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sys := newLockingSystem(t, p, 8, 42)
+			m := sys.Measure(200, 1000)
+			if m.Ops < 1000 {
+				t.Fatalf("measured only %d ops", m.Ops)
+			}
+			if m.Throughput <= 0 {
+				t.Fatalf("throughput %v", m.Throughput)
+			}
+			if m.AvgMissLatency < 100 {
+				t.Errorf("implausible miss latency %.0f ns", m.AvgMissLatency)
+			}
+			if sys.Watchdog.Tripped() {
+				t.Fatal("watchdog tripped")
+			}
+		})
+	}
+}
+
+// TestUncontendedLatencies checks the paper's Section 4.2 uncontended
+// numbers: 180 ns memory fetch for all protocols; 125 ns cache-to-cache for
+// Snooping; 255 ns for Directory (one indirection).
+func TestUncontendedLatencies(t *testing.T) {
+	run := func(p core.Protocol, preOwner network.NodeID) float64 {
+		sys := core.NewSystem(core.Config{
+			Protocol:      p,
+			Nodes:         4,
+			BandwidthMBs:  100000, // effectively unconstrained
+			EnableChecker: true,
+		})
+		addr := coherence.Addr(5) // home = node 1
+		if preOwner >= 0 {
+			sys.PreheatOwned(addr, preOwner, 99)
+		}
+		done := false
+		sys.Nodes[0].Cache.Access(coherence.Op{Store: true, Addr: addr}, func() { done = true })
+		sys.Kernel.RunUntil(func() bool { return done })
+		st := sys.Nodes[0].Cache.Stats()
+		return st.AvgMissLatency()
+	}
+
+	cases := []struct {
+		name  string
+		p     core.Protocol
+		owner network.NodeID
+		want  float64
+	}{
+		{"snooping/memory", core.Snooping, -1, 180},
+		{"snooping/cache-to-cache", core.Snooping, 2, 125},
+		{"directory/memory", core.Directory, -1, 180},
+		{"directory/cache-to-cache", core.Directory, 2, 255},
+		{"bash-bcast/memory", core.BashAlwaysBroadcast, -1, 180},
+		{"bash-bcast/cache-to-cache", core.BashAlwaysBroadcast, 2, 125},
+		{"bash-ucast/memory", core.BashAlwaysUnicast, -1, 180},
+		{"bash-ucast/cache-to-cache", core.BashAlwaysUnicast, 2, 255},
+	}
+	for _, c := range cases {
+		got := run(c.p, c.owner)
+		// Allow a few ns of serialization rounding at very high bandwidth.
+		if got < c.want-2 || got > c.want+5 {
+			t.Errorf("%s: latency %.1f ns, want ~%.0f", c.name, got, c.want)
+		}
+	}
+}
+
+// TestDeterminism: identical configurations replay identically.
+func TestDeterminism(t *testing.T) {
+	for _, p := range []core.Protocol{core.Snooping, core.Directory, core.BASH} {
+		a := newLockingSystem(t, p, 4, 7)
+		b := newLockingSystem(t, p, 4, 7)
+		ma := a.Measure(100, 500)
+		mb := b.Measure(100, 500)
+		if ma.Throughput != mb.Throughput || ma.Elapsed != mb.Elapsed {
+			t.Errorf("%v: non-deterministic: %+v vs %+v", p, ma, mb)
+		}
+	}
+}
+
+// TestStress runs a longer, more contended configuration per protocol with
+// low bandwidth to exercise queueing, retries and races under the checker.
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress run")
+	}
+	for _, p := range allProtocols {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sys := core.NewSystem(core.Config{
+				Protocol:         p,
+				Nodes:            16,
+				BandwidthMBs:     400, // scarce: heavy queueing
+				EnableChecker:    true,
+				WatchdogInterval: 50_000_000,
+				Seed:             1234,
+			})
+			locks := 96 // few locks: heavy same-block racing
+			for i := 0; i < locks; i++ {
+				sys.PreheatOwned(coherence.Addr(i), network.NodeID(i%16), uint64(i)+1)
+			}
+			lk := workload.NewLocking(locks, 0)
+			sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
+			m := sys.Measure(500, 4000)
+			if m.Ops < 4000 {
+				t.Fatalf("measured only %d ops", m.Ops)
+			}
+			var _ sim.Time
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// TraceEntry records one message delivery (Figure 4 walkthroughs and
+// debugging).
+type TraceEntry struct {
+	At      sim.Time
+	Ordered bool
+	Seq     uint64
+	From    network.NodeID
+	To      network.NodeID
+	Kind    coherence.Kind
+	Addr    coherence.Addr
+	Req     network.NodeID
+	Size    int
+}
+
+// String renders one line of a message-sequence chart.
+func (e TraceEntry) String() string {
+	net := "resp "
+	if e.Ordered {
+		net = "order"
+	}
+	return fmt.Sprintf("t=%4d  %s  %-8s a=%d  %d -> %d (req P%d, %dB)",
+		e.At, net, e.Kind, e.Addr, e.From, e.To, e.Req, e.Size)
+}
+
+// Trace collects deliveries when enabled on a System.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+// EnableTrace starts recording every delivery.
+func (s *System) EnableTrace() *Trace {
+	s.trace = &Trace{}
+	return s.trace
+}
+
+func (s *System) recordOrdered(to network.NodeID, m *network.Message) {
+	if s.trace == nil {
+		return
+	}
+	pkt := m.Payload.(*coherence.Packet)
+	s.trace.Entries = append(s.trace.Entries, TraceEntry{
+		At: s.Kernel.Now(), Ordered: true, Seq: m.Seq,
+		From: m.From, To: to, Kind: pkt.Kind, Addr: pkt.Addr,
+		Req: pkt.Requestor, Size: m.Size,
+	})
+}
+
+func (s *System) recordUnordered(to network.NodeID, m *network.Message) {
+	if s.trace == nil {
+		return
+	}
+	pkt := m.Payload.(*coherence.Packet)
+	s.trace.Entries = append(s.trace.Entries, TraceEntry{
+		At: s.Kernel.Now(), From: m.From, To: to, Kind: pkt.Kind,
+		Addr: pkt.Addr, Req: pkt.Requestor, Size: m.Size,
+	})
+}
+
+// String renders the whole trace.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/stats"
+)
+
+// TrafficStats counts delivered messages and bytes by protocol message kind
+// — the interconnect demand each protocol places per transaction, the raw
+// material of the paper's bandwidth argument.
+type TrafficStats struct {
+	Messages map[coherence.Kind]uint64
+	Bytes    map[coherence.Kind]uint64
+}
+
+func newTrafficStats() *TrafficStats {
+	return &TrafficStats{
+		Messages: make(map[coherence.Kind]uint64),
+		Bytes:    make(map[coherence.Kind]uint64),
+	}
+}
+
+func (t *TrafficStats) record(kind coherence.Kind, bytes int) {
+	t.Messages[kind]++
+	t.Bytes[kind] += uint64(bytes)
+}
+
+// TotalBytes sums all delivered bytes.
+func (t *TrafficStats) TotalBytes() uint64 {
+	var total uint64
+	for _, b := range t.Bytes {
+		total += b
+	}
+	return total
+}
+
+// ControlBytes sums bytes of 8-byte control messages.
+func (t *TrafficStats) ControlBytes() uint64 {
+	return t.TotalBytes() - t.Bytes[coherence.Data] - t.Bytes[coherence.DataWB]
+}
+
+// DataBytes sums bytes of data-carrying messages.
+func (t *TrafficStats) DataBytes() uint64 {
+	return t.Bytes[coherence.Data] + t.Bytes[coherence.DataWB]
+}
+
+// String renders a per-kind breakdown, largest first.
+func (t *TrafficStats) String() string {
+	type row struct {
+		kind  coherence.Kind
+		bytes uint64
+	}
+	var rows []row
+	for k, b := range t.Bytes {
+		rows = append(rows, row{k, b})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s: %d msgs, %d B\n", r.kind, t.Messages[r.kind], r.bytes)
+	}
+	return b.String()
+}
+
+// Traffic returns the system's delivered-traffic breakdown.
+func (s *System) Traffic() *TrafficStats { return s.traffic }
+
+// LatencyHistogram merges every cache controller's miss-latency histogram.
+func (s *System) LatencyHistogram() *stats.Histogram {
+	h := stats.NewLatencyHistogram()
+	for _, n := range s.Nodes {
+		h.Merge(n.Cache.LatencyHistogram())
+	}
+	return h
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Ablation separates the value of adaptivity from the hybrid engine
+// (DESIGN.md Section 7): the BASH machinery forced to always-broadcast or
+// always-unicast against the adaptive policy at low, mid and high bandwidth,
+// plus the sampling-interval and policy-counter-width sensitivity the paper
+// discusses in Section 2.2.
+func Ablation(o Options) *TableResult {
+	warm, measure := o.ops()
+	nodes := 16
+	t := &TableResult{
+		ID:    "ablation",
+		Title: "BASH design-choice ablations (locking microbenchmark, 16 processors)",
+		Columns: []string{
+			"variant", "bandwidth (MB/s)", "throughput (ops/ns)",
+			"bcast frac", "utilization", "retries",
+		},
+		Notes: []string{
+			"adaptive vs. static masks: the hybrid engine with a static choice recovers the",
+			"base protocols; adaptivity is what wins the mid-range",
+		},
+	}
+	row := func(label string, rc runConfig) {
+		m := runOne(rc)
+		t.Rows = append(t.Rows, []string{
+			label, fmt.Sprintf("%g", rc.bandwidth),
+			fmt.Sprintf("%.5f", m.Throughput),
+			fmt.Sprintf("%.2f", m.BroadcastFraction),
+			fmt.Sprintf("%.2f", m.Utilization),
+			fmt.Sprint(m.Retries),
+		})
+	}
+	for _, bw := range []float64{400, 1600, 8000} {
+		for _, v := range []struct {
+			label string
+			p     core.Protocol
+		}{
+			{"BASH adaptive", core.BASH},
+			{"BASH always-broadcast", core.BashAlwaysBroadcast},
+			{"BASH always-unicast", core.BashAlwaysUnicast},
+		} {
+			row(v.label, runConfig{
+				protocol: v.p, nodes: nodes, bandwidth: bw,
+				seed: 11, warm: warm, measure: measure,
+			})
+		}
+	}
+	// Sampling-interval sensitivity (paper: smaller reacts faster but risks
+	// oscillation) and policy-counter width at mid bandwidth.
+	for _, iv := range []sim.Time{64, 512, 4096} {
+		row(fmt.Sprintf("BASH interval=%d", iv), runConfig{
+			protocol: core.BASH, nodes: nodes, bandwidth: 1600,
+			interval: iv, seed: 11, warm: warm, measure: measure,
+		})
+	}
+	for _, bits := range []uint{4, 8, 12} {
+		row(fmt.Sprintf("BASH policy-bits=%d", bits), runConfig{
+			protocol: core.BASH, nodes: nodes, bandwidth: 1600,
+			policyBits: bits, seed: 11, warm: warm, measure: measure,
+		})
+	}
+	return t
+}

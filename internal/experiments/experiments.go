@@ -1,0 +1,322 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 4 and 5). Each runner returns a Figure (series of
+// x/y points with error bars) or a TableResult, both renderable as TSV or
+// aligned text. The per-experiment index lives in DESIGN.md Section 6.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Err  []float64 // one standard deviation (paper: drawn when CoV > 1%)
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// TSV renders the figure as one row per x value, one column per series.
+func (f *Figure) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\t%s\t+/-", s.Name)
+	}
+	b.WriteByte('\n')
+	xs := f.xs()
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if i := indexOf(s.X, x); i >= 0 {
+				e := 0.0
+				if i < len(s.Err) {
+					e = s.Err[i]
+				}
+				fmt.Fprintf(&b, "\t%.6g\t%.2g", s.Y[i], e)
+			} else {
+				b.WriteString("\t\t")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (f *Figure) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func indexOf(xs []float64, x float64) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// TableResult is a reproduced table.
+type TableResult struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// TSV renders the table.
+func (t *TableResult) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scale trades fidelity for runtime.
+type Scale int
+
+// Scales. Quick keeps unit tests and benchmarks fast; Full is the
+// EXPERIMENTS.md configuration.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Options configures the experiment runners.
+type Options struct {
+	Scale Scale
+	// Seeds for multi-run error bars; nil selects per-scale defaults.
+	Seeds []uint64
+}
+
+func (o Options) seeds() []uint64 {
+	if len(o.Seeds) > 0 {
+		return o.Seeds
+	}
+	if o.Scale == Full {
+		return []uint64{11, 23}
+	}
+	return []uint64{11}
+}
+
+func (o Options) ops() (warm, measure uint64) {
+	if o.Scale == Full {
+		return 4000, 16000
+	}
+	return 800, 2400
+}
+
+// bandwidths returns the endpoint-bandwidth sweep (MB/s, log-spaced), the
+// x-axis of Figures 1, 5, 6, 7, 10 and 11.
+func (o Options) bandwidths() []float64 {
+	if o.Scale == Full {
+		return []float64{100, 200, 400, 600, 900, 1300, 1900, 2800, 4200, 6300, 9500, 14000}
+	}
+	return []float64{200, 600, 1600, 4200, 10000}
+}
+
+// the protocols compared throughout the evaluation, in the paper's order.
+var evalProtocols = []core.Protocol{core.Snooping, core.BASH, core.Directory}
+
+// runConfig describes one simulated data point.
+type runConfig struct {
+	protocol      core.Protocol
+	nodes         int
+	bandwidth     float64
+	broadcastCost float64
+	think         sim.Time
+	workloadName  string // "" selects the locking microbenchmark
+	threshold     int    // BASH utilization threshold (0 = default 75)
+	interval      sim.Time
+	policyBits    uint
+	seed          uint64
+	warm, measure uint64
+}
+
+// makeWorkload builds the generator and the warm-start block list.
+func makeWorkload(rc runConfig) (core.Workload, []coherence.Addr) {
+	if rc.workloadName == "" {
+		locks := 128 * rc.nodes
+		lk := workload.NewLocking(locks, rc.think)
+		return lk, lk.WarmBlocks()
+	}
+	w := workload.ByName(rc.workloadName)
+	if w == nil {
+		panic("experiments: unknown workload " + rc.workloadName)
+	}
+	return w, w.WarmBlocks()
+}
+
+// runOne simulates one data point. Warm-up and measurement operation
+// counts are scaled with system size (relative to the 16-processor
+// baseline) so that every processor sees enough misses for the adaptive
+// mechanism to reach steady state — the paper's mechanism needs ~130k
+// cycles (~1000 misses per processor) to swing across its full range.
+func runOne(rc runConfig) core.Metrics {
+	if rc.nodes > 16 {
+		scale := uint64(rc.nodes / 16)
+		rc.warm *= scale
+		rc.measure *= scale
+	}
+	cfg := core.Config{
+		Protocol:         rc.protocol,
+		Nodes:            rc.nodes,
+		BandwidthMBs:     rc.bandwidth,
+		BroadcastCost:    rc.broadcastCost,
+		Seed:             rc.seed,
+		WatchdogInterval: 500_000_000,
+	}
+	cfg.Adaptive.ThresholdPercent = rc.threshold
+	cfg.Adaptive.Interval = rc.interval
+	cfg.Adaptive.PolicyBits = rc.policyBits
+	sys := core.NewSystem(cfg)
+	wl, warm := makeWorkload(rc)
+	for i, a := range warm {
+		sys.PreheatOwned(a, network.NodeID(i%rc.nodes), uint64(i)+1)
+	}
+	sys.AttachWorkload(func(network.NodeID) core.Workload { return wl })
+	return sys.Measure(rc.warm, rc.measure)
+}
+
+// sweepResult aggregates one (protocol, x) cell across seeds.
+type sweepResult struct {
+	throughput  stats.Accumulator
+	utilization stats.Accumulator
+	missLatency stats.Accumulator
+	broadcast   stats.Accumulator
+}
+
+// runSweep evaluates base across seeds for every (protocol, x) combination,
+// where vary mutates the config for each x. Every run is an independent
+// single-threaded simulation, so the sweep fans out across CPUs; results
+// are folded deterministically afterwards (seed order per cell).
+func runSweep(protocols []core.Protocol, xs []float64, base runConfig,
+	seeds []uint64, vary func(rc *runConfig, x float64)) map[core.Protocol][]*sweepResult {
+
+	type job struct {
+		pi, xi int
+		rc     runConfig
+	}
+	var jobs []job
+	for pi, p := range protocols {
+		for xi, x := range xs {
+			for _, seed := range seeds {
+				rc := base
+				rc.protocol = p
+				rc.seed = seed
+				vary(&rc, x)
+				jobs = append(jobs, job{pi: pi, xi: xi, rc: rc})
+			}
+		}
+	}
+	results := make([]core.Metrics, len(jobs))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for ji := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ji int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			results[ji] = runOne(jobs[ji].rc)
+		}(ji)
+	}
+	wg.Wait()
+
+	out := make(map[core.Protocol][]*sweepResult)
+	for _, p := range protocols {
+		cells := make([]*sweepResult, len(xs))
+		for xi := range xs {
+			cells[xi] = &sweepResult{}
+		}
+		out[p] = cells
+	}
+	for ji, j := range jobs {
+		m := results[ji]
+		cell := out[protocols[j.pi]][j.xi]
+		cell.throughput.Add(m.Throughput)
+		cell.utilization.Add(m.Utilization)
+		cell.missLatency.Add(m.AvgMissLatency)
+		cell.broadcast.Add(m.BroadcastFraction)
+	}
+	return out
+}
+
+// seriesFrom builds a Series from per-cell accumulators via sel, normalized
+// by norm (pass 1 for raw values).
+func seriesFrom(name string, xs []float64, cells []*sweepResult,
+	sel func(*sweepResult) *stats.Accumulator, norm float64) Series {
+
+	s := Series{Name: name}
+	for i, x := range xs {
+		a := sel(cells[i])
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, a.Mean()/norm)
+		s.Err = append(s.Err, a.StdDev()/norm)
+	}
+	return s
+}
+
+// maxThroughput finds the largest mean throughput across protocols/cells
+// (the paper normalizes several figures to the best configuration).
+func maxThroughput(m map[core.Protocol][]*sweepResult) float64 {
+	best := 0.0
+	for _, cells := range m {
+		for _, c := range cells {
+			if v := c.throughput.Mean(); v > best {
+				best = v
+			}
+		}
+	}
+	if best == 0 {
+		return 1
+	}
+	return best
+}

@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// findSeries returns the named series of a figure.
+func findSeries(t *testing.T, f *Figure, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found (have %v)", f.ID, name, func() []string {
+		var n []string
+		for _, s := range f.Series {
+			n = append(n, s.Name)
+		}
+		return n
+	}())
+	return Series{}
+}
+
+// TestFig1Shape asserts the headline result: Directory leads when bandwidth
+// is scarce, Snooping when it is plentiful (by a wide margin over
+// Directory), and BASH stays near the better protocol everywhere.
+func TestFig1Shape(t *testing.T) {
+	f := Fig1(Options{})
+	snoop := findSeries(t, f, "Snooping")
+	bash := findSeries(t, f, "BASH")
+	dir := findSeries(t, f, "Directory")
+	last := len(snoop.Y) - 1
+
+	if dir.Y[0] < snoop.Y[0] {
+		t.Errorf("scarce bandwidth: Directory %.3f should beat Snooping %.3f", dir.Y[0], snoop.Y[0])
+	}
+	if snoop.Y[last] < 1.5*dir.Y[last] {
+		t.Errorf("plentiful bandwidth: Snooping %.3f should dwarf Directory %.3f", snoop.Y[last], dir.Y[last])
+	}
+	for i := range bash.Y {
+		best := snoop.Y[i]
+		if dir.Y[i] > best {
+			best = dir.Y[i]
+		}
+		if bash.Y[i] < 0.85*best {
+			t.Errorf("x=%g: BASH %.3f fell below 85%% of best %.3f (not robust)",
+				bash.X[i], bash.Y[i], best)
+		}
+	}
+	// The mid-range win: somewhere BASH beats both static protocols.
+	won := false
+	for i := range bash.Y {
+		if bash.Y[i] >= snoop.Y[i] && bash.Y[i] >= dir.Y[i] {
+			won = true
+		}
+	}
+	if !won {
+		t.Error("BASH never matched or beat both static protocols")
+	}
+}
+
+// TestFig6Shape: BASH holds the 75% utilization target in the constrained
+// region and converges with Snooping when bandwidth is plentiful.
+func TestFig6Shape(t *testing.T) {
+	f := Fig6(Options{})
+	bash := findSeries(t, f, "BASH")
+	snoop := findSeries(t, f, "Snooping")
+	dir := findSeries(t, f, "Directory")
+	last := len(bash.Y) - 1
+
+	if bash.Y[0] < 70 {
+		t.Errorf("scarce bandwidth: BASH utilization %.1f%% below target", bash.Y[0])
+	}
+	if dir.Y[last] > 25 {
+		t.Errorf("plentiful bandwidth: Directory utilization %.1f%% too high", dir.Y[last])
+	}
+	if diff := bash.Y[last] - snoop.Y[last]; diff > 1 || diff < -1 {
+		t.Errorf("plentiful bandwidth: BASH %.1f%% should equal Snooping %.1f%% (always broadcast)",
+			bash.Y[last], snoop.Y[last])
+	}
+	// Directory always uses less of the network than Snooping.
+	for i := range dir.Y {
+		if dir.Y[i] > snoop.Y[i] {
+			t.Errorf("x=%g: Directory utilization %.1f above Snooping %.1f", dir.X[i], dir.Y[i], snoop.Y[i])
+		}
+	}
+}
+
+// TestFig9Shape: protocol choice flips with workload intensity — Directory
+// wins at zero think time, Snooping at 1000 cycles (16p at quick scale
+// shifts the crossover, so assert the trend: the Snooping-minus-Directory
+// latency gap shrinks or flips as think time grows).
+func TestFig9Shape(t *testing.T) {
+	f := Fig9(Options{})
+	snoop := findSeries(t, f, "Snooping")
+	dir := findSeries(t, f, "Directory")
+	bash := findSeries(t, f, "BASH")
+	last := len(snoop.Y) - 1
+
+	gapAt0 := snoop.Y[0] - dir.Y[0]
+	gapAtEnd := snoop.Y[last] - dir.Y[last]
+	if gapAtEnd >= gapAt0 {
+		t.Errorf("snooping-vs-directory latency gap should shrink with think time: %0.f -> %.0f",
+			gapAt0, gapAtEnd)
+	}
+	// With plentiful think time, Snooping's 125 ns c2c beats Directory's 255.
+	if snoop.Y[last] >= dir.Y[last] {
+		t.Errorf("at think=1000, Snooping latency %.0f should beat Directory %.0f",
+			snoop.Y[last], dir.Y[last])
+	}
+	// BASH stays within 15% of the better protocol at the extremes.
+	for _, i := range []int{0, last} {
+		best := snoop.Y[i]
+		if dir.Y[i] < best {
+			best = dir.Y[i]
+		}
+		if bash.Y[i] > 1.15*best {
+			t.Errorf("think=%g: BASH latency %.0f vs best %.0f", bash.X[i], bash.Y[i], best)
+		}
+	}
+}
+
+// TestFig12Shape: the per-workload winners flip, and BASH matches or
+// exceeds the static winner on every workload (within 3%).
+func TestFig12Shape(t *testing.T) {
+	tbl := Fig12(Options{})
+	vals := map[string]map[string]float64{}
+	for _, row := range tbl.Rows {
+		vals[row[0]] = map[string]float64{
+			"BASH":      parse(t, row[1]),
+			"Snooping":  parse(t, row[2]),
+			"Directory": parse(t, row[3]),
+		}
+	}
+	if vals["SPECjbb"]["Directory"] <= vals["SPECjbb"]["Snooping"] {
+		t.Errorf("SPECjbb: Directory %.3f should beat Snooping %.3f (4x broadcast cost)",
+			vals["SPECjbb"]["Directory"], vals["SPECjbb"]["Snooping"])
+	}
+	if vals["OLTP"]["Snooping"] < vals["OLTP"]["Directory"] {
+		t.Errorf("OLTP: Snooping %.3f should not lose to Directory %.3f",
+			vals["OLTP"]["Snooping"], vals["OLTP"]["Directory"])
+	}
+	for wl, v := range vals {
+		best := v["Snooping"]
+		if v["Directory"] > best {
+			best = v["Directory"]
+		}
+		if 1.0 < 0.97*best { // BASH is the 1.0 normalization base
+			t.Errorf("%s: BASH lost to a static protocol by >3%% (best %.3f)", wl, best)
+		}
+	}
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestTable1Counts: BASH needs more events and transitions than either base
+// protocol at the memory controller, where the adaptive machinery lives.
+func TestTable1Counts(t *testing.T) {
+	tbl := Table1(Options{})
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range tbl.Rows {
+		byName[r[0]] = r
+	}
+	bashMemTrans := parse(t, byName["BASH"][9])
+	snoopMemTrans := parse(t, byName["Snooping"][9])
+	dirMemTrans := parse(t, byName["Directory"][9])
+	if bashMemTrans <= snoopMemTrans || bashMemTrans <= dirMemTrans {
+		t.Errorf("BASH memory controller (%v transitions) should exceed Snooping (%v) and Directory (%v)",
+			bashMemTrans, snoopMemTrans, dirMemTrans)
+	}
+}
+
+// TestFig2Agreement: the analytic and simulated queueing curves agree.
+func TestFig2Agreement(t *testing.T) {
+	f := Fig2(Options{})
+	ana := findSeries(t, f, "analytic")
+	simu := findSeries(t, f, "simulated")
+	for i := range ana.Y {
+		tol := 0.2*ana.Y[i] + 0.15
+		d := ana.Y[i] - simu.Y[i]
+		if d < -tol || d > tol {
+			t.Errorf("x=%.1f%%: analytic %.3f vs simulated %.3f", ana.X[i], ana.Y[i], simu.Y[i])
+		}
+	}
+}
+
+// TestFig3Trace matches the paper's worked example.
+func TestFig3Trace(t *testing.T) {
+	tbl := Fig3(Options{})
+	lastRow := tbl.Rows[len(tbl.Rows)-2] // final cycle before the sample row
+	if lastRow[2] != "-125" {
+		t.Errorf("final counter = %s, want -125 (25x the paper's -5)", lastRow[2])
+	}
+	sample := tbl.Rows[len(tbl.Rows)-1]
+	if !strings.Contains(sample[1], "above-threshold=false") {
+		t.Errorf("sample row = %v, want below-threshold", sample)
+	}
+}
+
+// TestFig4Walkthroughs: each protocol's trace contains the expected message
+// kinds (e.g. the BASH unicast cache-to-cache case must show a retry).
+func TestFig4Walkthroughs(t *testing.T) {
+	txt := Fig4(Options{}).Body
+	sections := strings.Split(txt, "== ")
+	find := func(header string) string {
+		t.Helper()
+		for _, s := range sections {
+			if strings.HasPrefix(s, header) {
+				return s
+			}
+		}
+		t.Fatalf("section %q missing", header)
+		return ""
+	}
+	snoopC2C := find("Snooping (broadcast): cache-to-cache")
+	if strings.Count(snoopC2C, "Data") != 1 {
+		t.Errorf("snooping c2c should have exactly one data transfer:\n%s", snoopC2C)
+	}
+	dirC2C := find("Directory: cache-to-cache")
+	if !strings.Contains(dirC2C, "FwdGetM") {
+		t.Errorf("directory c2c missing forward:\n%s", dirC2C)
+	}
+	bashU := find("BASH unicast: cache-to-cache")
+	// The unicast misses the owner; the memory controller retries it as a
+	// multicast (the same GetM appears again with a wider mask).
+	if strings.Count(bashU, "GetM") < 4 {
+		t.Errorf("BASH unicast c2c should show a retried multicast:\n%s", bashU)
+	}
+	if !strings.Contains(bashU, "Data") {
+		t.Errorf("BASH unicast c2c missing data:\n%s", bashU)
+	}
+}
+
+// TestStabilityAblation: the all-or-nothing switch flips far more often
+// than the probabilistic mechanism in the contended mid-range.
+func TestStabilityAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size run")
+	}
+	tbl := Stability(Options{})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	adaptiveFlips := parse(t, tbl.Rows[0][4])
+	switchFlips := parse(t, tbl.Rows[1][4])
+	if switchFlips <= adaptiveFlips {
+		t.Errorf("switch mode flips (%v) should exceed adaptive flips (%v)",
+			switchFlips, adaptiveFlips)
+	}
+}
+
+// TestAblationStaticMasksRecoverBases: always-broadcast ≈ more broadcasts,
+// always-unicast ≈ zero broadcasts, and the adaptive policy lands between.
+func TestAblationStaticMasksRecoverBases(t *testing.T) {
+	tbl := Ablation(Options{})
+	var rows [][]string
+	for _, r := range tbl.Rows {
+		if r[1] == "1600" && strings.HasPrefix(r[0], "BASH a") {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 mid-bandwidth static/adaptive rows, got %d", len(rows))
+	}
+	// rows: adaptive, always-broadcast, always-unicast.
+	bcastFrac := func(r []string) float64 { return parse(t, r[3]) }
+	if bcastFrac(rows[1]) != 1 {
+		t.Errorf("always-broadcast fraction = %v", bcastFrac(rows[1]))
+	}
+	if bcastFrac(rows[2]) != 0 {
+		t.Errorf("always-unicast fraction = %v", bcastFrac(rows[2]))
+	}
+	a := bcastFrac(rows[0])
+	if a <= 0 || a > 1 {
+		t.Errorf("adaptive fraction = %v", a)
+	}
+}
+
+// TestRegistryRunsEverything enumerates the registry (quick scale) to catch
+// wiring regressions; heavyweight entries are exercised by their own tests.
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, id := range IDs() {
+		arts, err := Run(id, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(arts) == 0 {
+			t.Fatalf("%s: no artifacts", id)
+		}
+		for _, a := range arts {
+			if a.TSV() == "" {
+				t.Fatalf("%s: empty artifact", id)
+			}
+		}
+	}
+}
+
+// TestRunUnknownID returns a helpful error.
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}
+
+// TestFig8Shape: Directory scales nearly flat with system size while
+// Snooping's per-processor performance collapses, and BASH tracks the
+// better protocol at both extremes (quick scale stops at 64 processors).
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size sweep")
+	}
+	f := Fig8(Options{})
+	snoop := findSeries(t, f, "Snooping")
+	dir := findSeries(t, f, "Directory")
+	bash := findSeries(t, f, "BASH")
+	last := len(dir.Y) - 1
+
+	if dir.Y[last] < 0.6*dir.Y[0] {
+		t.Errorf("Directory per-processor perf fell %0.2f -> %0.2f; should be near flat",
+			dir.Y[0], dir.Y[last])
+	}
+	if snoop.Y[last] > 0.8*snoop.Y[0] {
+		t.Errorf("Snooping per-processor perf %0.2f -> %0.2f; should collapse at scale",
+			snoop.Y[0], snoop.Y[last])
+	}
+	for _, i := range []int{0, last} {
+		best := snoop.Y[i]
+		if dir.Y[i] > best {
+			best = dir.Y[i]
+		}
+		if bash.Y[i] < 0.8*best {
+			t.Errorf("N=%g: BASH %0.3f below 80%% of best %0.3f", bash.X[i], bash.Y[i], best)
+		}
+	}
+}
+
+// TestPredictiveShape: the destination-set predictor must dominate plain
+// BASH at scarce bandwidth and achieve a high first-instance hit rate.
+func TestPredictiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth sweep")
+	}
+	tbl := Predictive(Options{})
+	var bashThr, predThr, predHit float64
+	for _, r := range tbl.Rows {
+		if r[1] != "400" {
+			continue
+		}
+		switch r[0] {
+		case "BASH":
+			bashThr = parse(t, r[2])
+		case "BASH-pred":
+			predThr = parse(t, r[2])
+			predHit = parse(t, r[5])
+		}
+	}
+	if predThr < bashThr {
+		t.Errorf("at 400 MB/s predictive %.5f should be at least plain BASH %.5f", predThr, bashThr)
+	}
+	if predHit < 0.7 {
+		t.Errorf("prediction hit rate %.2f below 0.7", predHit)
+	}
+}

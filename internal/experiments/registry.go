@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderable is any reproduced artifact.
+type Renderable interface {
+	TSV() string
+}
+
+// Runner regenerates one experiment.
+type Runner func(Options) []Renderable
+
+func one(r Renderable) []Renderable { return []Renderable{r} }
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig1":   func(o Options) []Renderable { return one(Fig1(o)) },
+	"fig2":   func(o Options) []Renderable { return one(Fig2(o)) },
+	"fig3":   func(o Options) []Renderable { return one(Fig3(o)) },
+	"fig4":   func(o Options) []Renderable { return one(Fig4(o)) },
+	"table1": func(o Options) []Renderable { return one(Table1(o)) },
+	"fig5":   func(o Options) []Renderable { return one(Fig5(o)) },
+	"fig6":   func(o Options) []Renderable { return one(Fig6(o)) },
+	"fig7":   func(o Options) []Renderable { return one(Fig7(o)) },
+	"fig8":   func(o Options) []Renderable { return one(Fig8(o)) },
+	"fig9":   func(o Options) []Renderable { return one(Fig9(o)) },
+	"fig10": func(o Options) []Renderable {
+		var out []Renderable
+		for _, f := range Fig10(o) {
+			out = append(out, f)
+		}
+		return out
+	},
+	"fig11": func(o Options) []Renderable {
+		var out []Renderable
+		for _, f := range Fig11(o) {
+			out = append(out, f)
+		}
+		return out
+	},
+	"fig12":      func(o Options) []Renderable { return one(Fig12(o)) },
+	"stability":  func(o Options) []Renderable { return one(Stability(o)) },
+	"ablation":   func(o Options) []Renderable { return one(Ablation(o)) },
+	"predictive": func(o Options) []Renderable { return one(Predictive(o)) },
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates one experiment by id.
+func Run(id string, o Options) ([]Renderable, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(o), nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// macroNodes is the full-system workload system size (the paper's 16).
+const macroNodes = 16
+
+// workloadPanels lists the Figure 10/11 panels in the paper's layout:
+// the microbenchmark plus the five Table 2 workloads.
+func workloadPanels() []string {
+	return []string{"Microbenchmark", "Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb"}
+}
+
+func panelWorkloadName(panel string) string {
+	if panel == "Microbenchmark" {
+		return ""
+	}
+	return panel
+}
+
+// macroSweep runs one Figure 10/11 panel: a bandwidth sweep of the three
+// protocols on one workload, normalized to Snooping at the highest
+// bandwidth (the paper's normalization).
+func macroSweep(o Options, panel string, broadcastCost float64) *Figure {
+	warm, measure := o.ops()
+	xs := o.bandwidths()
+	base := runConfig{
+		nodes:         macroNodes,
+		broadcastCost: broadcastCost,
+		workloadName:  panelWorkloadName(panel),
+		warm:          warm,
+		measure:       measure,
+	}
+	res := runSweep(evalProtocols, xs, base, o.seeds(), func(rc *runConfig, x float64) {
+		rc.bandwidth = x
+	})
+	snoop := res[core.Snooping]
+	norm := snoop[len(xs)-1].throughput.Mean()
+	if norm == 0 {
+		norm = 1
+	}
+	f := &Figure{
+		ID:     "panel-" + panel,
+		Title:  fmt.Sprintf("%s: performance vs. bandwidth (16 processors, %gx broadcast cost)", panel, bc(broadcastCost)),
+		XLabel: "endpoint bandwidth (MB/s)",
+		YLabel: "performance (normalized to Snooping at max bandwidth)",
+	}
+	for _, p := range evalProtocols {
+		f.Series = append(f.Series, seriesFrom(p.String(), xs, res[p],
+			func(c *sweepResult) *stats.Accumulator { return &c.throughput }, norm))
+	}
+	return f
+}
+
+func bc(c float64) float64 {
+	if c == 0 {
+		return 1
+	}
+	return c
+}
+
+// Fig10 reproduces Figure 10: performance vs. bandwidth for 16 processors
+// across the microbenchmark and the five workloads.
+func Fig10(o Options) []*Figure {
+	var out []*Figure
+	for _, panel := range workloadPanels() {
+		f := macroSweep(o, panel, 1)
+		f.ID = "fig10-" + panel
+		out = append(out, f)
+	}
+	out[0].Notes = append(out[0].Notes,
+		"expected: at 16 processors Snooping and BASH perform similarly; both outperform Directory")
+	return out
+}
+
+// Fig11 reproduces Figure 11: the Figure 10 sweep with the bandwidth cost
+// of broadcasts quadrupled (the paper's large-system approximation).
+func Fig11(o Options) []*Figure {
+	var out []*Figure
+	for _, panel := range workloadPanels() {
+		f := macroSweep(o, panel, 4)
+		f.ID = "fig11-" + panel
+		out = append(out, f)
+	}
+	out[0].Notes = append(out[0].Notes,
+		"expected: BASH performs as well as or better than both Snooping and Directory")
+	return out
+}
+
+// Fig12 reproduces Figure 12: per-workload bars at 1600 MB/s with 4x
+// broadcast cost, normalized to BASH.
+func Fig12(o Options) *TableResult {
+	warm, measure := o.ops()
+	t := &TableResult{
+		ID:      "fig12",
+		Title:   "Adapting to workload behaviour (16 processors, 1600 MB/s, 4x broadcast cost)",
+		Columns: []string{"workload", "BASH", "Snooping", "Directory"},
+		Notes: []string{
+			"performance normalized to BASH per workload (paper Figure 12)",
+			"expected: Snooping wins Barnes-Hut and OLTP, Directory wins SPECjbb,",
+			"BASH matches or exceeds both on all five workloads",
+		},
+	}
+	for _, name := range []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb"} {
+		vals := map[core.Protocol]*stats.Accumulator{}
+		for _, p := range evalProtocols {
+			acc := &stats.Accumulator{}
+			for _, seed := range o.seeds() {
+				m := runOne(runConfig{
+					protocol: p, nodes: macroNodes, bandwidth: 1600,
+					broadcastCost: 4, workloadName: name, seed: seed,
+					warm: warm, measure: measure,
+				})
+				acc.Add(m.Throughput)
+			}
+			vals[p] = acc
+		}
+		norm := vals[core.BASH].Mean()
+		if norm == 0 {
+			norm = 1
+		}
+		row := []string{name}
+		for _, p := range []core.Protocol{core.BASH, core.Snooping, core.Directory} {
+			row = append(row, fmt.Sprintf("%.3f", vals[p].Mean()/norm))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

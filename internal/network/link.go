@@ -1,0 +1,72 @@
+package network
+
+import "repro/internal/sim"
+
+// Channel models one direction of a node's endpoint link: a FIFO resource
+// with bandwidth-limited occupancy. A message seizes the channel for
+// size/bandwidth nanoseconds; propagation is virtual cut-through, so
+// occupancy creates queueing and utilization but does not itself add to the
+// uncontended latency (matching the paper's fixed 50 ns traversal plus
+// endpoint contention model).
+//
+// Internal accounting is in float64 nanoseconds so that sub-nanosecond
+// occupancies at very high bandwidths (e.g. 8 bytes at 10 GB/s = 0.8 ns)
+// accumulate without rounding bias.
+type Channel struct {
+	nsPerByte float64
+	freeAt    float64
+	busy      float64 // cumulative occupied ns
+	messages  uint64
+	bytes     uint64
+}
+
+// NewChannel returns a channel with the given bandwidth in MB/s.
+func NewChannel(bandwidthMBs float64) *Channel {
+	if bandwidthMBs <= 0 {
+		panic("network: bandwidth must be positive")
+	}
+	// size bytes / (MB/s * 1e6 B/s) seconds = size * 1000 / MBs nanoseconds.
+	return &Channel{nsPerByte: 1000.0 / bandwidthMBs}
+}
+
+// Seize reserves the channel for a message of the given size (scaled by
+// costMult) arriving at time now, and returns the time at which the message
+// wins the channel. Messages are served in seize-call order (FIFO).
+func (c *Channel) Seize(now sim.Time, sizeBytes int, costMult float64) sim.Time {
+	start := float64(now)
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	svc := float64(sizeBytes) * c.nsPerByte * costMult
+	c.freeAt = start + svc
+	c.busy += svc
+	c.messages++
+	c.bytes += uint64(float64(sizeBytes) * costMult)
+	// Round the grant up so downstream events land on whole nanoseconds.
+	t := sim.Time(start)
+	if float64(t) < start {
+		t++
+	}
+	return t
+}
+
+// BusyNs returns the cumulative occupied time in nanoseconds.
+func (c *Channel) BusyNs() float64 { return c.busy }
+
+// Messages returns the number of messages that have crossed the channel.
+func (c *Channel) Messages() uint64 { return c.messages }
+
+// Bytes returns the cumulative bytes (after cost scaling) carried.
+func (c *Channel) Bytes() uint64 { return c.bytes }
+
+// Utilization returns busy/elapsed for the given elapsed time, clamped to 1.
+func (c *Channel) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := c.busy / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,125 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NodeID identifies an integrated processor/memory node.
+type NodeID int
+
+// Mask is a set of destination nodes for a multicast on the ordered network.
+// It supports systems of up to 256 nodes, the largest configuration evaluated
+// in the paper (Figure 8).
+type Mask struct {
+	w [4]uint64
+}
+
+// MaxNodes is the largest supported system size.
+const MaxNodes = 256
+
+// MaskOf returns a mask containing the given nodes.
+func MaskOf(nodes ...NodeID) Mask {
+	var m Mask
+	for _, n := range nodes {
+		m.Set(n)
+	}
+	return m
+}
+
+// FullMask returns a mask containing nodes [0, n).
+func FullMask(n int) Mask {
+	var m Mask
+	for i := 0; i < n; i++ {
+		m.Set(NodeID(i))
+	}
+	return m
+}
+
+// Set adds a node to the mask.
+func (m *Mask) Set(n NodeID) {
+	if n < 0 || n >= MaxNodes {
+		panic(fmt.Sprintf("network: node %d out of range", n))
+	}
+	m.w[n>>6] |= 1 << (uint(n) & 63)
+}
+
+// Clear removes a node from the mask.
+func (m *Mask) Clear(n NodeID) {
+	if n < 0 || n >= MaxNodes {
+		panic(fmt.Sprintf("network: node %d out of range", n))
+	}
+	m.w[n>>6] &^= 1 << (uint(n) & 63)
+}
+
+// Has reports whether the mask contains the node.
+func (m Mask) Has(n NodeID) bool {
+	if n < 0 || n >= MaxNodes {
+		return false
+	}
+	return m.w[n>>6]&(1<<(uint(n)&63)) != 0
+}
+
+// Count returns the number of nodes in the mask.
+func (m Mask) Count() int {
+	c := 0
+	for _, w := range m.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the mask contains no nodes.
+func (m Mask) IsEmpty() bool {
+	return m.w[0]|m.w[1]|m.w[2]|m.w[3] == 0
+}
+
+// Union returns the set union of two masks.
+func (m Mask) Union(o Mask) Mask {
+	var r Mask
+	for i := range r.w {
+		r.w[i] = m.w[i] | o.w[i]
+	}
+	return r
+}
+
+// SubsetOf reports whether every node in m is also in o.
+func (m Mask) SubsetOf(o Mask) bool {
+	for i := range m.w {
+		if m.w[i]&^o.w[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two masks contain the same nodes.
+func (m Mask) Equal(o Mask) bool { return m.w == o.w }
+
+// ForEach calls fn for every node in the mask in ascending order.
+func (m Mask) ForEach(fn func(NodeID)) {
+	for wi, w := range m.w {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(NodeID(wi*64 + b))
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// String renders the mask as a compact node list, e.g. "{0,3,17}".
+func (m Mask) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	m.ForEach(func(n NodeID) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", n)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

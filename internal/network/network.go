@@ -1,0 +1,232 @@
+// Package network models the interconnect of the paper's target system: a
+// fixed-latency crossbar with limited bandwidth and contention at the
+// endpoints (Section 4.2). It provides two virtual networks sharing the
+// physical endpoint links:
+//
+//   - a totally ordered multicast request network (used by Snooping requests,
+//     Directory forwarded requests/markers, and all BASH requests), and
+//   - an unordered point-to-point network (data responses, Directory
+//     requests, acks and nacks).
+//
+// The total order is realized by a global sequencer: a message is assigned
+// its sequence number at the instant it wins its sender's outbound channel,
+// and all deliveries observe sequence order at every node. The network is
+// asynchronous (deliveries at different nodes happen at different times), as
+// the paper requires — only the order is common.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is a delivery handed to a node. Payload carries the
+// protocol-level content; the network treats it as opaque.
+type Message struct {
+	From      NodeID
+	Targets   Mask   // ordered-network deliveries only
+	To        NodeID // unordered deliveries only
+	Seq       uint64 // ordered-network sequence number (0 for unordered)
+	Size      int    // bytes
+	Broadcast bool   // true if sent to all nodes (cost multiplier applies)
+	Payload   any
+}
+
+// Handler receives deliveries addressed to a node.
+type Handler interface {
+	// DeliverOrdered is invoked for each ordered-network message whose
+	// target mask includes this node, in global sequence order.
+	DeliverOrdered(m *Message)
+	// DeliverUnordered is invoked for point-to-point messages.
+	DeliverUnordered(m *Message)
+}
+
+// Config describes the interconnect.
+type Config struct {
+	Nodes int
+	// BandwidthMBs is the endpoint link bandwidth per channel direction in
+	// MB/s ("endpoint bandwidth available" on the paper's x-axes).
+	BandwidthMBs float64
+	// Traversal is the fixed network crossing latency (default 50 ns).
+	Traversal sim.Time
+	// BroadcastCost multiplies the link occupancy of broadcast requests
+	// (1 for Figures 1–10, 4 for Figures 11–12). Zero means 1.
+	BroadcastCost float64
+	// JitterNs adds a uniform random 0..JitterNs delay to every message
+	// traversal — the "widely variable message latencies" of the paper's
+	// random tester (Section 3.4). Ordered messages are jittered before the
+	// sequencer stamps them, so the total order is preserved.
+	JitterNs int
+	// JitterSeed seeds the jitter generator.
+	JitterSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Traversal == 0 {
+		c.Traversal = sim.NetworkTraversal
+	}
+	if c.BroadcastCost == 0 {
+		c.BroadcastCost = 1
+	}
+	return c
+}
+
+// Network is the shared interconnect instance.
+type Network struct {
+	kernel   *sim.Kernel
+	cfg      Config
+	handlers []Handler
+	out      []*Channel
+	in       []*Channel
+	seq      uint64
+	full     Mask
+
+	// lastSeqDelivered tracks, per node, the last ordered sequence number
+	// delivered, to assert the total-order invariant.
+	lastSeqDelivered []uint64
+
+	// lastStamp enforces per-sender FIFO into the sequencer: messages leave
+	// a node's out-port in order even under jitter. The directory protocol
+	// relies on the ordered network preserving its emission order.
+	lastStamp []sim.Time
+
+	jitter *sim.RNG
+
+	// OrderedSent counts ordered-network messages by broadcast/multicast.
+	OrderedSent   uint64
+	UnorderedSent uint64
+}
+
+// New builds the interconnect. Handlers must be registered with SetHandler
+// before any traffic is sent.
+func New(k *sim.Kernel, cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 || cfg.Nodes > MaxNodes {
+		panic(fmt.Sprintf("network: invalid node count %d", cfg.Nodes))
+	}
+	n := &Network{
+		kernel:           k,
+		cfg:              cfg,
+		handlers:         make([]Handler, cfg.Nodes),
+		out:              make([]*Channel, cfg.Nodes),
+		in:               make([]*Channel, cfg.Nodes),
+		full:             FullMask(cfg.Nodes),
+		lastSeqDelivered: make([]uint64, cfg.Nodes),
+		lastStamp:        make([]sim.Time, cfg.Nodes),
+	}
+	for i := range n.out {
+		n.out[i] = NewChannel(cfg.BandwidthMBs)
+		n.in[i] = NewChannel(cfg.BandwidthMBs)
+	}
+	if cfg.JitterNs > 0 {
+		n.jitter = sim.NewRNG(cfg.JitterSeed ^ 0x6a09e667f3bcc908)
+	}
+	return n
+}
+
+// jitterDelay samples one message's extra traversal delay.
+func (n *Network) jitterDelay() sim.Time {
+	if n.jitter == nil {
+		return 0
+	}
+	return sim.Time(n.jitter.Intn(n.cfg.JitterNs + 1))
+}
+
+// SetHandler registers the receiver for a node.
+func (n *Network) SetHandler(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return n.cfg.Nodes }
+
+// FullMask returns the mask of all nodes.
+func (n *Network) FullMask() Mask { return n.full }
+
+// InChannel returns the inbound channel of a node (for utilization sampling).
+func (n *Network) InChannel(id NodeID) *Channel { return n.in[id] }
+
+// OutChannel returns the outbound channel of a node.
+func (n *Network) OutChannel(id NodeID) *Channel { return n.out[id] }
+
+// SendOrdered transmits a message on the totally ordered multicast network.
+// The message is delivered to every node in targets (including the sender if
+// present — the returning copy is the protocol's ordering marker). The
+// sequence number is assigned when the message wins the sender's outbound
+// channel and is visible to the payload via the delivered Message.
+func (n *Network) SendOrdered(from NodeID, targets Mask, size int, payload any) {
+	if targets.IsEmpty() {
+		panic("network: ordered send with empty target mask")
+	}
+	n.OrderedSent++
+	bcast := targets.Equal(n.full)
+	cost := 1.0
+	if bcast {
+		cost = n.cfg.BroadcastCost
+	}
+	start := n.out[from].Seize(n.kernel.Now(), size, cost) + n.jitterDelay()
+	if start < n.lastStamp[from] {
+		start = n.lastStamp[from]
+	}
+	n.lastStamp[from] = start
+	// The sequencer stamps the message when it passes the root of the
+	// ordered interconnect; deliveries fan out from there. Jitter is applied
+	// before sequencing (and clamped to per-sender FIFO order) so the total
+	// order is never violated and sender emission order is preserved.
+	n.kernel.At(start, func() {
+		n.seq++
+		m := &Message{
+			From:      from,
+			Targets:   targets,
+			Seq:       n.seq,
+			Size:      size,
+			Broadcast: bcast,
+			Payload:   payload,
+		}
+		arrive := n.kernel.Now() + n.cfg.Traversal
+		targets.ForEach(func(dst NodeID) {
+			n.kernel.At(arrive, func() { n.deliverOrdered(dst, m, cost) })
+		})
+	})
+}
+
+// SendUnordered transmits a point-to-point message (data, ack, nack, or a
+// Directory-protocol request) with no ordering guarantee.
+func (n *Network) SendUnordered(from, to NodeID, size int, payload any) {
+	n.UnorderedSent++
+	start := n.out[from].Seize(n.kernel.Now(), size, 1)
+	n.kernel.At(start+n.cfg.Traversal+n.jitterDelay(), func() {
+		grant := n.in[to].Seize(n.kernel.Now(), size, 1)
+		m := &Message{From: from, To: to, Size: size, Payload: payload}
+		n.kernel.At(grant, func() { n.handlers[to].DeliverUnordered(m) })
+	})
+}
+
+func (n *Network) deliverOrdered(dst NodeID, m *Message, cost float64) {
+	grant := n.in[dst].Seize(n.kernel.Now(), m.Size, cost)
+	n.kernel.At(grant, func() {
+		if last := n.lastSeqDelivered[dst]; m.Seq <= last {
+			panic(fmt.Sprintf("network: total order violated at node %d: seq %d after %d", dst, m.Seq, last))
+		}
+		n.lastSeqDelivered[dst] = m.Seq
+		n.handlers[dst].DeliverOrdered(m)
+	})
+}
+
+// AvgUtilization returns the mean inbound-channel utilization across nodes
+// over the elapsed time (the quantity plotted in Figure 6).
+func (n *Network) AvgUtilization(elapsed sim.Time) float64 {
+	var sum float64
+	for _, c := range n.in {
+		sum += c.Utilization(elapsed)
+	}
+	return sum / float64(len(n.in))
+}
+
+// TotalBytes returns the bytes carried by all endpoint channels.
+func (n *Network) TotalBytes() uint64 {
+	var total uint64
+	for i := range n.in {
+		total += n.in[i].Bytes() + n.out[i].Bytes()
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+// Package queueing reproduces Figure 2 of the paper: the average queueing
+// delay versus utilization of a simple closed queueing network (machine
+// repairman model) with N = 16 customers, exponential service S ~ exp(1),
+// and exponential think time Z whose mean is varied to sweep utilization.
+// The "knee" of this curve motivates BASH's 75% utilization target.
+//
+// Both an exact analytic solution and a discrete-event simulation are
+// provided; tests cross-validate them.
+package queueing
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Result is one point of the delay/utilization curve.
+type Result struct {
+	MeanThink   float64 // E[Z] in service-time units
+	Utilization float64 // server utilization (fraction busy)
+	QueueDelay  float64 // mean wait before service, in service-time units
+	Throughput  float64 // completions per service time
+}
+
+// Analytic solves the M/M/1//N machine-repairman model exactly.
+//
+// With service rate 1 (E[S]=1) and think rate 1/z, the stationary
+// probability of n customers at the server is
+//
+//	p_n = p_0 * N!/(N-n)! * (1/z)^n
+//
+// Utilization is 1-p_0; throughput X = 1-p_0; by Little's law the response
+// time at the server is R = N/X - z and the queueing delay is R - 1.
+func Analytic(n int, meanThink float64) Result {
+	if n <= 0 || meanThink < 0 {
+		panic("queueing: invalid parameters")
+	}
+	// Compute p_0 with the stable backward recursion on term ratios.
+	// term_n / term_{n-1} = (N-n+1)/z.
+	sum := 1.0
+	term := 1.0
+	for i := 1; i <= n; i++ {
+		term *= float64(n-i+1) / meanThink
+		sum += term
+		if math.IsInf(sum, 1) {
+			break
+		}
+	}
+	p0 := 1.0 / sum
+	if meanThink == 0 {
+		p0 = 0
+	}
+	x := 1 - p0
+	r := float64(n)/x - meanThink
+	return Result{
+		MeanThink:   meanThink,
+		Utilization: x,
+		QueueDelay:  r - 1,
+		Throughput:  x,
+	}
+}
+
+// Simulate runs the same closed network by discrete-event simulation for the
+// given number of service completions (time unit = 1000 simulated ns per
+// service time to limit rounding error).
+func Simulate(n int, meanThink float64, completions int, seed uint64) Result {
+	const unit = 1000.0 // ns per service time
+	k := sim.NewKernel()
+	rng := sim.NewRNG(seed)
+
+	var (
+		queue     int
+		busy      bool
+		busyStart sim.Time
+		busyTotal sim.Time
+		done      int
+		waitSum   float64
+		arrivals  []sim.Time
+	)
+
+	var completeService func()
+	var finishThink func()
+
+	beginService := func() {
+		busy = true
+		busyStart = k.Now()
+		waitSum += float64(k.Now() - arrivals[0])
+		arrivals = arrivals[1:]
+		k.Schedule(rng.ExpTime(unit)+1, completeService)
+	}
+
+	completeService = func() {
+		// Service completes: the customer goes back to thinking.
+		busy = false
+		busyTotal += k.Now() - busyStart
+		done++
+		queue--
+		think := rng.ExpTime(meanThink*unit) + 1
+		k.Schedule(think, finishThink)
+		if queue > 0 {
+			beginService()
+		}
+	}
+
+	finishThink = func() {
+		queue++
+		arrivals = append(arrivals, k.Now())
+		if !busy {
+			beginService()
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		k.Schedule(rng.ExpTime(meanThink*unit)+1, finishThink)
+	}
+	k.RunUntil(func() bool { return done >= completions })
+
+	elapsed := float64(k.Now())
+	util := float64(busyTotal) / elapsed
+	return Result{
+		MeanThink:   meanThink,
+		Utilization: util,
+		QueueDelay:  waitSum / float64(done) / unit,
+		Throughput:  float64(done) / elapsed * unit,
+	}
+}
+
+// Sweep evaluates the analytic model over a range of think times chosen to
+// cover utilizations from near 0 to near 1 (the x-axis of Figure 2).
+func Sweep(n int, points int) []Result {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]Result, 0, points)
+	// Think times from very large (idle server) to very small (saturated).
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		// Logarithmic sweep: z from ~200 down to ~0.2 service times.
+		z := 200 * math.Pow(0.001, frac)
+		out = append(out, Analytic(n, z))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyticLimits(t *testing.T) {
+	// Huge think time: server nearly idle, negligible delay.
+	r := Analytic(16, 1000)
+	if r.Utilization > 0.05 || r.QueueDelay > 0.1 {
+		t.Fatalf("idle limit wrong: %+v", r)
+	}
+	// Zero think time: fully saturated, delay = N-1 service times.
+	r = Analytic(16, 0)
+	if r.Utilization != 1 || math.Abs(r.QueueDelay-15) > 1e-9 {
+		t.Fatalf("saturated limit wrong: %+v", r)
+	}
+}
+
+func TestAnalyticKnee(t *testing.T) {
+	// The figure's motivation: delay at ~95% utilization dwarfs delay at
+	// ~50%.
+	var at50, at95 float64
+	for _, r := range Sweep(16, 200) {
+		if at50 == 0 && r.Utilization >= 0.5 {
+			at50 = r.QueueDelay
+		}
+		if at95 == 0 && r.Utilization >= 0.95 {
+			at95 = r.QueueDelay
+		}
+	}
+	if at50 <= 0 || at95 <= 0 {
+		t.Fatal("sweep did not cover 50% and 95% utilization")
+	}
+	if at95 < 5*at50 {
+		t.Fatalf("no knee: delay(95%%)=%v vs delay(50%%)=%v", at95, at50)
+	}
+}
+
+// TestAnalyticMonotone: lower think time means higher utilization and
+// higher queueing delay.
+func TestAnalyticMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		za, zb := float64(a%2000)/10+0.1, float64(b%2000)/10+0.1
+		if za > zb {
+			za, zb = zb, za
+		}
+		ra, rb := Analytic(16, za), Analytic(16, zb)
+		return ra.Utilization >= rb.Utilization-1e-12 && ra.QueueDelay >= rb.QueueDelay-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// N = X * (Z + R) must hold exactly in the analytic solution.
+	for _, z := range []float64{0.5, 2, 8, 32, 128} {
+		r := Analytic(16, z)
+		n := r.Throughput * (z + r.QueueDelay + 1)
+		if math.Abs(n-16) > 1e-9 {
+			t.Fatalf("Little's law violated at z=%v: N=%v", z, n)
+		}
+	}
+}
+
+func TestSimulationMatchesAnalytic(t *testing.T) {
+	for _, z := range []float64{2, 8, 30, 100} {
+		a := Analytic(16, z)
+		s := Simulate(16, z, 60000, 11)
+		if math.Abs(s.Utilization-a.Utilization) > 0.03 {
+			t.Errorf("z=%v: utilization sim %.3f vs analytic %.3f", z, s.Utilization, a.Utilization)
+		}
+		tol := 0.15*a.QueueDelay + 0.1
+		if math.Abs(s.QueueDelay-a.QueueDelay) > tol {
+			t.Errorf("z=%v: delay sim %.3f vs analytic %.3f", z, s.QueueDelay, a.QueueDelay)
+		}
+	}
+}
+
+func TestSweepCoversUtilizationRange(t *testing.T) {
+	rs := Sweep(16, 24)
+	if rs[0].Utilization > 0.2 {
+		t.Fatalf("sweep starts at %.2f utilization", rs[0].Utilization)
+	}
+	if rs[len(rs)-1].Utilization < 0.95 {
+		t.Fatalf("sweep ends at %.2f utilization", rs[len(rs)-1].Utilization)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// subsystem of the BASH reproduction: simulated time, a deterministic event
+// queue, and a forward-progress watchdog.
+//
+// Time is measured in integer nanoseconds. The target system in the paper is
+// clocked such that one cycle is one nanosecond, so cycle counts from the
+// paper (e.g. the 512-cycle sampling interval) translate directly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds (= cycles).
+type Time int64
+
+// Common durations from the paper's timing model (Section 4.2).
+const (
+	// NetworkTraversal is the fixed latency of one interconnect crossing
+	// (wire propagation, synchronization, and routing).
+	NetworkTraversal Time = 50
+	// DRAMAccess is the memory access time for data or directory state.
+	DRAMAccess Time = 80
+	// CacheAccess is the time for a cache to provide data to the interconnect.
+	CacheAccess Time = 25
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler. Events scheduled for
+// the same instant fire in schedule order, so identical runs replay exactly.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (k *Kernel) Pending() int { return k.events.Len() }
+
+// Schedule runs fn after delay simulated nanoseconds. A negative delay is an
+// error in the caller; it panics to surface the bug immediately.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at the absolute time t, which must not be in the past.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// Step fires the next event and reports whether one existed.
+func (k *Kernel) Step() bool {
+	if k.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the horizon is passed.
+// It returns the time at which it stopped.
+func (k *Kernel) Run(horizon Time) Time {
+	for k.events.Len() > 0 && k.events[0].at <= horizon {
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return k.now
+}
+
+// RunUntil executes events while cond returns false, stopping as soon as it
+// returns true or the queue drains. cond is evaluated after every event.
+func (k *Kernel) RunUntil(cond func() bool) {
+	for !cond() {
+		if !k.Step() {
+			return
+		}
+	}
+}
+
+// Drain executes every remaining event.
+func (k *Kernel) Drain() {
+	for k.Step() {
+	}
+}

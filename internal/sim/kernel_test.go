@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	k.Drain()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("now = %d, want 30", k.Now())
+	}
+}
+
+func TestKernelTieBreakByScheduleOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(1, recur)
+		}
+	}
+	k.Schedule(0, recur)
+	k.Drain()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Now() != 99 {
+		t.Fatalf("now = %d, want 99", k.Now())
+	}
+}
+
+func TestKernelRunHorizon(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(10, func() { fired++ })
+	k.Schedule(100, func() { fired++ })
+	k.Run(50)
+	if fired != 1 {
+		t.Fatalf("fired = %d before horizon 50", fired)
+	}
+	if k.Now() != 50 {
+		t.Fatalf("now = %d, want 50", k.Now())
+	}
+	k.Drain()
+	if fired != 2 {
+		t.Fatalf("fired = %d after drain", fired)
+	}
+}
+
+func TestKernelPastSchedulePanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Drain()
+}
+
+func TestKernelStepEmpty(t *testing.T) {
+	k := NewKernel()
+	if k.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// TestKernelHeapProperty: events always fire in nondecreasing time order,
+// for arbitrary schedules.
+func TestKernelHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			k.Schedule(Time(d), func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Drain()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdogTripsWithoutProgress(t *testing.T) {
+	k := NewKernel()
+	tripped := false
+	NewWatchdog(k, 100, func(Time) { tripped = true })
+	// Keep the clock moving without reporting progress.
+	for i := 0; i < 10; i++ {
+		k.Schedule(Time(50*i), func() {})
+	}
+	k.Drain()
+	if !tripped {
+		t.Fatal("watchdog did not trip")
+	}
+}
+
+func TestWatchdogProgressPreventsTrip(t *testing.T) {
+	k := NewKernel()
+	w := NewWatchdog(k, 100, func(Time) { t.Error("tripped despite progress") })
+	var tick func()
+	n := 0
+	tick = func() {
+		w.Progress()
+		if n++; n < 20 {
+			k.Schedule(50, tick)
+		} else {
+			w.Stop()
+		}
+	}
+	k.Schedule(1, tick)
+	k.Drain()
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	const mean = 500.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.ExpTime(mean))
+	}
+	got := sum / n
+	// Integer truncation shifts the mean down by ~0.5.
+	if math.Abs(got-mean) > mean*0.02 {
+		t.Fatalf("exp mean = %.1f, want ~%.0f", got, mean)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random generator used for
+// workload generation and experimental perturbation. The coherence
+// controllers themselves use the LFSR in internal/adaptive, mirroring the
+// paper's hardware mechanism; this generator is simulation infrastructure.
+//
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpTime returns an exponentially distributed duration with the given mean,
+// rounded down to whole nanoseconds (minimum 0).
+func (r *RNG) ExpTime(mean float64) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return Time(-mean * math.Log(u))
+}

@@ -1,0 +1,64 @@
+package sim
+
+import "fmt"
+
+// Watchdog detects loss of forward progress: if no unit of work is reported
+// via Progress for longer than the configured interval of simulated time, the
+// watchdog trips. The coherence system uses it to convert protocol deadlock
+// or livelock into a loud, attributable failure instead of a hung run.
+type Watchdog struct {
+	kernel   *Kernel
+	interval Time
+	last     Time
+	lastWork uint64
+	work     uint64
+	tripped  bool
+	onTrip   func(sinceWork Time)
+	stopped  bool
+}
+
+// NewWatchdog arms a watchdog on k. onTrip is invoked (once) when no progress
+// has been reported for interval simulated nanoseconds; it receives the time
+// since the last reported progress. A nil onTrip panics on trip.
+func NewWatchdog(k *Kernel, interval Time, onTrip func(sinceWork Time)) *Watchdog {
+	if interval <= 0 {
+		panic("sim: watchdog interval must be positive")
+	}
+	w := &Watchdog{kernel: k, interval: interval, onTrip: onTrip, last: k.Now()}
+	w.schedule()
+	return w
+}
+
+// Progress records that useful work happened (a transaction completed, a
+// message was delivered, ...).
+func (w *Watchdog) Progress() {
+	w.work++
+	w.last = w.kernel.Now()
+}
+
+// Tripped reports whether the watchdog has fired.
+func (w *Watchdog) Tripped() bool { return w.tripped }
+
+// Stop disarms the watchdog.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+func (w *Watchdog) schedule() {
+	w.kernel.Schedule(w.interval, w.check)
+}
+
+func (w *Watchdog) check() {
+	if w.stopped || w.tripped {
+		return
+	}
+	if w.work == w.lastWork {
+		w.tripped = true
+		since := w.kernel.Now() - w.last
+		if w.onTrip == nil {
+			panic(fmt.Sprintf("sim: watchdog tripped after %d ns without progress", since))
+		}
+		w.onTrip(since)
+		return
+	}
+	w.lastWork = w.work
+	w.schedule()
+}

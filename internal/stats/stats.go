@@ -1,0 +1,182 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming mean/variance accumulators, latency
+// histograms, and multi-seed summaries with the coefficient-of-variation
+// reporting rule the paper uses for its error bars.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator is a streaming mean/variance accumulator (Welford's method).
+// The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the sample variance (0 for fewer than two observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CoV returns the coefficient of variation (stddev/mean), or 0 for a zero
+// mean. The paper draws error bars only when CoV exceeds 1%.
+func (a *Accumulator) CoV() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Abs(a.mean)
+}
+
+// Summary is a point estimate with spread, as plotted in the paper
+// (mean ± one standard deviation when CoV > 1%).
+type Summary struct {
+	Mean   float64
+	StdDev float64
+	CoV    float64
+	N      int64
+}
+
+// Summarize collapses an accumulator into a Summary.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{Mean: a.Mean(), StdDev: a.StdDev(), CoV: a.CoV(), N: a.n}
+}
+
+// String renders "mean" or "mean ±σ" following the paper's CoV>1% rule.
+func (s Summary) String() string {
+	if s.CoV > 0.01 {
+		return fmt.Sprintf("%.4g ±%.2g", s.Mean, s.StdDev)
+	}
+	return fmt.Sprintf("%.4g", s.Mean)
+}
+
+// Histogram is a fixed-bucket latency histogram with power-of-two-ish bounds
+// suited to miss latencies in nanoseconds.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	acc    Accumulator
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds; an implicit overflow bucket is appended.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// NewLatencyHistogram returns buckets appropriate for 0..10µs miss latencies.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(125, 180, 255, 400, 600, 1000, 2000, 5000, 10000)
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.acc.Add(x)
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.acc.N() }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 { return h.acc.Mean() }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 { return h.acc.Max() }
+
+// Bucket returns the count of the i-th bucket; the last index is overflow.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets including overflow.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Merge folds another histogram with identical bounds into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("stats: merging histograms with different bounds")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	// Rebuild the accumulator moments from the other side.
+	h.acc.n += o.acc.n
+	if o.acc.n > 0 {
+		// Approximate merge of means (exact for the mean, approximate m2).
+		total := h.acc.n
+		if total > 0 {
+			h.acc.mean += (o.acc.mean - h.acc.mean) * float64(o.acc.n) / float64(total)
+		}
+		if o.acc.max > h.acc.max || h.acc.n == o.acc.n {
+			h.acc.max = o.acc.max
+		}
+		if o.acc.min < h.acc.min || h.acc.n == o.acc.n {
+			h.acc.min = o.acc.min
+		}
+	}
+}
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 1) using
+// bucket boundaries; it returns the observed max for the overflow bucket.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.acc.N() == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(h.acc.N())))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.acc.Max()
+		}
+	}
+	return h.acc.Max()
+}

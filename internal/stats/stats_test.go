@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Mean(); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := a.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+// TestAccumulatorMatchesNaive: Welford's method equals the two-pass formula.
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Constrain to finite, moderate values.
+		var vals []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			vals = append(vals, x)
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, x := range vals {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(vals))
+		var ss float64
+		for _, x := range vals {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(vals)-1)
+		return math.Abs(a.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(a.Variance()-variance) < 1e-6*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryCoVRule(t *testing.T) {
+	var steady Accumulator
+	steady.Add(100)
+	steady.Add(100.0001)
+	if s := steady.Summarize().String(); s != "100" {
+		t.Fatalf("low-CoV summary %q should omit the error bar", s)
+	}
+	var noisy Accumulator
+	noisy.Add(90)
+	noisy.Add(110)
+	if s := noisy.Summarize().String(); s == "100" {
+		t.Fatalf("high-CoV summary %q should include the error bar", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []float64{100, 125, 130, 200, 9999, 50000} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 2 { // <=125
+		t.Fatalf("bucket0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(h.Buckets()-1) != 1 { // overflow
+		t.Fatalf("overflow = %d", h.Bucket(h.Buckets()-1))
+	}
+	if got := h.Percentile(0.5); got != 180 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(1.0); got != 50000 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(10, 5)
+}

@@ -1,0 +1,208 @@
+// Package tester is the stand-alone random protocol tester of Section 3.4:
+// it drives a protocol through "a myriad of corner cases" using false
+// sharing (many processors hammering a handful of blocks), random
+// action/check (store/load) pairs, and widely variable message latencies,
+// while the coherence checker validates SWMR and data values against the
+// global total order. It reports transition coverage, mirroring the paper's
+// "full coverage for all state transitions with no detected errors".
+package tester
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Config parameterizes one tester run.
+type Config struct {
+	Protocol core.Protocol
+	Nodes    int
+	// Blocks is the number of falsely shared blocks (small = more racing).
+	Blocks int
+	// Ops is the total number of operations across all processors.
+	Ops uint64
+	// MaxThink bounds the random think time between operations.
+	MaxThink sim.Time
+	// StoreFraction is the probability an operation is a store.
+	StoreFraction float64
+	// JitterNs randomizes message latencies (0 disables).
+	JitterNs int
+	// BandwidthMBs throttles links (low values force deep queues).
+	BandwidthMBs float64
+	// RetryBuffer bounds BASH retries (small values exercise the nack path).
+	RetryBuffer int
+	// TinyCache forces a small cache so replacements and writebacks race
+	// with demand traffic.
+	TinyCache bool
+	Seed      uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 12
+	}
+	if c.Ops == 0 {
+		c.Ops = 20000
+	}
+	if c.MaxThink == 0 {
+		c.MaxThink = 200
+	}
+	if c.StoreFraction == 0 {
+		c.StoreFraction = 0.5
+	}
+	if c.BandwidthMBs == 0 {
+		c.BandwidthMBs = 800
+	}
+	return c
+}
+
+// Report is the outcome of a tester run.
+type Report struct {
+	Config       Config
+	Ops          uint64
+	WriteCommits uint64
+	ReadCommits  uint64
+	Violations   []string
+	// CacheCoverage and MemCoverage are fired/declared transition counts.
+	CacheFired, CacheDeclared int
+	MemFired, MemDeclared     int
+	UncoveredCache            []string
+	UncoveredMem              []string
+	Retries, Nacks            uint64
+	FinalStateErrors          []string
+}
+
+// OK reports whether the run found no violations.
+func (r Report) OK() bool {
+	return len(r.Violations) == 0 && len(r.FinalStateErrors) == 0
+}
+
+// Summary renders a human-readable digest.
+func (r Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d ops (%d writes, %d reads checked), %d retries, %d nacks\n",
+		r.Config.Protocol, r.Ops, r.WriteCommits, r.ReadCommits, r.Retries, r.Nacks)
+	fmt.Fprintf(&b, "  cache transitions: %d/%d fired; memory: %d/%d fired\n",
+		r.CacheFired, r.CacheDeclared, r.MemFired, r.MemDeclared)
+	if !r.OK() {
+		fmt.Fprintf(&b, "  VIOLATIONS: %d value/SWMR, %d final-state\n",
+			len(r.Violations), len(r.FinalStateErrors))
+	} else {
+		fmt.Fprintf(&b, "  no violations detected\n")
+	}
+	return b.String()
+}
+
+// randomWL is the action/check workload: random load/store pairs over a
+// small falsely-shared block set.
+type randomWL struct {
+	blocks   int
+	maxThink sim.Time
+	storeP   float64
+}
+
+func (w randomWL) Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence.Op) {
+	think := sim.Time(rng.Intn(int(w.maxThink) + 1))
+	op := coherence.Op{
+		Store: rng.Float64() < w.storeP,
+		Addr:  coherence.Addr(rng.Intn(w.blocks)),
+	}
+	return think, op
+}
+
+// Run executes one randomized test and returns the report.
+func Run(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	sysCfg := core.Config{
+		Protocol:         cfg.Protocol,
+		Nodes:            cfg.Nodes,
+		BandwidthMBs:     cfg.BandwidthMBs,
+		EnableChecker:    true,
+		WatchdogInterval: 100_000_000,
+		Seed:             cfg.Seed,
+		JitterNs:         cfg.JitterNs,
+		RetryBuffer:      cfg.RetryBuffer,
+	}
+	if cfg.TinyCache {
+		// 4 sets x 2 ways: with >8 live blocks, replacements are constant.
+		sysCfg.Cache.Sets = 4
+		sysCfg.Cache.Ways = 2
+	}
+	sys := core.NewSystem(sysCfg)
+	sys.Checker.Panic = false
+
+	wl := randomWL{blocks: cfg.Blocks, maxThink: cfg.MaxThink, storeP: cfg.StoreFraction}
+	sys.AttachWorkload(func(network.NodeID) core.Workload { return wl })
+	sys.Start()
+	sys.Kernel.RunUntil(func() bool { return sys.TotalOps() >= cfg.Ops })
+	sys.Quiesce()
+
+	rep := Report{Config: cfg, Ops: sys.TotalOps()}
+	rep.Violations = sys.Checker.Violations
+	rep.WriteCommits = sys.Checker.WriteCommits
+	rep.ReadCommits = sys.Checker.ReadCommits
+	rep.Retries, rep.Nacks = sys.BashRecoveryCounts()
+	rep.FinalStateErrors = finalStateCheck(sys, cfg.Blocks)
+
+	cacheTbl := sys.Nodes[0].Cache.Table()
+	for _, n := range sys.Nodes[1:] {
+		cacheTbl.Merge(n.Cache.Table())
+	}
+	memTbl := sys.Nodes[0].Mem.Table()
+	for _, n := range sys.Nodes[1:] {
+		memTbl.Merge(n.Mem.Table())
+	}
+	rep.CacheFired, rep.CacheDeclared = cacheTbl.Coverage()
+	rep.MemFired, rep.MemDeclared = memTbl.Coverage()
+	rep.UncoveredCache = cacheTbl.Uncovered()
+	rep.UncoveredMem = memTbl.Uncovered()
+	return rep
+}
+
+// finalStateCheck validates the quiesced system: per block, every valid copy
+// carries the last committed value, exactly one agent owns the block, and
+// memory's copy is current whenever memory is the owner.
+func finalStateCheck(sys *core.System, blocks int) []string {
+	var errs []string
+	for b := 0; b < blocks; b++ {
+		addr := coherence.Addr(b)
+		want := sys.Checker.FinalValue(addr)
+		owners := 0
+		for _, n := range sys.Nodes {
+			st := n.Cache.StateOf(addr)
+			if !st.IsStable() {
+				errs = append(errs, fmt.Sprintf("block %d: node %d quiesced in %s", b, n.ID, st))
+				continue
+			}
+			if st.IsOwnerState() {
+				owners++
+			}
+			if st.HasValidData() {
+				if got := n.Cache.ValueOf(addr); got != want {
+					errs = append(errs, fmt.Sprintf("block %d: node %d holds %x, want %x", b, n.ID, got, want))
+				}
+			}
+		}
+		home := sys.Nodes[sys.HomeOf(addr)]
+		val, memOwner := home.Mem.HomeValue(addr)
+		if memOwner && owners > 0 {
+			errs = append(errs, fmt.Sprintf("block %d: memory and %d caches both own", b, owners))
+		}
+		if !memOwner && owners != 1 {
+			errs = append(errs, fmt.Sprintf("block %d: cache-owned with %d cache owners", b, owners))
+		}
+		if memOwner && owners == 0 && val != want {
+			errs = append(errs, fmt.Sprintf("block %d: memory holds %x, want %x", b, val, want))
+		}
+	}
+	sort.Strings(errs)
+	return errs
+}

@@ -1,0 +1,90 @@
+package tester
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func protocols() []core.Protocol {
+	return []core.Protocol{
+		core.Snooping, core.Directory, core.BASH,
+		core.BashAlwaysBroadcast, core.BashAlwaysUnicast,
+	}
+}
+
+// TestRandomBasic: moderate run per protocol, jittered latencies.
+func TestRandomBasic(t *testing.T) {
+	for i, p := range protocols() {
+		p, i := p, i
+		t.Run(p.String(), func(t *testing.T) {
+			rep := Run(Config{Protocol: p, Ops: 15000, JitterNs: 120, Seed: uint64(100 + i)})
+			if !rep.OK() {
+				t.Fatalf("violations:\n%v\n%v", rep.Violations, rep.FinalStateErrors)
+			}
+			if rep.WriteCommits == 0 || rep.ReadCommits == 0 {
+				t.Fatalf("checker saw no commits: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestRandomFalseSharingTiny: tiny caches force replacement/writeback races
+// against demand traffic on very few blocks.
+func TestRandomFalseSharingTiny(t *testing.T) {
+	for i, p := range protocols() {
+		p, i := p, i
+		t.Run(p.String(), func(t *testing.T) {
+			rep := Run(Config{
+				Protocol: p, Nodes: 6, Blocks: 10, Ops: 12000,
+				MaxThink: 60, JitterNs: 200, TinyCache: true,
+				BandwidthMBs: 500, Seed: uint64(7_000 + i),
+			})
+			if !rep.OK() {
+				t.Fatalf("violations:\n%v\n%v", rep.Violations, rep.FinalStateErrors)
+			}
+		})
+	}
+}
+
+// TestBashNackPath: a one-entry retry buffer with all-unicast traffic forces
+// nacks and broadcast reissues (the paper's deadlock-avoidance path).
+func TestBashNackPath(t *testing.T) {
+	rep := Run(Config{
+		Protocol: core.BashAlwaysUnicast, Nodes: 10, Blocks: 6,
+		Ops: 15000, MaxThink: 40, RetryBuffer: 1, JitterNs: 150,
+		BandwidthMBs: 600, Seed: 99,
+	})
+	if !rep.OK() {
+		t.Fatalf("violations:\n%v\n%v", rep.Violations, rep.FinalStateErrors)
+	}
+	if rep.Retries == 0 {
+		t.Error("expected memory-side retries")
+	}
+	if rep.Nacks == 0 {
+		t.Error("expected nacks with a one-entry retry buffer")
+	}
+}
+
+// TestManySeeds shakes each protocol across seeds (short mode: fewer).
+func TestManySeeds(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for _, p := range protocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			for s := 0; s < seeds; s++ {
+				rep := Run(Config{
+					Protocol: p, Ops: 6000, Blocks: 8, Nodes: 7,
+					JitterNs: 80 + 10*s, Seed: uint64(s)*77 + 5,
+					RetryBuffer: 2 + s%3,
+				})
+				if !rep.OK() {
+					t.Fatalf("seed %d violations:\n%v\n%v", s, rep.Violations, rep.FinalStateErrors)
+				}
+			}
+		})
+	}
+}

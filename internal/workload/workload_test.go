@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func TestLockingGeneratesStores(t *testing.T) {
+	lk := NewLocking(100, 0)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		think, op := lk.Next(rng, 0)
+		if think != 0 {
+			t.Fatalf("think = %d with zero think time", think)
+		}
+		if !op.Store {
+			t.Fatal("lock acquire must be a store")
+		}
+		if op.Addr >= 100 {
+			t.Fatalf("lock %d outside pool", op.Addr)
+		}
+	}
+}
+
+func TestLockingThinkTime(t *testing.T) {
+	lk := NewLocking(100, 250)
+	rng := sim.NewRNG(1)
+	think, _ := lk.Next(rng, 0)
+	if think != 250 {
+		t.Fatalf("constant think = %d", think)
+	}
+	lk.Exponential = true
+	var sum sim.Time
+	const n = 50000
+	for i := 0; i < n; i++ {
+		th, _ := lk.Next(rng, 0)
+		sum += th
+	}
+	mean := float64(sum) / n
+	if mean < 230 || mean > 270 {
+		t.Fatalf("exponential think mean = %.1f, want ~250", mean)
+	}
+}
+
+func TestLockingWarmBlocksMatchPool(t *testing.T) {
+	lk := NewLocking(64, 0)
+	wb := lk.WarmBlocks()
+	if len(wb) != 64 {
+		t.Fatalf("warm blocks = %d", len(wb))
+	}
+	seen := map[coherence.Addr]bool{}
+	for _, a := range wb {
+		seen[a] = true
+	}
+	rng := sim.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		_, op := lk.Next(rng, 0)
+		if !seen[op.Addr] {
+			t.Fatalf("generated lock %d outside warm set", op.Addr)
+		}
+	}
+}
+
+func TestSyntheticMix(t *testing.T) {
+	w := OLTP()
+	rng := sim.NewRNG(3)
+	shared, stores := 0, 0
+	warm := map[coherence.Addr]bool{}
+	for _, a := range w.WarmBlocks() {
+		warm[a] = true
+	}
+	const n = 50000
+	var think sim.Time
+	for i := 0; i < n; i++ {
+		th, op := w.Next(rng, 2)
+		think += th
+		if warm[op.Addr] {
+			shared++
+		}
+		if op.Store {
+			stores++
+		}
+	}
+	sharedFrac := float64(shared) / n
+	if sharedFrac < w.SharingFraction-0.02 || sharedFrac > w.SharingFraction+0.02 {
+		t.Fatalf("shared fraction = %.3f, want ~%.2f", sharedFrac, w.SharingFraction)
+	}
+	storeFrac := float64(stores) / n
+	if storeFrac < w.StoreFraction-0.02 || storeFrac > w.StoreFraction+0.02 {
+		t.Fatalf("store fraction = %.3f, want ~%.2f", storeFrac, w.StoreFraction)
+	}
+	mean := float64(think) / n
+	if mean < float64(w.MeanThink)*0.95 || mean > float64(w.MeanThink)*1.05 {
+		t.Fatalf("think mean = %.1f, want ~%d", mean, w.MeanThink)
+	}
+}
+
+func TestSyntheticPrivateRegionsDisjoint(t *testing.T) {
+	w := Apache()
+	rng := sim.NewRNG(4)
+	regions := map[coherence.Addr]int{} // private block -> node
+	warm := map[coherence.Addr]bool{}
+	for _, a := range w.WarmBlocks() {
+		warm[a] = true
+	}
+	for node := 0; node < 4; node++ {
+		for i := 0; i < 5000; i++ {
+			_, op := w.Next(rng, network.NodeID(node))
+			if warm[op.Addr] {
+				continue
+			}
+			if prev, ok := regions[op.Addr]; ok && prev != node {
+				t.Fatalf("private block %d used by nodes %d and %d", op.Addr, prev, node)
+			}
+			regions[op.Addr] = node
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, n := range Names() {
+		if ByName(n) == nil {
+			t.Fatalf("ByName(%q) = nil", n)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName of unknown workload not nil")
+	}
+	if ByName("oltp").Name != "OLTP" {
+		t.Fatal("lowercase lookup broken")
+	}
+}
+
+func TestPrivateCursorWrapsWorkingSet(t *testing.T) {
+	w := &Synthetic{Name: "t", MeanThink: 1, SharingFraction: 0,
+		StoreFraction: 1, SharedBlocks: 1, PrivateBlocks: 10}
+	rng := sim.NewRNG(5)
+	seen := map[coherence.Addr]int{}
+	for i := 0; i < 100; i++ {
+		_, op := w.Next(rng, 1)
+		seen[op.Addr]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("private working set = %d blocks, want 10", len(seen))
+	}
+	for a, c := range seen {
+		if c != 10 {
+			t.Fatalf("block %d visited %d times, want 10 (cyclic)", a, c)
+		}
+	}
+}
