@@ -8,6 +8,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/queueing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tester"
 	"repro/internal/workload"
@@ -51,7 +52,51 @@ type (
 	Time = sim.Time
 	// Op is one processor memory operation.
 	Op = coherence.Op
+	// Kernel is the deterministic discrete-event scheduler: a
+	// concrete-typed 4-ary heap ordered by (time, schedule-order) with
+	// zero steady-state allocations per Schedule/Step and a Reset method
+	// for reuse across runs.
+	Kernel = sim.Kernel
 )
+
+// NewKernel returns an empty event kernel at time zero.
+func NewKernel() *Kernel { return sim.NewKernel() }
+
+// Sharded run orchestration (internal/runner): the worker-pool layer the
+// experiment harness, the protocol tester, and the CLIs all schedule their
+// fleets of independent simulations through. Results fold in job order, so
+// serial and parallel execution produce identical output; panicking jobs
+// are captured as *RunnerPanicError with their config label.
+type (
+	// RunnerOptions bounds workers and wires cancellation, timeouts, and
+	// progress callbacks for one parallel invocation.
+	RunnerOptions = runner.Options
+	// RunnerPanicError reports a job that panicked, with its label, index
+	// and captured stack.
+	RunnerPanicError = runner.PanicError
+	// ShardRange is a half-open index interval of a sharded job list.
+	ShardRange = runner.Range
+)
+
+// ParallelMap runs fn(0..n-1) across a bounded worker pool, returning the
+// results in job-index order regardless of completion order.
+func ParallelMap[T any](n int, opt RunnerOptions, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Map(n, opt, fn)
+}
+
+// ParallelEach is ParallelMap without per-job results.
+func ParallelEach(n int, opt RunnerOptions, fn func(i int) error) error {
+	return runner.Each(n, opt, fn)
+}
+
+// ShardSeeds derives n deterministic, well-spread RNG seeds from base
+// (SplitMix64), so shard i of a sweep replays identically at any worker
+// count.
+func ShardSeeds(base uint64, n int) []uint64 { return runner.Seeds(base, n) }
+
+// ShardChunks splits [0, total) into at most shards near-equal ranges for
+// batch-sharding job lists whose items are too cheap to dispatch singly.
+func ShardChunks(total, shards int) []ShardRange { return runner.Chunks(total, shards) }
 
 // NewSystem builds a simulated machine.
 func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
@@ -131,6 +176,12 @@ func RunExperiment(id string, o ExperimentOptions) ([]Renderable, error) {
 // ExperimentIDs lists the available experiments.
 func ExperimentIDs() []string { return experiments.IDs() }
 
+// ResetExperimentMemo drops the process-wide cache of simulated experiment
+// cells. Identical (protocol, bandwidth, seed) cells shared across figures
+// are normally simulated once per process; reset when repeated invocations
+// must re-simulate (benchmarks, timing comparisons).
+func ResetExperimentMemo() { experiments.ResetMemo() }
+
 // Random protocol tester (internal/tester).
 type (
 	// TesterConfig parameterizes a random protocol test.
@@ -141,6 +192,19 @@ type (
 
 // RunTester executes one randomized protocol test (Section 3.4).
 func RunTester(cfg TesterConfig) TesterReport { return tester.Run(cfg) }
+
+// RunTesterMany shards one tester config across seeds (trial i runs with
+// Seed=seeds[i]) over the orchestration layer, returning reports in seed
+// order regardless of worker count.
+func RunTesterMany(cfg TesterConfig, seeds []uint64, opt RunnerOptions) ([]TesterReport, error) {
+	return tester.RunMany(cfg, seeds, opt)
+}
+
+// RunTesterConfigs executes one randomized trial per config in parallel,
+// folding reports back in config order.
+func RunTesterConfigs(cfgs []TesterConfig, opt RunnerOptions) ([]TesterReport, error) {
+	return tester.RunConfigs(cfgs, opt)
+}
 
 // Queueing model (internal/queueing, Figure 2).
 type QueueResult = queueing.Result

@@ -92,6 +92,54 @@ func TestPublicTester(t *testing.T) {
 	}
 }
 
+// TestPublicRunner drives the orchestration facade: a sharded tester fleet
+// via RunTesterMany, plus the generic ParallelMap/ShardSeeds helpers.
+func TestPublicRunner(t *testing.T) {
+	seeds := bashsim.ShardSeeds(9, 3)
+	reps, err := bashsim.RunTesterMany(bashsim.TesterConfig{
+		Protocol: bashsim.BASH, Ops: 4000, JitterNs: 100,
+	}, seeds, bashsim.RunnerOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep.Config.Seed != seeds[i] {
+			t.Fatalf("report %d: seed %d, want %d (job-order fold)", i, rep.Config.Seed, seeds[i])
+		}
+		if !rep.OK() {
+			t.Fatalf("seed %d violations: %v", seeds[i], rep.Violations)
+		}
+	}
+
+	squares, err := bashsim.ParallelMap(5, bashsim.RunnerOptions{},
+		func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range squares {
+		if v != i*i {
+			t.Fatalf("ParallelMap out of order: %v", squares)
+		}
+	}
+	if chunks := bashsim.ShardChunks(10, 3); len(chunks) != 3 || chunks[2].End != 10 {
+		t.Fatalf("ShardChunks(10,3) = %v", chunks)
+	}
+}
+
+// TestPublicKernel exercises the re-exported event kernel, including Reset.
+func TestPublicKernel(t *testing.T) {
+	k := bashsim.NewKernel()
+	fired := 0
+	k.Schedule(10, func() { fired++ })
+	k.Drain()
+	k.Reset()
+	k.Schedule(5, func() { fired += 10 })
+	k.Drain()
+	if fired != 11 || k.Now() != 5 {
+		t.Fatalf("fired=%d now=%d after reset/reuse", fired, k.Now())
+	}
+}
+
 // TestPublicQueueing checks the Figure 2 facade.
 func TestPublicQueueing(t *testing.T) {
 	a := bashsim.QueueAnalytic(16, 4)

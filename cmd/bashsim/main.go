@@ -5,13 +5,17 @@
 //
 //	bashsim -exp fig1            # one experiment, quick scale
 //	bashsim -exp all -scale full # every experiment at paper scale
+//	bashsim -exp fig10 -parallel 8 -progress  # bounded fan-out, live progress
 //	bashsim -list                # list experiment ids
 //	bashsim -run -protocol bash -nodes 64 -bandwidth 800   # one ad-hoc run
 //
-// Output is TSV on stdout (or -out FILE), one block per artifact.
+// Output is TSV on stdout (or -out FILE), one block per artifact. Sweeps
+// fan out across the run-orchestration layer; results are folded in job
+// order, so the TSV is byte-identical at any -parallel setting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,10 @@ func main() {
 		scale = flag.String("scale", "quick", "quick | full")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		out   = flag.String("out", "", "write output to a file instead of stdout")
+
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "abort experiments after this long (0 = no limit)")
+		progress = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
 
 		single    = flag.Bool("run", false, "single ad-hoc run instead of an experiment")
 		protoName = flag.String("protocol", "bash", "snooping | directory | bash | bash-pred | bash-bcast | bash-ucast")
@@ -54,7 +62,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{}
+	opts := experiments.Options{Parallel: *parallel}
 	switch *scale {
 	case "quick":
 		opts.Scale = experiments.Quick
@@ -63,6 +71,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bashsim: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 
 	w := os.Stdout

@@ -2,6 +2,11 @@
 // Section 3.4: false sharing, random action/check pairs, and widely variable
 // message latencies, run for millions of operations with value and SWMR
 // checking, reporting transition coverage.
+//
+// Trials are independent single-threaded simulations, sharded one per
+// (protocol, seed) across the run-orchestration layer; reports print in
+// protocol-major, seed-minor order no matter how many workers run them, so
+// the output is identical at any -parallel setting.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tester"
 )
@@ -26,6 +32,9 @@ func main() {
 		retryBuf  = flag.Int("retrybuf", 0, "BASH retry buffer (0 = default)")
 		tiny      = flag.Bool("tiny", false, "tiny caches (replacement races)")
 		uncovered = flag.Bool("uncovered", false, "print never-fired transitions")
+		parallel  = flag.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = serial)")
+		timeout   = flag.Duration("timeout", 0, "abort the test after this long (0 = no limit)")
+		progress  = flag.Bool("progress", false, "report per-trial progress on stderr")
 	)
 	flag.Parse()
 
@@ -49,10 +58,11 @@ func main() {
 		run = []core.Protocol{p}
 	}
 
-	failed := false
+	// One trial per (protocol, seed), protocol-major.
+	var cfgs []tester.Config
 	for _, p := range run {
 		for s := 0; s < *seeds; s++ {
-			rep := tester.Run(tester.Config{
+			cfgs = append(cfgs, tester.Config{
 				Protocol:     p,
 				Nodes:        *nodes,
 				Blocks:       *blocks,
@@ -64,25 +74,49 @@ func main() {
 				Seed:         uint64(s)*104729 + 13,
 				BandwidthMBs: 600 + 300*float64(s%3),
 			})
-			fmt.Printf("seed %d: %s", s, rep.Summary())
-			if *uncovered {
-				for _, u := range rep.UncoveredCache {
-					fmt.Printf("  uncovered cache: %s\n", u)
-				}
-				for _, u := range rep.UncoveredMem {
-					fmt.Printf("  uncovered mem:   %s\n", u)
-				}
-			}
-			if !rep.OK() {
-				failed = true
-				for _, v := range rep.Violations {
-					fmt.Printf("  VIOLATION: %s\n", v)
-				}
-				for _, v := range rep.FinalStateErrors {
-					fmt.Printf("  FINAL-STATE: %s\n", v)
-				}
+		}
+	}
+
+	opt := runner.Options{Workers: *parallel, Timeout: *timeout}
+	if *progress {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d trials", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
+	}
+	reps, err := tester.RunConfigs(cfgs, opt)
+	// On cancellation (e.g. -timeout) the runner still returns every
+	// completed report; print them before failing, so violations found by
+	// finished trials are not discarded with the error.
+	failed := false
+	for i, rep := range reps {
+		if rep.Ops == 0 {
+			continue // trial never ran (canceled before dispatch)
+		}
+		fmt.Printf("seed %d: %s", i%*seeds, rep.Summary())
+		if *uncovered {
+			for _, u := range rep.UncoveredCache {
+				fmt.Printf("  uncovered cache: %s\n", u)
+			}
+			for _, u := range rep.UncoveredMem {
+				fmt.Printf("  uncovered mem:   %s\n", u)
+			}
+		}
+		if !rep.OK() {
+			failed = true
+			for _, v := range rep.Violations {
+				fmt.Printf("  VIOLATION: %s\n", v)
+			}
+			for _, v := range rep.FinalStateErrors {
+				fmt.Printf("  FINAL-STATE: %s\n", v)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashtest: %v\n", err)
+		os.Exit(1)
 	}
 	if failed {
 		os.Exit(1)

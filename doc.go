@@ -8,9 +8,25 @@
 //
 // This package is the public facade: it re-exports the system construction
 // API from internal/core, the workload generators, the experiment runners,
-// and the random protocol tester. See README.md for a tour, DESIGN.md for
-// the architecture and experiment index, and EXPERIMENTS.md for
-// paper-versus-measured results.
+// the random protocol tester, and the sharded run-orchestration layer.
+// ExperimentIDs lists the reproducible artifacts; `cmd/bashsim -list` does
+// the same from the command line.
+//
+// Two layers make large evaluations fast and exactly reproducible:
+//
+//   - The event kernel (Kernel, internal/sim) is a concrete-typed 4-ary
+//     heap ordered by (time, schedule-order): zero allocations per
+//     Schedule/Step in steady state, with Reset for reuse across runs.
+//     Identical runs replay exactly.
+//   - The run orchestrator (ParallelMap/ParallelEach, RunnerOptions;
+//     internal/runner) fans fleets of independent simulations out across a
+//     bounded worker pool and folds results in job order, so serial and
+//     parallel execution produce byte-identical artifacts. It captures
+//     per-job panics with config context, honors context cancellation and
+//     timeouts, reports progress, and shards seeds deterministically
+//     (ShardSeeds). The experiment harness additionally memoizes identical
+//     (protocol, bandwidth, seed) cells shared across figures, so each
+//     distinct cell is simulated once per process.
 //
 // Quick start:
 //

@@ -32,9 +32,14 @@ type way struct {
 
 // Array is a set-associative residency map. The zero value is unusable; use
 // New.
+//
+// Sets materialize lazily on first insert: the paper's 16384-set
+// configuration is 1.5 MB of way state per node, and a short sweep cell
+// touches a small fraction of it, so eagerly zeroing every set dominated
+// the per-run setup cost of fleet-style experiment sweeps.
 type Array struct {
 	cfg   Config
-	sets  [][]way
+	sets  [][]way // nil per entry until first insert into that set
 	clock uint64
 	size  int
 }
@@ -44,12 +49,7 @@ func New(cfg Config) *Array {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
 	}
-	sets := make([][]way, cfg.Sets)
-	backing := make([]way, cfg.Sets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return &Array{cfg: cfg, sets: sets}
+	return &Array{cfg: cfg, sets: make([][]way, cfg.Sets)}
 }
 
 // Config returns the array geometry.
@@ -58,15 +58,26 @@ func (a *Array) Config() Config { return a.cfg }
 // Len returns the number of resident blocks.
 func (a *Array) Len() int { return a.size }
 
+// set returns the (possibly nil) set for addr; read paths range over it
+// directly, since a nil set holds no blocks.
 func (a *Array) set(addr Addr) []way {
 	return a.sets[int(addr%Addr(a.cfg.Sets))]
 }
 
+// materialize returns the set for addr, allocating its ways on first use.
+func (a *Array) materialize(addr Addr) []way {
+	i := int(addr % Addr(a.cfg.Sets))
+	if a.sets[i] == nil {
+		a.sets[i] = make([]way, a.cfg.Ways)
+	}
+	return a.sets[i]
+}
+
 // Contains reports whether the block is resident, without touching LRU state.
 func (a *Array) Contains(addr Addr) bool {
-	for i := range a.set(addr) {
-		w := &a.set(addr)[i]
-		if w.valid && w.addr == addr {
+	s := a.set(addr)
+	for i := range s {
+		if s[i].valid && s[i].addr == addr {
 			return true
 		}
 	}
@@ -93,7 +104,7 @@ func (a *Array) Touch(addr Addr) bool {
 // that is already resident only touches it. If every way in the set is
 // pinned, Insert reports failure with ok=false and does not insert.
 func (a *Array) Insert(addr Addr, pinned func(Addr) bool) (victim Addr, evicted, ok bool) {
-	s := a.set(addr)
+	s := a.materialize(addr)
 	a.clock++
 	// Already resident?
 	for i := range s {

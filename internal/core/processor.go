@@ -53,6 +53,7 @@ func (p *Processor) next() {
 		}
 		p.node.Cache.Access(op, func() {
 			p.Completed++
+			p.sys.totalOps++
 			p.next()
 		})
 	}

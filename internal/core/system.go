@@ -139,6 +139,7 @@ type System struct {
 	cfg      Config
 	trace    *Trace
 	traffic  *TrafficStats
+	totalOps uint64 // running sum of Processor.Completed (hot-path cache)
 }
 
 // NewSystem builds and wires a machine; processors are attached with
@@ -255,16 +256,11 @@ func (s *System) Start() {
 	}
 }
 
-// TotalOps sums completed processor operations.
-func (s *System) TotalOps() uint64 {
-	var total uint64
-	for _, n := range s.Nodes {
-		if n.Proc != nil {
-			total += n.Proc.Completed
-		}
-	}
-	return total
-}
+// TotalOps returns the number of completed processor operations. It is a
+// cached running sum: Measure's RunUntil predicate calls it after every
+// event, so summing the per-node counters here would cost O(nodes) per
+// simulated event.
+func (s *System) TotalOps() uint64 { return s.totalOps }
 
 // StopAll halts the processors (outstanding transactions drain).
 func (s *System) StopAll() {

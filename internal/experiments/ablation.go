@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -27,16 +28,13 @@ func Ablation(o Options) *TableResult {
 			"base protocols; adaptivity is what wins the mid-range",
 		},
 	}
-	row := func(label string, rc runConfig) {
-		m := runOne(rc)
-		t.Rows = append(t.Rows, []string{
-			label, fmt.Sprintf("%g", rc.bandwidth),
-			fmt.Sprintf("%.5f", m.Throughput),
-			fmt.Sprintf("%.2f", m.BroadcastFraction),
-			fmt.Sprintf("%.2f", m.Utilization),
-			fmt.Sprint(m.Retries),
-		})
+	// Collect the variant list up front, fan the independent simulations
+	// out through the runner, and fold the rows back in declaration order.
+	type variant struct {
+		label string
+		rc    runConfig
 	}
+	var vs []variant
 	for _, bw := range []float64{400, 1600, 8000} {
 		for _, v := range []struct {
 			label string
@@ -46,24 +44,40 @@ func Ablation(o Options) *TableResult {
 			{"BASH always-broadcast", core.BashAlwaysBroadcast},
 			{"BASH always-unicast", core.BashAlwaysUnicast},
 		} {
-			row(v.label, runConfig{
+			vs = append(vs, variant{v.label, runConfig{
 				protocol: v.p, nodes: nodes, bandwidth: bw,
 				seed: 11, warm: warm, measure: measure,
-			})
+			}})
 		}
 	}
 	// Sampling-interval sensitivity (paper: smaller reacts faster but risks
 	// oscillation) and policy-counter width at mid bandwidth.
 	for _, iv := range []sim.Time{64, 512, 4096} {
-		row(fmt.Sprintf("BASH interval=%d", iv), runConfig{
+		vs = append(vs, variant{fmt.Sprintf("BASH interval=%d", iv), runConfig{
 			protocol: core.BASH, nodes: nodes, bandwidth: 1600,
 			interval: iv, seed: 11, warm: warm, measure: measure,
-		})
+		}})
 	}
 	for _, bits := range []uint{4, 8, 12} {
-		row(fmt.Sprintf("BASH policy-bits=%d", bits), runConfig{
+		vs = append(vs, variant{fmt.Sprintf("BASH policy-bits=%d", bits), runConfig{
 			protocol: core.BASH, nodes: nodes, bandwidth: 1600,
 			policyBits: bits, seed: 11, warm: warm, measure: measure,
+		}})
+	}
+	label := func(i int) string { return "ablation " + vs[i].label }
+	ms, err := runner.Map(len(vs), o.runnerOptions(label),
+		func(i int) (core.Metrics, error) { return runMemo(vs[i].rc), nil })
+	if err != nil {
+		panic(abort{err})
+	}
+	for i, v := range vs {
+		m := ms[i]
+		t.Rows = append(t.Rows, []string{
+			v.label, fmt.Sprintf("%g", v.rc.bandwidth),
+			fmt.Sprintf("%.5f", m.Throughput),
+			fmt.Sprintf("%.2f", m.BroadcastFraction),
+			fmt.Sprintf("%.2f", m.Utilization),
+			fmt.Sprint(m.Retries),
 		})
 	}
 	return t

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tsvOf regenerates one experiment and concatenates its artifacts' TSV.
+func tsvOf(t *testing.T, id string, o Options) string {
+	t.Helper()
+	arts, err := Run(id, o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var b strings.Builder
+	for _, a := range arts {
+		b.WriteString(a.TSV())
+	}
+	return b.String()
+}
+
+// TestSweepDeterminism: the same experiment produces byte-identical TSV
+// when re-simulated from scratch, when run serially vs. with a parallel
+// worker pool, and when served from the cell memo.
+func TestSweepDeterminism(t *testing.T) {
+	for _, id := range []string{"fig1", "ablation"} {
+		seeds := []uint64{11, 23}
+		if id == "ablation" {
+			seeds = nil // ablation pins its own seed
+		}
+
+		ResetMemo()
+		serial := tsvOf(t, id, Options{Seeds: seeds, Parallel: 1})
+
+		ResetMemo()
+		parallel := tsvOf(t, id, Options{Seeds: seeds, Parallel: 8})
+		if serial != parallel {
+			t.Errorf("%s: serial and parallel TSV differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+
+		ResetMemo()
+		again := tsvOf(t, id, Options{Seeds: seeds, Parallel: 8})
+		if parallel != again {
+			t.Errorf("%s: two fresh runs with the same seeds differ", id)
+		}
+
+		// No reset: the memo-served repeat must match the simulated run.
+		memoized := tsvOf(t, id, Options{Seeds: seeds, Parallel: 8})
+		if memoized != again {
+			t.Errorf("%s: memoized TSV differs from freshly simulated TSV", id)
+		}
+	}
+}
+
+// TestSweepProgress: the progress callback sees every cell of a sweep.
+func TestSweepProgress(t *testing.T) {
+	ResetMemo()
+	var last, total int
+	o := Options{Progress: func(d, n int) { last, total = d, n }}
+	Fig1(o)
+	// fig1 quick scale: 3 protocols x 5 bandwidths x 1 seed.
+	if last != 15 || total != 15 {
+		t.Errorf("progress ended at %d/%d, want 15/15", last, total)
+	}
+}

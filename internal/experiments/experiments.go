@@ -1,12 +1,14 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Sections 4 and 5). Each runner returns a Figure (series of
 // x/y points with error bars) or a TableResult, both renderable as TSV or
-// aligned text. The per-experiment index lives in DESIGN.md Section 6.
+// aligned text. The experiment index is the registry: ExperimentIDs (IDs
+// here) enumerates it programmatically, and `cmd/bashsim -list` from the
+// command line.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -132,6 +135,26 @@ type Options struct {
 	Scale Scale
 	// Seeds for multi-run error bars; nil selects per-scale defaults.
 	Seeds []uint64
+	// Parallel bounds the worker goroutines used for simulation sweeps:
+	// 0 selects one per CPU, 1 runs serially. Results are folded in job
+	// order either way, so the output is identical at any setting.
+	Parallel int
+	// Progress, if non-nil, observes sweep completion: it is called after
+	// each simulated cell with (done, total) for the current sweep.
+	Progress func(done, total int)
+	// Context cancels long sweeps; Run returns its error. Nil means no
+	// cancellation.
+	Context context.Context
+}
+
+// runnerOptions adapts Options to the orchestration layer for one sweep.
+func (o Options) runnerOptions(label func(i int) string) runner.Options {
+	return runner.Options{
+		Workers:  o.Parallel,
+		Context:  o.Context,
+		Progress: o.Progress,
+		Label:    label,
+	}
 }
 
 func (o Options) seeds() []uint64 {
@@ -223,6 +246,41 @@ func runOne(rc runConfig) core.Metrics {
 	return sys.Measure(rc.warm, rc.measure)
 }
 
+// cellMemo caches runOne results per runConfig within one process. Several
+// figures share identical (protocol, bandwidth, seed) cells — Figures 1, 5
+// and 6 present one sweep three ways, Figure 12 re-measures Figure 11's
+// 1600 MB/s column, Figure 9's zero-think point is Figure 1's mid cell —
+// and every run is a pure deterministic function of its runConfig, so each
+// distinct cell is simulated exactly once per process.
+var cellMemo sync.Map // runConfig -> core.Metrics
+
+// runMemo returns the memoized metrics for rc, simulating on first use.
+func runMemo(rc runConfig) core.Metrics {
+	if v, ok := cellMemo.Load(rc); ok {
+		return v.(core.Metrics)
+	}
+	m := runOne(rc)
+	v, _ := cellMemo.LoadOrStore(rc, m)
+	return v.(core.Metrics)
+}
+
+// ResetMemo drops every memoized cell, forcing subsequent runs to
+// re-simulate. Benchmarks and determinism tests use it so repeated
+// invocations measure simulation rather than cache lookups.
+func ResetMemo() {
+	cellMemo.Range(func(k, _ any) bool {
+		cellMemo.Delete(k)
+		return true
+	})
+}
+
+// abort carries a sweep failure (cancellation or a captured simulation
+// panic) out of a figure function; Run recovers it into an error, so the
+// figure functions keep their plain signatures.
+type abort struct{ err error }
+
+func (a abort) Error() string { return a.err.Error() }
+
 // sweepResult aggregates one (protocol, x) cell across seeds.
 type sweepResult struct {
 	throughput  stats.Accumulator
@@ -233,9 +291,10 @@ type sweepResult struct {
 
 // runSweep evaluates base across seeds for every (protocol, x) combination,
 // where vary mutates the config for each x. Every run is an independent
-// single-threaded simulation, so the sweep fans out across CPUs; results
-// are folded deterministically afterwards (seed order per cell).
-func runSweep(protocols []core.Protocol, xs []float64, base runConfig,
+// single-threaded simulation, so the sweep fans out across the runner's
+// worker pool; runner.Map folds results in job order, so cells accumulate
+// seeds deterministically regardless of completion order or worker count.
+func runSweep(o Options, protocols []core.Protocol, xs []float64, base runConfig,
 	seeds []uint64, vary func(rc *runConfig, x float64)) map[core.Protocol][]*sweepResult {
 
 	type job struct {
@@ -254,21 +313,15 @@ func runSweep(protocols []core.Protocol, xs []float64, base runConfig,
 			}
 		}
 	}
-	results := make([]core.Metrics, len(jobs))
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for ji := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ji int) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			results[ji] = runOne(jobs[ji].rc)
-		}(ji)
+	label := func(i int) string {
+		j := jobs[i]
+		return fmt.Sprintf("cell %s x=%g seed=%d", protocols[j.pi], xs[j.xi], j.rc.seed)
 	}
-	wg.Wait()
+	results, err := runner.Map(len(jobs), o.runnerOptions(label),
+		func(i int) (core.Metrics, error) { return runMemo(jobs[i].rc), nil })
+	if err != nil {
+		panic(abort{err})
+	}
 
 	out := make(map[core.Protocol][]*sweepResult)
 	for _, p := range protocols {

@@ -16,25 +16,17 @@ func microNodes(o Options) int {
 	return 16 // keep CI-quick runs tractable; Full reproduces the paper's 64
 }
 
-// microSweepCache memoizes the shared Figure 1/5/6 sweep per option set:
-// the three figures present the same runs three ways.
-var microSweepCache = map[string]map[core.Protocol][]*sweepResult{}
-
 // microSweep runs the locking microbenchmark bandwidth sweep shared by
-// Figures 1, 5 and 6.
+// Figures 1, 5 and 6. The three figures present the same runs three ways;
+// the per-cell memo (runMemo) makes the repeats free.
 func microSweep(o Options) (xs []float64, res map[core.Protocol][]*sweepResult, nodes int) {
 	nodes = microNodes(o)
 	warm, measure := o.ops()
 	xs = o.bandwidths()
-	key := fmt.Sprintf("%d/%v/%v", nodes, xs, o.seeds())
-	if cached, ok := microSweepCache[key]; ok {
-		return xs, cached, nodes
-	}
 	base := runConfig{nodes: nodes, warm: warm, measure: measure}
-	res = runSweep(evalProtocols, xs, base, o.seeds(), func(rc *runConfig, x float64) {
+	res = runSweep(o, evalProtocols, xs, base, o.seeds(), func(rc *runConfig, x float64) {
 		rc.bandwidth = x
 	})
-	microSweepCache[key] = res
 	return xs, res, nodes
 }
 
@@ -127,7 +119,7 @@ func Fig7(o Options) *Figure {
 	// five-series sweep tractable at full scale.
 	seeds := o.seeds()[:1]
 
-	refs := runSweep([]core.Protocol{core.Snooping, core.Directory}, xs, base, seeds,
+	refs := runSweep(o, []core.Protocol{core.Snooping, core.Directory}, xs, base, seeds,
 		func(rc *runConfig, x float64) { rc.bandwidth = x })
 
 	f := &Figure{
@@ -142,7 +134,7 @@ func Fig7(o Options) *Figure {
 	bashCells := make([][]*sweepResult, len(thresholds))
 	for ti, th := range thresholds {
 		th := th
-		r := runSweep([]core.Protocol{core.BASH}, xs, base, seeds, func(rc *runConfig, x float64) {
+		r := runSweep(o, []core.Protocol{core.BASH}, xs, base, seeds, func(rc *runConfig, x float64) {
 			rc.bandwidth = x
 			rc.threshold = th
 		})
@@ -176,7 +168,7 @@ func Fig8(o Options) *Figure {
 	}
 	warm, measure := o.ops()
 	base := runConfig{bandwidth: 1600, warm: warm, measure: measure}
-	res := runSweep(evalProtocols, sizes, base, o.seeds(), func(rc *runConfig, x float64) {
+	res := runSweep(o, evalProtocols, sizes, base, o.seeds(), func(rc *runConfig, x float64) {
 		rc.nodes = int(x) // runOne scales the op counts with system size
 	})
 	// Normalize per-processor throughput to the best cell.
@@ -223,7 +215,7 @@ func Fig9(o Options) *Figure {
 		thinks = []float64{0, 200, 400, 700, 1000}
 	}
 	base := runConfig{nodes: nodes, bandwidth: 1600, warm: warm, measure: measure}
-	res := runSweep(evalProtocols, thinks, base, o.seeds(), func(rc *runConfig, x float64) {
+	res := runSweep(o, evalProtocols, thinks, base, o.seeds(), func(rc *runConfig, x float64) {
 		rc.think = sim.Time(x)
 	})
 	f := &Figure{

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -29,35 +30,54 @@ func Predictive(o Options) *TableResult {
 			"a correct prediction avoids the 255 ns retry indirection entirely",
 		},
 	}
+	// One job per (bandwidth, protocol) cell; the rows need CacheStats in
+	// addition to Metrics, so each job renders its own row and the runner
+	// folds them back in sweep order.
+	type job struct {
+		bw float64
+		p  core.Protocol
+	}
+	var jobs []job
 	for _, bw := range []float64{400, 800, 1600, 4000} {
 		for _, p := range []core.Protocol{core.BASH, core.BashPredictive, core.Snooping, core.Directory} {
-			sys := core.NewSystem(core.Config{
-				Protocol:         p,
-				Nodes:            nodes,
-				BandwidthMBs:     bw,
-				Seed:             21,
-				WatchdogInterval: 500_000_000,
-			})
-			lk := workload.NewLocking(128*nodes, 0)
-			for i, a := range lk.WarmBlocks() {
-				sys.PreheatOwned(a, network.NodeID(i%nodes), uint64(i)+1)
-			}
-			sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
-			m := sys.Measure(warm, measure)
-			st := sys.CacheStats()
-			hitRate := "-"
-			if st.Predicted > 0 {
-				hitRate = fmt.Sprintf("%.2f", float64(st.PredictedHits)/float64(st.Predicted))
-			}
-			retriesPerOp := float64(m.Retries) / float64(m.Ops+1)
-			t.Rows = append(t.Rows, []string{
-				p.String(), fmt.Sprintf("%g", bw),
-				fmt.Sprintf("%.5f", m.Throughput),
-				fmt.Sprintf("%.0f", m.AvgMissLatency),
-				fmt.Sprintf("%.3f", retriesPerOp),
-				hitRate,
-			})
+			jobs = append(jobs, job{bw: bw, p: p})
 		}
 	}
+	label := func(i int) string {
+		return fmt.Sprintf("predictive %s bw=%g", jobs[i].p, jobs[i].bw)
+	}
+	rows, err := runner.Map(len(jobs), o.runnerOptions(label), func(i int) ([]string, error) {
+		j := jobs[i]
+		sys := core.NewSystem(core.Config{
+			Protocol:         j.p,
+			Nodes:            nodes,
+			BandwidthMBs:     j.bw,
+			Seed:             21,
+			WatchdogInterval: 500_000_000,
+		})
+		lk := workload.NewLocking(128*nodes, 0)
+		for i, a := range lk.WarmBlocks() {
+			sys.PreheatOwned(a, network.NodeID(i%nodes), uint64(i)+1)
+		}
+		sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
+		m := sys.Measure(warm, measure)
+		st := sys.CacheStats()
+		hitRate := "-"
+		if st.Predicted > 0 {
+			hitRate = fmt.Sprintf("%.2f", float64(st.PredictedHits)/float64(st.Predicted))
+		}
+		retriesPerOp := float64(m.Retries) / float64(m.Ops+1)
+		return []string{
+			j.p.String(), fmt.Sprintf("%g", j.bw),
+			fmt.Sprintf("%.5f", m.Throughput),
+			fmt.Sprintf("%.0f", m.AvgMissLatency),
+			fmt.Sprintf("%.3f", retriesPerOp),
+			hitRate,
+		}, nil
+	})
+	if err != nil {
+		panic(abort{err})
+	}
+	t.Rows = rows
 	return t
 }

@@ -57,11 +57,22 @@ func IDs() []string {
 	return out
 }
 
-// Run regenerates one experiment by id.
-func Run(id string, o Options) ([]Renderable, error) {
+// Run regenerates one experiment by id. Sweep failures — cancellation via
+// Options.Context, a deadline, or a simulation panic captured by the
+// orchestration layer — are returned as errors rather than crashing.
+func Run(id string, o Options) (arts []Renderable, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			a, ok := rec.(abort)
+			if !ok {
+				panic(rec)
+			}
+			arts, err = nil, fmt.Errorf("experiments: %s: %w", id, a.err)
+		}
+	}()
 	return r(o), nil
 }

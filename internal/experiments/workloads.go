@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -36,7 +37,7 @@ func macroSweep(o Options, panel string, broadcastCost float64) *Figure {
 		warm:          warm,
 		measure:       measure,
 	}
-	res := runSweep(evalProtocols, xs, base, o.seeds(), func(rc *runConfig, x float64) {
+	res := runSweep(o, evalProtocols, xs, base, o.seeds(), func(rc *runConfig, x float64) {
 		rc.bandwidth = x
 	})
 	snoop := res[core.Snooping]
@@ -106,17 +107,47 @@ func Fig12(o Options) *TableResult {
 			"BASH matches or exceeds both on all five workloads",
 		},
 	}
-	for _, name := range []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb"} {
-		vals := map[core.Protocol]*stats.Accumulator{}
+	names := []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb"}
+	seeds := o.seeds()
+
+	// One job per (workload, protocol, seed) cell, folded back workload-
+	// major so the rows are identical at any worker count. The 1600 MB/s
+	// 4x-broadcast cells are shared with Figure 11's sweep via runMemo.
+	type job struct {
+		name string
+		p    core.Protocol
+		seed uint64
+	}
+	var jobs []job
+	for _, name := range names {
 		for _, p := range evalProtocols {
+			for _, seed := range seeds {
+				jobs = append(jobs, job{name: name, p: p, seed: seed})
+			}
+		}
+	}
+	label := func(i int) string {
+		j := jobs[i]
+		return fmt.Sprintf("cell %s %s seed=%d", j.name, j.p, j.seed)
+	}
+	ms, err := runner.Map(len(jobs), o.runnerOptions(label), func(i int) (core.Metrics, error) {
+		j := jobs[i]
+		return runMemo(runConfig{
+			protocol: j.p, nodes: macroNodes, bandwidth: 1600,
+			broadcastCost: 4, workloadName: j.name, seed: j.seed,
+			warm: warm, measure: measure,
+		}), nil
+	})
+	if err != nil {
+		panic(abort{err})
+	}
+
+	for ni, name := range names {
+		vals := map[core.Protocol]*stats.Accumulator{}
+		for pi, p := range evalProtocols {
 			acc := &stats.Accumulator{}
-			for _, seed := range o.seeds() {
-				m := runOne(runConfig{
-					protocol: p, nodes: macroNodes, bandwidth: 1600,
-					broadcastCost: 4, workloadName: name, seed: seed,
-					warm: warm, measure: measure,
-				})
-				acc.Add(m.Throughput)
+			for si := range seeds {
+				acc.Add(ms[(ni*len(evalProtocols)+pi)*len(seeds)+si].Throughput)
 			}
 			vals[p] = acc
 		}

@@ -1,0 +1,174 @@
+// Package runner is the sharded run-orchestration layer shared by the
+// experiment harness, the random protocol tester, and the CLIs. The paper's
+// evaluation is embarrassingly parallel — every (protocol, bandwidth, seed)
+// cell is an independent single-threaded discrete-event simulation — so the
+// mechanism every consumer needs is the same: fan a fixed job list out
+// across a bounded worker pool and fold the results back deterministically.
+//
+// Map guarantees:
+//
+//   - Results are returned in job-index order, regardless of the order in
+//     which workers complete them, so serial and parallel execution produce
+//     byte-identical downstream artifacts.
+//   - A panicking job is captured (with its label and stack) into a
+//     *PanicError instead of crashing the process, and attributed to the
+//     job that raised it.
+//   - Cancellation (Options.Context) and deadlines (Options.Timeout) stop
+//     dispatching promptly; in-flight jobs run to completion.
+//   - Options.Progress observes completion monotonically and serialized.
+//
+// Seed-sharding helpers (see shard.go) derive well-spread deterministic
+// seed sets so every shard of a sweep replays exactly.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options configures one Map/Each invocation.
+type Options struct {
+	// Workers bounds concurrently running jobs. Zero or negative selects
+	// GOMAXPROCS; 1 runs the jobs serially (still in job order).
+	Workers int
+	// Context cancels dispatch when done; nil means context.Background().
+	Context context.Context
+	// Timeout, when positive, bounds the whole invocation (applied on top
+	// of Context).
+	Timeout time.Duration
+	// Progress, when non-nil, is called after each job completes with the
+	// number of completed jobs and the total. Calls are serialized and
+	// done is strictly increasing, but the jobs themselves complete in an
+	// arbitrary order.
+	Progress func(done, total int)
+	// Label describes job i in errors (panic reports, cancellation); nil
+	// falls back to "job i".
+	Label func(i int) string
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) label(i int) string {
+	if o.Label != nil {
+		return o.Label(i)
+	}
+	return fmt.Sprintf("job %d", i)
+}
+
+// PanicError reports a job that panicked, with enough context to replay it.
+type PanicError struct {
+	Index int    // job index
+	Label string // Options.Label(Index), or "job Index"
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: %s panicked: %v", e.Label, e.Value)
+}
+
+// Map runs fn(0..n-1) across a bounded worker pool and returns the results
+// in job-index order. The error is the failure of the lowest-indexed failed
+// job (deterministic regardless of completion order); on cancellation with
+// no job failure it is the context's error. Even on error, the returned
+// slice holds every result completed before the failure was observed.
+func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+
+	errs := make([]error, n)
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Index: i, Label: opt.label(i), Value: r, Stack: debug.Stack()}
+			}
+			mu.Lock()
+			done++
+			if opt.Progress != nil {
+				opt.Progress(done, n)
+			}
+			mu.Unlock()
+			wg.Done()
+		}()
+		results[i], errs[i] = fn(i)
+	}
+
+	sem := make(chan struct{}, opt.workers(n))
+	var canceled error
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			break dispatch
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem }()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+	// A deadline that expired after every job was dispatched (common when
+	// the job count is at most the worker count) must still be reported:
+	// the invocation exceeded its bound even though nothing was cut short.
+	if canceled == nil {
+		canceled = ctx.Err()
+	}
+
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*PanicError); ok {
+			return results, pe // already carries the job label
+		}
+		return results, fmt.Errorf("runner: %s: %w", opt.label(i), err)
+	}
+	if canceled != nil {
+		return results, canceled
+	}
+	return results, nil
+}
+
+// Each is Map without per-job results: it runs fn(0..n-1) with the same
+// ordering, panic-capture, and cancellation guarantees.
+func Each(n int, opt Options, fn func(i int) error) error {
+	_, err := Map(n, opt, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

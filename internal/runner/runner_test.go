@@ -1,0 +1,241 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderDeterminism: results land in job order even when completion
+// order is scrambled, and serial and parallel runs agree exactly.
+func TestMapOrderDeterminism(t *testing.T) {
+	fn := func(i int) (int, error) {
+		// Later jobs finish first.
+		time.Sleep(time.Duration(64-i) * 100 * time.Microsecond)
+		return i * i, nil
+	}
+	parallel, err := Map(64, Options{Workers: 16}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Map(64, Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parallel {
+		if parallel[i] != i*i || serial[i] != i*i {
+			t.Fatalf("index %d: parallel=%d serial=%d want %d", i, parallel[i], serial[i], i*i)
+		}
+	}
+}
+
+// TestMapPanicCapture: a panicking job becomes a *PanicError carrying the
+// job's label, index, and stack instead of crashing the pool.
+func TestMapPanicCapture(t *testing.T) {
+	_, err := Map(8, Options{
+		Workers: 4,
+		Label:   func(i int) string { return fmt.Sprintf("cell p=%d", i) },
+	}, func(i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 5 || pe.Label != "cell p=5" || pe.Value != "boom" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "cell p=5") {
+		t.Fatalf("missing stack or label: %v", err)
+	}
+}
+
+// TestMapFirstErrorDeterministic: with several failing jobs, the reported
+// error is always the lowest-indexed failure.
+func TestMapFirstErrorDeterministic(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(16, Options{Workers: 8}, func(i int) (int, error) {
+			if i%3 == 1 { // jobs 1, 4, 7, ...
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "fail 1") {
+			t.Fatalf("trial %d: err = %v, want lowest-index failure 1", trial, err)
+		}
+	}
+}
+
+// TestMapCancellation: a canceled context stops dispatch and surfaces the
+// context error; already-dispatched jobs complete.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	_, err := Map(1000, Options{Workers: 2, Context: ctx}, func(i int) (int, error) {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("dispatch did not stop: %d jobs started", n)
+	}
+}
+
+// TestMapTimeout: Options.Timeout bounds the invocation.
+func TestMapTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := Map(1000, Options{Workers: 1, Timeout: 20 * time.Millisecond},
+		func(i int) (int, error) {
+			time.Sleep(2 * time.Millisecond)
+			return i, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout did not bound the run: %v", elapsed)
+	}
+}
+
+// TestMapTimeoutAfterFullDispatch: a deadline that expires after every job
+// has been dispatched (jobs <= workers) is still reported, and the results
+// of the jobs that completed are still returned.
+func TestMapTimeoutAfterFullDispatch(t *testing.T) {
+	out, err := Map(2, Options{Workers: 4, Timeout: 10 * time.Millisecond},
+		func(i int) (int, error) {
+			time.Sleep(40 * time.Millisecond)
+			return i + 1, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded (full-dispatch case)", err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("in-flight results lost on timeout: %v", out)
+		}
+	}
+}
+
+// TestMapProgress: done counts are strictly increasing and end at total.
+func TestMapProgress(t *testing.T) {
+	var seen []int
+	err := Each(32, Options{
+		Workers:  8,
+		Progress: func(done, total int) { seen = append(seen, done) },
+	}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 32 {
+		t.Fatalf("progress calls = %d, want 32", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not strictly increasing", seen)
+		}
+	}
+}
+
+// TestMapWorkerBound: no more than Workers jobs run at once.
+func TestMapWorkerBound(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	err := Each(64, Options{Workers: 3}, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency = %d, want <= 3", p)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, Options{}, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+// TestSeedsDeterministicAndSpread: Seeds is a pure function, never yields
+// zero, and produces distinct values across a large range.
+func TestSeedsDeterministicAndSpread(t *testing.T) {
+	a := Seeds(42, 1000)
+	b := Seeds(42, 1000)
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: Seeds not deterministic", i)
+		}
+		if a[i] == 0 {
+			t.Fatalf("index %d: zero seed", i)
+		}
+		if seen[a[i]] {
+			t.Fatalf("index %d: duplicate seed %d", i, a[i])
+		}
+		seen[a[i]] = true
+	}
+	// Prefixes are stable: growing the shard count keeps existing shards.
+	short := Seeds(42, 10)
+	for i := range short {
+		if short[i] != a[i] {
+			t.Fatalf("index %d: prefix not stable", i)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		total, shards int
+		want          []Range
+	}{
+		{10, 3, []Range{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 5, []Range{{0, 1}, {1, 2}, {2, 3}}},
+		{0, 4, nil},
+		{4, 0, nil},
+		{8, 2, []Range{{0, 4}, {4, 8}}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.total, c.shards)
+		if len(got) != len(c.want) {
+			t.Fatalf("Chunks(%d,%d) = %v, want %v", c.total, c.shards, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Chunks(%d,%d) = %v, want %v", c.total, c.shards, got, c.want)
+			}
+		}
+		// Ranges must tile [0, total) exactly.
+		next := 0
+		for _, r := range got {
+			if r.Start != next || r.Len() <= 0 {
+				t.Fatalf("Chunks(%d,%d): bad tiling %v", c.total, c.shards, got)
+			}
+			next = r.End
+		}
+		if c.total > 0 && c.shards > 0 && next != c.total {
+			t.Fatalf("Chunks(%d,%d): covers [0,%d), want [0,%d)", c.total, c.shards, next, c.total)
+		}
+	}
+}

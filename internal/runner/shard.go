@@ -1,0 +1,64 @@
+package runner
+
+// Seed sharding: sweeps are sharded one simulation per (config, seed) cell,
+// so a reproducible fleet needs a deterministic way to derive many
+// well-spread RNG seeds from one base seed. SplitMix64 (Steele et al.,
+// "Fast splittable pseudorandom number generators") is the standard stream
+// splitter: consecutive counters map to statistically independent values,
+// and the derivation is a pure function, so shard i of a sweep replays
+// identically no matter how many workers execute it.
+
+// splitmix64 advances one SplitMix64 step from state x.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seeds derives n deterministic, well-spread seeds from base: shard i of a
+// sweep always receives Seeds(base, n)[i]. Seeds are never zero (some RNGs
+// treat a zero seed as "unseeded").
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		s := splitmix64(base + uint64(i))
+		if s == 0 {
+			s = splitmix64(s + 1)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Range is a half-open index interval [Start, End).
+type Range struct{ Start, End int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Chunks splits [0, total) into at most shards contiguous ranges whose
+// sizes differ by at most one, for batch-sharding a job list whose items
+// are too cheap to dispatch individually. An empty or non-positive input
+// yields no ranges.
+func Chunks(total, shards int) []Range {
+	if total <= 0 || shards <= 0 {
+		return nil
+	}
+	if shards > total {
+		shards = total
+	}
+	out := make([]Range, 0, shards)
+	size, rem := total/shards, total%shards
+	start := 0
+	for i := 0; i < shards; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		out = append(out, Range{Start: start, End: end})
+		start = end
+	}
+	return out
+}

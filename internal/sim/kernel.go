@@ -7,10 +7,7 @@
 // paper (e.g. the 512-cycle sampling interval) translate directly.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp or duration in nanoseconds (= cycles).
 type Time int64
@@ -33,41 +30,41 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap implements heap.Interface ordered by (time, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a deterministic discrete-event scheduler. Events scheduled for
 // the same instant fire in schedule order, so identical runs replay exactly.
+//
+// The queue is a concrete-typed 4-ary min-heap ordered by (time, seq). The
+// flatter heap halves the sift depth versus a binary heap, and avoiding
+// container/heap's interface{} API means Schedule and Step perform zero
+// allocations in steady state: the backing slice is reused across pops, so
+// once it has grown to the high-water mark of pending events no further
+// allocation occurs.
+//
 // The zero value is not usable; call NewKernel.
 type Kernel struct {
 	now    Time
 	seq    uint64
-	events eventHeap
 	fired  uint64
+	events []event // 4-ary min-heap by (at, seq)
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.events)
-	return k
+	return &Kernel{}
+}
+
+// Reset returns the kernel to time zero with an empty queue, retaining the
+// queue's backing storage so a reused kernel reaches steady state (zero
+// allocations per Schedule/Step) immediately. Pending event callbacks are
+// dropped and their references released.
+func (k *Kernel) Reset() {
+	for i := range k.events {
+		k.events[i].fn = nil // release closure references
+	}
+	k.events = k.events[:0]
+	k.now = 0
+	k.seq = 0
+	k.fired = 0
 }
 
 // Now returns the current simulated time.
@@ -77,7 +74,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (k *Kernel) Pending() int { return k.events.Len() }
+func (k *Kernel) Pending() int { return len(k.events) }
 
 // Schedule runs fn after delay simulated nanoseconds. A negative delay is an
 // error in the caller; it panics to surface the bug immediately.
@@ -94,15 +91,72 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.events = append(k.events, event{at: t, seq: k.seq, fn: fn})
+	k.siftUp(len(k.events) - 1)
+}
+
+// before reports whether event i sorts before event j: earlier time first,
+// schedule order breaking ties.
+func (k *Kernel) before(i, j int) bool {
+	a, b := &k.events[i], &k.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap property after appending at index i.
+func (k *Kernel) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !k.before(i, parent) {
+			return
+		}
+		k.events[i], k.events[parent] = k.events[parent], k.events[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after replacing the root.
+func (k *Kernel) siftDown() {
+	n := len(k.events)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if k.before(c, best) {
+				best = c
+			}
+		}
+		if !k.before(best, i) {
+			return
+		}
+		k.events[i], k.events[best] = k.events[best], k.events[i]
+		i = best
+	}
 }
 
 // Step fires the next event and reports whether one existed.
 func (k *Kernel) Step() bool {
-	if k.events.Len() == 0 {
+	n := len(k.events)
+	if n == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
+	e := k.events[0]
+	k.events[0] = k.events[n-1]
+	k.events[n-1].fn = nil // release closure reference
+	k.events = k.events[:n-1]
+	if n > 1 {
+		k.siftDown()
+	}
 	k.now = e.at
 	k.fired++
 	e.fn()
@@ -112,7 +166,7 @@ func (k *Kernel) Step() bool {
 // Run executes events until the queue is empty or the horizon is passed.
 // It returns the time at which it stopped.
 func (k *Kernel) Run(horizon Time) Time {
-	for k.events.Len() > 0 && k.events[0].at <= horizon {
+	for len(k.events) > 0 && k.events[0].at <= horizon {
 		k.Step()
 	}
 	if k.now < horizon {

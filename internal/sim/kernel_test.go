@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -114,6 +115,89 @@ func TestKernelHeapProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestKernelTotalOrder cross-checks the 4-ary heap against a reference
+// sort: for arbitrary schedules, events fire in exactly (time, seq) order.
+func TestKernelTotalOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		type key struct {
+			at  Time
+			seq int
+		}
+		var want []key
+		var got []key
+		for i, d := range delays {
+			at := Time(d)
+			i := i
+			want = append(want, key{at, i})
+			k.At(at, func() { got = append(got, key{at, i}) })
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].at != want[b].at {
+				return want[a].at < want[b].at
+			}
+			return want[a].seq < want[b].seq
+		})
+		k.Drain()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelReset(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Schedule(10, func() { fired++ })
+	k.Schedule(20, func() { fired++ })
+	k.Step()
+	k.Reset()
+	if k.Now() != 0 || k.Fired() != 0 || k.Pending() != 0 {
+		t.Fatalf("after Reset: now=%d fired=%d pending=%d", k.Now(), k.Fired(), k.Pending())
+	}
+	// The dropped event must not fire; the kernel must be fully reusable.
+	k.Schedule(5, func() { fired += 100 })
+	k.Drain()
+	if fired != 101 {
+		t.Fatalf("fired = %d, want 101 (one pre-reset, one post-reset)", fired)
+	}
+	if k.Now() != 5 || k.Fired() != 1 {
+		t.Fatalf("after reuse: now=%d fired=%d", k.Now(), k.Fired())
+	}
+}
+
+// TestKernelZeroAllocSteadyState: once the queue slice has grown to its
+// high-water mark, Schedule and Step allocate nothing.
+func TestKernelZeroAllocSteadyState(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the slice to its high-water mark.
+	for i := 0; i < 256; i++ {
+		k.Schedule(Time(i%13), fn)
+	}
+	k.Drain()
+	k.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 256; i++ {
+			k.Schedule(Time(i%13), fn)
+		}
+		for k.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs per 256-event cycle = %v, want 0", allocs)
 	}
 }
 

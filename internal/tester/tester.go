@@ -15,6 +15,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -165,6 +166,34 @@ func Run(cfg Config) Report {
 	rep.UncoveredCache = cacheTbl.Uncovered()
 	rep.UncoveredMem = memTbl.Uncovered()
 	return rep
+}
+
+// RunConfigs executes one randomized trial per config across the runner's
+// worker pool, folding the reports back in config order: the output is
+// identical no matter how many workers execute it. Each trial is one shard
+// — an independent single-threaded simulation. A trial that panics is
+// reported as a *runner.PanicError naming its protocol and seed.
+func RunConfigs(cfgs []Config, opt runner.Options) ([]Report, error) {
+	if opt.Label == nil {
+		opt.Label = func(i int) string {
+			return fmt.Sprintf("trial %s seed=%d", cfgs[i].Protocol, cfgs[i].Seed)
+		}
+	}
+	return runner.Map(len(cfgs), opt, func(i int) (Report, error) {
+		return Run(cfgs[i]), nil
+	})
+}
+
+// RunMany shards one base config across seeds — trial i runs cfg with
+// Seed=seeds[i] — and returns the reports in seed order. Use
+// runner.Seeds(base, n) to derive a well-spread deterministic seed set.
+func RunMany(cfg Config, seeds []uint64, opt runner.Options) ([]Report, error) {
+	cfgs := make([]Config, len(seeds))
+	for i, s := range seeds {
+		cfgs[i] = cfg
+		cfgs[i].Seed = s
+	}
+	return RunConfigs(cfgs, opt)
 }
 
 // finalStateCheck validates the quiesced system: per block, every valid copy

@@ -1,9 +1,11 @@
 package tester
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 func protocols() []core.Protocol {
@@ -66,7 +68,8 @@ func TestBashNackPath(t *testing.T) {
 	}
 }
 
-// TestManySeeds shakes each protocol across seeds (short mode: fewer).
+// TestManySeeds shakes each protocol across seeds (short mode: fewer),
+// sharded one trial per seed through the orchestration layer.
 func TestManySeeds(t *testing.T) {
 	seeds := 12
 	if testing.Short() {
@@ -75,16 +78,50 @@ func TestManySeeds(t *testing.T) {
 	for _, p := range protocols() {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
-			for s := 0; s < seeds; s++ {
-				rep := Run(Config{
+			cfgs := make([]Config, seeds)
+			for s := range cfgs {
+				cfgs[s] = Config{
 					Protocol: p, Ops: 6000, Blocks: 8, Nodes: 7,
 					JitterNs: 80 + 10*s, Seed: uint64(s)*77 + 5,
 					RetryBuffer: 2 + s%3,
-				})
+				}
+			}
+			reps, err := RunConfigs(cfgs, runner.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s, rep := range reps {
 				if !rep.OK() {
 					t.Fatalf("seed %d violations:\n%v\n%v", s, rep.Violations, rep.FinalStateErrors)
 				}
 			}
 		})
+	}
+}
+
+// TestRunManyDeterminism: the same seed set run serially and with a
+// parallel worker pool yields identical reports in identical order.
+func TestRunManyDeterminism(t *testing.T) {
+	cfg := Config{Protocol: core.BASH, Ops: 5000, Blocks: 8, Nodes: 6, JitterNs: 90}
+	seeds := runner.Seeds(42, 4)
+	serial, err := RunMany(cfg, seeds, runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunMany(cfg, seeds, runner.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Config.Seed != seeds[i] {
+			t.Fatalf("report %d out of seed order: seed %d, want %d", i, serial[i].Config.Seed, seeds[i])
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("report %d differs between serial and parallel:\n%s\n%s",
+				i, serial[i].Summary(), parallel[i].Summary())
+		}
+		if !serial[i].OK() {
+			t.Fatalf("seed %d violations:\n%v", seeds[i], serial[i].Violations)
+		}
 	}
 }
