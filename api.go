@@ -101,6 +101,21 @@ func ShardChunks(total, shards int) []ShardRange { return runner.Chunks(total, s
 // NewSystem builds a simulated machine.
 func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
 
+// SystemPool recycles Systems across runs (the pooled simulation
+// lifecycle). Systems are bucketed by structural configuration — protocol,
+// node count, cache geometry, retry buffer, predictor and checker/watchdog
+// presence — and a leased System is re-seeded via System.Reset, which
+// guarantees results byte-identical to fresh construction while skipping
+// its allocation cost (see BenchmarkSystemReuse). Per-run parameters
+// (bandwidth, broadcast cost, seeds, jitter, adaptive tuning, watchdog
+// interval) may vary freely within a bucket. Safe for concurrent use; each
+// leased System remains single-threaded. The experiment harness and the
+// protocol tester lease every simulation through pools of this type.
+type SystemPool = core.Pool
+
+// NewSystemPool returns an empty System pool.
+func NewSystemPool() *SystemPool { return core.NewPool() }
+
 // Workloads (internal/workload).
 type (
 	// LockingWorkload is the paper's locking microbenchmark.

@@ -140,6 +140,50 @@ func BenchmarkStability(b *testing.B) { benchExperiment(b, "stability") }
 // sampling interval, policy width).
 func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
 
+// BenchmarkSystemReuse measures what the pooled simulation lifecycle saves:
+// one complete sweep cell (preheat, warm-up, measurement) per iteration on
+// the paper's default 16-node configuration, constructing a fresh System
+// each time versus leasing a re-seeded one from a SystemPool. Construction
+// dominates short cells — a fresh 16-node System allocates the kernel, 32
+// bandwidth channels, and per node a 16384-set cache array table, line and
+// directory maps, histograms and an adaptive unit — all of which a pooled
+// lease retains. Results are byte-identical either way (the determinism
+// tests assert it); run with -benchmem to see the allocation gap.
+func BenchmarkSystemReuse(b *testing.B) {
+	const nodes = 16
+	cfg := bashsim.Config{
+		Protocol:     bashsim.BASH,
+		Nodes:        nodes,
+		BandwidthMBs: 1600,
+		Seed:         11,
+	}
+	cell := func(sys *bashsim.System) {
+		lk := bashsim.NewLockingWorkload(128*nodes, 0)
+		for i, a := range lk.WarmBlocks() {
+			sys.PreheatOwned(a, bashsim.NodeID(i%nodes), uint64(i)+1)
+		}
+		sys.AttachWorkload(func(bashsim.NodeID) bashsim.Workload { return lk })
+		if m := sys.Measure(200, 600); m.Ops == 0 {
+			b.Fatal("cell measured no operations")
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cell(bashsim.NewSystem(cfg))
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := bashsim.NewSystemPool()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys := pool.Get(cfg)
+			cell(sys)
+			pool.Put(sys)
+		}
+	})
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated
 // lock-acquire transactions per wall second on a 16-node BASH system.
 func BenchmarkSimulatorThroughput(b *testing.B) {

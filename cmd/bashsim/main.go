@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cellstore"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/network"
@@ -39,6 +40,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial)")
 		timeout  = flag.Duration("timeout", 0, "abort experiments after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
+		cacheDir = flag.String("cache-dir", ".cache", "persistent cell-result cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent cell-result cache")
+		noReuse  = flag.Bool("no-reuse", false, "disable System pooling (fresh construction per cell)")
+		watchdog = flag.Duration("watchdog", 0, "per-cell forward-progress watchdog interval in simulated time (0 = 500ms default)")
 
 		single    = flag.Bool("run", false, "single ad-hoc run instead of an experiment")
 		protoName = flag.String("protocol", "bash", "snooping | directory | bash | bash-pred | bash-bcast | bash-ucast")
@@ -62,7 +67,20 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Parallel: *parallel}
+	opts := experiments.Options{
+		Parallel:         *parallel,
+		NoReuse:          *noReuse,
+		WatchdogInterval: sim.Time(watchdog.Nanoseconds()),
+	}
+	if !*noCache {
+		// Probe the directory up front so an unusable -cache-dir warns
+		// loudly instead of silently running uncached.
+		if _, err := cellstore.Open(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: cell cache disabled: %v\n", err)
+		} else {
+			opts.CacheDir = *cacheDir
+		}
+	}
 	switch *scale {
 	case "quick":
 		opts.Scale = experiments.Quick
@@ -103,6 +121,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
+		prevHits, prevMisses, _ := experiments.CacheCounters(opts.CacheDir)
 		arts, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
@@ -111,7 +130,17 @@ func main() {
 		for _, a := range arts {
 			fmt.Fprintln(w, a.TSV())
 		}
-		fmt.Fprintf(os.Stderr, "%-10s %6.1fs\n", id, time.Since(start).Seconds())
+		line := fmt.Sprintf("%-10s %6.1fs", id, time.Since(start).Seconds())
+		if opts.CacheDir != "" {
+			hits, misses, _ := experiments.CacheCounters(opts.CacheDir)
+			line += fmt.Sprintf("   cache %d hits / %d misses", hits-prevHits, misses-prevMisses)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if opts.CacheDir != "" {
+		hits, misses, writes := experiments.CacheCounters(opts.CacheDir)
+		fmt.Fprintf(os.Stderr, "cell cache (%s): %d hits, %d misses, %d written, %d cells simulated\n",
+			opts.CacheDir, hits, misses, writes, experiments.Simulations())
 	}
 }
 

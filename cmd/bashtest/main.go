@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cellstore"
 	"repro/internal/core"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -35,6 +36,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "trial worker goroutines (0 = one per CPU, 1 = serial)")
 		timeout   = flag.Duration("timeout", 0, "abort the test after this long (0 = no limit)")
 		progress  = flag.Bool("progress", false, "report per-trial progress on stderr")
+		cacheDir  = flag.String("cache-dir", ".cache", "persistent trial-report cache directory")
+		noCache   = flag.Bool("no-cache", false, "disable the persistent trial-report cache")
 	)
 	flag.Parse()
 
@@ -86,7 +89,15 @@ func main() {
 			}
 		}
 	}
-	reps, err := tester.RunConfigs(cfgs, opt)
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	} else if _, cerr := cellstore.Open(dir); cerr != nil {
+		// Warn loudly instead of silently running uncached.
+		fmt.Fprintf(os.Stderr, "bashtest: trial cache disabled: %v\n", cerr)
+		dir = ""
+	}
+	reps, err := tester.RunConfigsCached(cfgs, opt, dir)
 	// On cancellation (e.g. -timeout) the runner still returns every
 	// completed report; print them before failing, so violations found by
 	// finished trials are not discarded with the error.
@@ -112,6 +123,13 @@ func main() {
 			for _, v := range rep.FinalStateErrors {
 				fmt.Printf("  FINAL-STATE: %s\n", v)
 			}
+		}
+	}
+	if dir != "" {
+		if st := cellstore.For(dir); st != nil {
+			hits, misses, writes := st.Counters()
+			fmt.Fprintf(os.Stderr, "trial cache (%s): %d hits, %d misses, %d written\n",
+				dir, hits, misses, writes)
 		}
 	}
 	if err != nil {

@@ -12,7 +12,7 @@
 // ExperimentIDs lists the reproducible artifacts; `cmd/bashsim -list` does
 // the same from the command line.
 //
-// Two layers make large evaluations fast and exactly reproducible:
+// Three layers make large evaluations fast and exactly reproducible:
 //
 //   - The event kernel (Kernel, internal/sim) is a concrete-typed 4-ary
 //     heap ordered by (time, schedule-order): zero allocations per
@@ -27,6 +27,46 @@
 //     (ShardSeeds). The experiment harness additionally memoizes identical
 //     (protocol, bandwidth, seed) cells shared across figures, so each
 //     distinct cell is simulated once per process.
+//   - The pooled simulation lifecycle (SystemPool, System.Reset) reuses
+//     whole Systems across runs instead of rebuilding them per cell, and a
+//     persistent content-addressed cell store replays finished cells across
+//     process invocations. Both are exact: a leased System is re-seeded to
+//     byte-identical behaviour, and a stored cell is keyed by a hash of its
+//     complete configuration.
+//
+// # The pooled simulation lifecycle
+//
+// Every structure in the simulation stack can be returned to its
+// just-constructed state in place: the kernel, network channels and masks,
+// the cache arrays, the coherence controllers (lines, directory tables,
+// retry buffers, transition-coverage counts), the checker, the predictor
+// and the adaptive units. System.Reset(cfg) runs that pass and re-applies
+// cfg's per-run parameters; SystemPool buckets idle Systems by structural
+// configuration and leases them through Reset.
+//
+// Reuse is structural-config-safe: a System may be re-seeded for any config
+// with the same protocol, node count, cache geometry, retry buffer, and
+// predictor/checker/watchdog presence. Everything else — endpoint
+// bandwidth, broadcast cost, workload seed, jitter, adaptive threshold /
+// interval / counter width, watchdog interval — is per-run state that Reset
+// re-applies, which covers every cell of a bandwidth sweep. Reset returns
+// an error (leaving the System untouched) for structurally incompatible
+// configs; Pool.Get transparently builds a fresh System instead.
+//
+// # The persistent cell store
+//
+// With ExperimentOptions.CacheDir set (the bashsim CLI defaults it to
+// .cache/, -no-cache disables), every simulated cell's Metrics is persisted
+// under <dir>/<hh>/<sha256(key)>.gob, where the key string encodes a format
+// version plus every field of the cell's configuration, and <hh> is the
+// hash's first two hex digits. Files carry a versioned envelope with the
+// full key and are written atomically (temp + rename); a missing, corrupt,
+// stale-version or colliding entry is treated as a miss and re-simulated,
+// never as an error. Re-running an unchanged experiment therefore costs
+// zero simulations, and an interrupted `bashsim -exp all -scale full`
+// resumes where it stopped. bashtest persists tester trial Reports the same
+// way. Bumping a key's format version (cellFormat in internal/experiments,
+// reportFormat in internal/tester) orphans stale entries wholesale.
 //
 // Quick start:
 //

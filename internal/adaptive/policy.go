@@ -98,6 +98,26 @@ func New(cfg Config, src UtilizationSource) *Adaptive {
 	}
 }
 
+// Reset re-parameterizes the mechanism for a new run — possibly with a
+// different threshold, interval, width or seed — and returns every counter
+// to its initial state, exactly as if freshly constructed with cfg. The
+// utilization source binding is structural and survives (the underlying
+// channel is reset in place by the network). Call Start afterwards to
+// re-arm the sampler on the (reset) kernel.
+func (a *Adaptive) Reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	a.cfg = cfg
+	a.util = NewUtilizationCounter(cfg.ThresholdPercent, 0)
+	a.policy = NewPolicyCounter(cfg.PolicyBits)
+	a.lfsr = NewLFSR(cfg.Seed)
+	a.lastBusy = 0
+	a.switchUnicast = false
+	a.stopped = false
+	a.Samples = 0
+	a.Broadcasts = 0
+	a.Unicasts = 0
+}
+
 // Start schedules the recurring sampling event on the kernel.
 func (a *Adaptive) Start(k *sim.Kernel) {
 	var tick func()

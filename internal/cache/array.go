@@ -55,6 +55,22 @@ func New(cfg Config) *Array {
 // Config returns the array geometry.
 func (a *Array) Config() Config { return a.cfg }
 
+// Reset empties the array without releasing its storage: already
+// materialized sets are zeroed in place rather than dropped, so a reused
+// array skips both the top-level table allocation and the per-set
+// materialization cost for sets the previous run touched. Behaviour after
+// Reset is indistinguishable from a fresh array (a zeroed way is invalid,
+// exactly like a way in a never-materialized set).
+func (a *Array) Reset() {
+	for _, s := range a.sets {
+		for i := range s {
+			s[i] = way{}
+		}
+	}
+	a.clock = 0
+	a.size = 0
+}
+
 // Len returns the number of resident blocks.
 func (a *Array) Len() int { return a.size }
 

@@ -1,0 +1,183 @@
+// Package cellstore is a persistent content-addressed result cache for
+// simulation cells. Every cell of the paper's evaluation is a pure
+// deterministic function of its configuration, so a result can be stored on
+// disk under a hash of that configuration and replayed for free on any
+// later invocation: `bashsim -exp all -scale full` resumes after an
+// interruption, and unchanged cells cost zero simulations on re-run.
+//
+// Layout: <dir>/<hh>/<hash>.gob, where hash is the hex SHA-256 of the
+// caller's key string and hh its first two digits (fan-out so no directory
+// grows unboundedly). Each file is a gob stream of an envelope — format
+// version plus the full key, guarding against format drift and hash
+// collisions — followed by the caller's value. Files are written to a
+// temporary name and renamed, so readers never observe partial writes.
+//
+// The store is forgiving by design: a missing, corrupt, stale-version or
+// key-mismatched file is a miss, never an error — the caller simply
+// re-simulates (and overwrites it). Callers version their key strings, so
+// changing a cell's semantics orphans old entries rather than corrupting
+// results.
+package cellstore
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Fingerprint returns a hex digest of the running executable, computed once
+// per process. Callers fold it into their cache keys so that results
+// produced by one build of the simulator are never replayed by another: a
+// code change — a protocol fix, a metrics tweak — changes the binary,
+// which orphans every stale entry without anyone remembering to bump a
+// format constant. Identical rebuilds keep their hits. If the executable
+// cannot be read, the fingerprint is "unhashable", which still separates
+// such processes from normally fingerprinted ones.
+func Fingerprint() string {
+	fingerprintOnce.Do(func() {
+		fingerprint = "unhashable"
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		fingerprint = hex.EncodeToString(h.Sum(nil))[:16]
+	})
+	return fingerprint
+}
+
+var (
+	fingerprintOnce sync.Once
+	fingerprint     string
+)
+
+// formatVersion is bumped whenever the on-disk envelope layout changes;
+// files with any other version are ignored (treated as a miss).
+const formatVersion = 1
+
+// envelope prefixes every stored value.
+type envelope struct {
+	Format int
+	Key    string
+}
+
+// Store is one on-disk cache directory. Safe for concurrent use.
+type Store struct {
+	dir                  string
+	hits, misses, writes atomic.Uint64
+}
+
+// Open returns the store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// stores memoizes For by directory so counters aggregate per process.
+var stores sync.Map // dir -> *Store
+
+// For returns the process-wide store for dir, opening it on first use, or
+// nil when dir is empty or unusable (persistence is then simply off).
+// Counters accumulate across every user of the same directory, which is
+// what the CLIs report.
+func For(dir string) *Store {
+	if dir == "" {
+		return nil
+	}
+	if v, ok := stores.Load(dir); ok {
+		return v.(*Store)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		return nil
+	}
+	v, _ := stores.LoadOrStore(dir, st)
+	return v.(*Store)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its file.
+func (s *Store) path(key string) string {
+	h := sha256.Sum256([]byte(key))
+	hx := hex.EncodeToString(h[:])
+	return filepath.Join(s.dir, hx[:2], hx+".gob")
+}
+
+// Get decodes the stored result for key into value (a pointer) and reports
+// whether it was present and intact. Any defect — absent file, truncated or
+// corrupt gob, foreign format version, colliding key — counts as a miss.
+func (s *Store) Get(key string, value any) bool {
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var env envelope
+	if dec.Decode(&env) != nil || env.Format != formatVersion || env.Key != key {
+		s.misses.Add(1)
+		return false
+	}
+	if dec.Decode(value) != nil {
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// Put stores value under key, atomically (write to a temp file, then
+// rename). Errors are returned for observability but are safe to ignore:
+// a failed Put only costs a future re-simulation.
+func (s *Store) Put(key string, value any) error {
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(envelope{Format: formatVersion, Key: key}); err == nil {
+		err = enc.Encode(value)
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Counters reports lifetime hit/miss/write counts for progress output.
+func (s *Store) Counters() (hits, misses, writes uint64) {
+	return s.hits.Load(), s.misses.Load(), s.writes.Load()
+}

@@ -1,0 +1,126 @@
+package cellstore
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name string
+	X    float64
+	Ns   []int64
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "cell", X: 3.25, Ns: []int64{1, 2, 3}}
+	var out payload
+	if st.Get("k1", &out) {
+		t.Fatal("hit on empty store")
+	}
+	if err := st.Put("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Get("k1", &out) {
+		t.Fatal("miss after Put")
+	}
+	if out.Name != in.Name || out.X != in.X || len(out.Ns) != 3 {
+		t.Fatalf("round-trip mangled: %+v", out)
+	}
+	if st.Get("k2", &out) {
+		t.Fatal("hit on absent key")
+	}
+	hits, misses, writes := st.Counters()
+	if hits != 1 || misses != 2 || writes != 1 {
+		t.Fatalf("counters = %d/%d/%d, want 1/2/1", hits, misses, writes)
+	}
+}
+
+// corrupt locates the single stored file and rewrites it with content.
+func corrupt(t *testing.T, dir string, content []byte) {
+	t.Helper()
+	var file string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			file = path
+		}
+		return err
+	})
+	if err != nil || file == "" {
+		t.Fatalf("no stored file found: %v", err)
+	}
+	if err := os.WriteFile(file, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptAndStaleIgnored: truncated garbage, a foreign format version,
+// and a colliding key all read as misses, never as errors or wrong data.
+func TestCorruptAndStaleIgnored(t *testing.T) {
+	t.Run("garbage", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := Open(dir)
+		st.Put("k", payload{Name: "good"})
+		corrupt(t, dir, []byte("not a gob stream"))
+		var out payload
+		if st.Get("k", &out) {
+			t.Fatal("corrupt file read as a hit")
+		}
+	})
+	t.Run("stale-version", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := Open(dir)
+		st.Put("k", payload{Name: "good"})
+		// Rewrite the entry with a future format version; it must be ignored.
+		f, err := os.Create(st.path("k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := gob.NewEncoder(f)
+		if err := enc.Encode(envelope{Format: formatVersion + 1, Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(payload{Name: "stale"}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		var out payload
+		if st.Get("k", &out) {
+			t.Fatal("stale-version file read as a hit")
+		}
+	})
+	t.Run("key-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := Open(dir)
+		st.Put("other", payload{Name: "other"})
+		// Copy the file to where "k" would live: the embedded key differs.
+		src := st.path("other")
+		dst := st.path("k")
+		os.MkdirAll(filepath.Dir(dst), 0o755)
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(dst, data, 0o644)
+		var out payload
+		if st.Get("k", &out) {
+			t.Fatal("key-mismatched file read as a hit")
+		}
+	})
+}
+
+func TestForMemoizes(t *testing.T) {
+	if For("") != nil {
+		t.Fatal("For(\"\") should be nil")
+	}
+	dir := t.TempDir()
+	a, b := For(dir), For(dir)
+	if a == nil || a != b {
+		t.Fatal("For should memoize per directory")
+	}
+}

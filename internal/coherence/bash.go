@@ -61,6 +61,16 @@ func (b *BashCache) EnablePredictor(size int) *OwnerPredictor {
 // Predictor returns the attached predictor, nil when prediction is off.
 func (b *BashCache) Predictor() *OwnerPredictor { return b.pred }
 
+// Reset returns the controller (and its predictor, if attached) to the
+// freshly constructed state. The broadcast policy is shared per-node state
+// owned by the system, which resets it separately (see core.System.Reset).
+func (b *BashCache) Reset() {
+	b.ctrlCore.Reset()
+	if b.pred != nil {
+		b.pred.Reset()
+	}
+}
+
 func bashCacheTable() *Table {
 	t := NewTable("bash-cache")
 	type se struct {
@@ -397,6 +407,16 @@ func NewBashMem(env Env, retryBuffer int) *BashMem {
 
 // Table returns the transition table.
 func (m *BashMem) Table() *Table { return m.tbl }
+
+// Reset clears the home-side block table, outstanding-retry set, statistics
+// and coverage for a new run. The retry capacity is structural (systems
+// pool by it) and is retained.
+func (m *BashMem) Reset() {
+	m.dir.reset()
+	clear(m.retries)
+	m.stats = BashMemStats{}
+	m.tbl.ResetCoverage()
+}
 
 // Stats returns memory-side counters.
 func (m *BashMem) Stats() *BashMemStats { return &m.stats }

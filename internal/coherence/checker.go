@@ -43,6 +43,17 @@ func NewChecker() *Checker {
 // Register adds a cache controller to the SWMR scan set.
 func (c *Checker) Register(cc CacheController) { c.caches = append(c.caches, cc) }
 
+// Reset clears the commit history, violations and counters for a new run,
+// restoring the panic-on-violation default. The registered cache set is
+// structural and survives (the controllers themselves are reused).
+func (c *Checker) Reset() {
+	clear(c.hist)
+	c.Violations = nil
+	c.Panic = true
+	c.WriteCommits = 0
+	c.ReadCommits = 0
+}
+
 func (c *Checker) fail(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	if c.Panic {

@@ -157,3 +157,4 @@ func (f fakeCache) ValueOf(Addr) uint64                { return 0 }
 func (f fakeCache) Table() *Table                      { return NewTable("fake") }
 func (f fakeCache) Preheat(Addr, State, uint64)        {}
 func (f fakeCache) LatencyHistogram() *stats.Histogram { return stats.NewLatencyHistogram() }
+func (f fakeCache) Reset()                             {}

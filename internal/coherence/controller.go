@@ -104,6 +104,22 @@ func (c *ctrlCore) init(env Env, ops protoOps, tbl *Table, arrayCfg cache.Config
 	c.hitLatency = 1
 }
 
+// Reset returns the controller to its freshly constructed state for a new
+// run, retaining every allocation the previous run grew: the line and
+// pended maps keep their buckets, the cache array keeps its materialized
+// sets, the histogram keeps its buckets, and the transition table keeps its
+// declarations (coverage is cleared). The environment — kernel, network,
+// identity, checker, progress hook — is structural and survives unchanged.
+func (c *ctrlCore) Reset() {
+	clear(c.lines)
+	clear(c.pended)
+	c.array.Reset()
+	c.latHist.Reset()
+	c.tbl.ResetCoverage()
+	c.nextTxn = 0
+	c.stats = CacheStats{}
+}
+
 // LatencyHistogram exposes the demand-miss latency distribution.
 func (c *ctrlCore) LatencyHistogram() *stats.Histogram { return c.latHist }
 

@@ -365,6 +365,12 @@ func NewDirMem(env Env) *DirMem {
 // Table returns the transition table.
 func (m *DirMem) Table() *Table { return m.tbl }
 
+// Reset clears the directory's block table and coverage for a new run.
+func (m *DirMem) Reset() {
+	m.dir.reset()
+	m.tbl.ResetCoverage()
+}
+
 // Preheat installs home state for warm-started workloads.
 func (m *DirMem) Preheat(addr Addr, owner network.NodeID, value uint64) {
 	e := m.dir.entry(addr)

@@ -28,6 +28,10 @@ type dirState struct {
 
 func newDirState() *dirState { return &dirState{blocks: make(map[Addr]*dirEntry)} }
 
+// reset drops every entry (all memory back to clean-at-memory), keeping the
+// map's bucket storage for reuse.
+func (d *dirState) reset() { clear(d.blocks) }
+
 // entry returns the entry for addr, materializing the default.
 func (d *dirState) entry(addr Addr) *dirEntry {
 	e := d.blocks[addr]

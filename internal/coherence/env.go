@@ -57,6 +57,9 @@ type CacheController interface {
 	Preheat(a Addr, st State, value uint64)
 	// LatencyHistogram exposes the demand-miss latency distribution.
 	LatencyHistogram() *stats.Histogram
+	// Reset returns the controller to its freshly constructed state for a
+	// new run, retaining grown allocations (pooled-lifecycle support).
+	Reset()
 }
 
 // MemController is the memory/directory side of a node.
@@ -64,6 +67,8 @@ type MemController interface {
 	OnOrdered(m *network.Message)
 	OnUnordered(p *Packet)
 	Table() *Table
+	// Reset clears per-run home-side state (pooled-lifecycle support).
+	Reset()
 	// Preheat installs home-side state (owner, value) without traffic.
 	Preheat(a Addr, owner network.NodeID, value uint64)
 	// HomeValue reports the memory copy of a block and whether memory is

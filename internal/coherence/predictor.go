@@ -49,6 +49,14 @@ func NewOwnerPredictor(size int) *OwnerPredictor {
 	}
 }
 
+// Reset invalidates every entry and zeroes the counters in place, keeping
+// the table storage, so a reused predictor starts cold like a fresh one.
+func (p *OwnerPredictor) Reset() {
+	clear(p.entries)
+	p.Lookups = 0
+	p.Predictions = 0
+}
+
 func (p *OwnerPredictor) slot(a Addr) *predEntry {
 	return &p.entries[uint64(a)&p.mask]
 }

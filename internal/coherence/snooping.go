@@ -307,6 +307,12 @@ func NewSnoopMem(env Env) *SnoopMem {
 // Table returns the transition table.
 func (m *SnoopMem) Table() *Table { return m.tbl }
 
+// Reset clears the home-side block table and coverage for a new run.
+func (m *SnoopMem) Reset() {
+	m.dir.reset()
+	m.tbl.ResetCoverage()
+}
+
 // OwnerOf exposes the tracked owner (tests and preheating).
 func (m *SnoopMem) OwnerOf(addr Addr) network.NodeID { return m.dir.entry(addr).ownerOf() }
 

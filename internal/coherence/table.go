@@ -54,6 +54,14 @@ func (t *Table) Fire(state, event fmt.Stringer) {
 	t.hits[k]++
 }
 
+// ResetCoverage clears the fired-transition counts while keeping every
+// declaration, returning the table to its just-constructed coverage state.
+// Declarations are structural (registered once at controller construction)
+// and survive reuse; coverage is per-run.
+func (t *Table) ResetCoverage() {
+	clear(t.hits)
+}
+
 // States returns the number of distinct states.
 func (t *Table) States() int { return len(t.states) }
 

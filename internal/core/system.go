@@ -95,6 +95,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// structural identifies the allocation shape of a System: the fields that
+// size or select its large structures (controllers, arrays, directory and
+// retry tables, predictor, checker, watchdog). Two defaulted Configs with
+// equal structural keys describe Systems that differ only in per-run
+// parameters — bandwidth, seeds, jitter, adaptive tuning, watchdog interval
+// — all of which Reset re-applies, so a System built for one can be reused
+// for the other. Pool buckets by this key.
+type structural struct {
+	protocol    Protocol
+	nodes       int
+	sets, ways  int
+	retryBuffer int
+	predictor   bool
+	predSize    int
+	checker     bool
+	watchdog    bool
+}
+
+// structuralKey derives the reuse-compatibility key from a defaulted Config.
+func (c Config) structuralKey() structural {
+	return structural{
+		protocol:    c.Protocol,
+		nodes:       c.Nodes,
+		sets:        c.Cache.Sets,
+		ways:        c.Cache.Ways,
+		retryBuffer: c.RetryBuffer,
+		predictor:   c.Predictor || c.Protocol == BashPredictive,
+		predSize:    c.PredictorSize,
+		checker:     c.EnableChecker,
+		watchdog:    c.WatchdogInterval > 0,
+	}
+}
+
 // Node is one integrated processor/memory node.
 type Node struct {
 	ID       network.NodeID
@@ -144,8 +177,22 @@ type System struct {
 
 // NewSystem builds and wires a machine; processors are attached with
 // AttachWorkload and started by Run/Measure.
+//
+// Construction is two-phase: build allocates every structure sized by the
+// structural config (kernel, interconnect, controllers, checker, watchdog),
+// then wire seeds the per-run state (bandwidth, seeds, adaptive tuning,
+// watchdog interval). Reset re-runs only the wire phase, so a pooled System
+// re-seeded for a compatible config is indistinguishable from a fresh one.
 func NewSystem(cfg Config) *System {
 	cfg = cfg.withDefaults()
+	s := build(cfg)
+	s.wire(cfg)
+	return s
+}
+
+// build is the allocation phase: it constructs everything whose shape is
+// fixed by the structural config, leaving per-run state to wire.
+func build(cfg Config) *System {
 	k := sim.NewKernel()
 	net := network.New(k, network.Config{
 		Nodes:         cfg.Nodes,
@@ -185,11 +232,10 @@ func NewSystem(cfg Config) *System {
 			n.Cache = coherence.NewDirCache(env, cfg.Cache)
 			n.Mem = coherence.NewDirMem(env)
 		case BASH, BashSwitch, BashPredictive:
-			acfg := cfg.Adaptive
-			acfg.Seed = uint16(cfg.Seed>>4) ^ uint16(3*i+1)
-			acfg.Switch = cfg.Protocol == BashSwitch
-			ad := adaptive.New(acfg, net.InChannel(id))
-			ad.Start(k)
+			// The adaptive unit's parameters (threshold, interval, width,
+			// seed) are per-run state; wire re-applies them and arms the
+			// sampler.
+			ad := adaptive.New(cfg.Adaptive, net.InChannel(id))
 			n.Adaptive = ad
 			bc := coherence.NewBashCache(env, cfg.Cache, ad)
 			if cfg.Predictor || cfg.Protocol == BashPredictive {
@@ -217,6 +263,62 @@ func NewSystem(cfg Config) *System {
 		s.Nodes = append(s.Nodes, n)
 	}
 	return s
+}
+
+// wire is the seeding phase shared by NewSystem and Reset: it returns every
+// layer to its run-start state and applies cfg's per-run parameters. On a
+// freshly built System the resets are no-ops over empty structures; on a
+// reused one they clear the previous run while retaining every grown
+// allocation (event queue storage, map buckets, materialized cache sets,
+// histogram buckets, predictor tables).
+func (s *System) wire(cfg Config) {
+	s.Kernel.Reset()
+	s.Net.Reset(network.Config{
+		Nodes:         cfg.Nodes,
+		BandwidthMBs:  cfg.BandwidthMBs,
+		BroadcastCost: cfg.BroadcastCost,
+		JitterNs:      cfg.JitterNs,
+		JitterSeed:    cfg.Seed,
+	})
+	if s.Watchdog != nil {
+		s.Watchdog.Reset(cfg.WatchdogInterval)
+	}
+	if s.Checker != nil {
+		s.Checker.Reset()
+	}
+	for i, n := range s.Nodes {
+		n.Cache.Reset()
+		n.Mem.Reset()
+		if n.Adaptive != nil {
+			acfg := cfg.Adaptive
+			acfg.Seed = uint16(cfg.Seed>>4) ^ uint16(3*i+1)
+			acfg.Switch = cfg.Protocol == BashSwitch
+			n.Adaptive.Reset(acfg)
+			n.Adaptive.Start(s.Kernel)
+		}
+		n.Proc = nil
+	}
+	s.cfg = cfg
+	s.trace = nil
+	s.traffic.reset()
+	s.totalOps = 0
+}
+
+// Reset re-seeds the System for a new run of a structurally compatible
+// configuration — same protocol, node count, cache geometry, retry buffer,
+// predictor and checker/watchdog presence — without reallocating any of its
+// large structures. Per-run parameters (bandwidth, broadcast cost, seed,
+// jitter, adaptive tuning, watchdog interval) may differ freely. A reset
+// System produces byte-identical results to a freshly constructed one; an
+// incompatible config is reported as an error and leaves the System
+// untouched. Attach a workload and Measure as usual afterwards.
+func (s *System) Reset(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if have, want := s.cfg.structuralKey(), cfg.structuralKey(); have != want {
+		return fmt.Errorf("core: reset with structurally incompatible config (have %+v, want %+v)", have, want)
+	}
+	s.wire(cfg)
+	return nil
 }
 
 // Config returns the (defaulted) system configuration.

@@ -24,6 +24,12 @@ func newTrafficStats() *TrafficStats {
 	}
 }
 
+// reset clears the per-kind counters for a new run, keeping the maps.
+func (t *TrafficStats) reset() {
+	clear(t.Messages)
+	clear(t.Bytes)
+}
+
 func (t *TrafficStats) record(kind coherence.Kind, bytes int) {
 	t.Messages[kind]++
 	t.Bytes[kind] += uint64(bytes)

@@ -47,6 +47,7 @@ func Ablation(o Options) *TableResult {
 			vs = append(vs, variant{v.label, runConfig{
 				protocol: v.p, nodes: nodes, bandwidth: bw,
 				seed: 11, warm: warm, measure: measure,
+				watchdog: o.WatchdogInterval,
 			}})
 		}
 	}
@@ -56,17 +57,19 @@ func Ablation(o Options) *TableResult {
 		vs = append(vs, variant{fmt.Sprintf("BASH interval=%d", iv), runConfig{
 			protocol: core.BASH, nodes: nodes, bandwidth: 1600,
 			interval: iv, seed: 11, warm: warm, measure: measure,
+			watchdog: o.WatchdogInterval,
 		}})
 	}
 	for _, bits := range []uint{4, 8, 12} {
 		vs = append(vs, variant{fmt.Sprintf("BASH policy-bits=%d", bits), runConfig{
 			protocol: core.BASH, nodes: nodes, bandwidth: 1600,
 			policyBits: bits, seed: 11, warm: warm, measure: measure,
+			watchdog: o.WatchdogInterval,
 		}})
 	}
 	label := func(i int) string { return "ablation " + vs[i].label }
 	ms, err := runner.Map(len(vs), o.runnerOptions(label),
-		func(i int) (core.Metrics, error) { return runMemo(vs[i].rc), nil })
+		func(i int) (core.Metrics, error) { return runMemo(o, vs[i].rc), nil })
 	if err != nil {
 		panic(abort{err})
 	}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPersistentCellCache: a second Run against a warm .cache directory
+// performs zero simulations and yields identical figures; corrupted cache
+// files are ignored (re-simulated), never fatal.
+func TestPersistentCellCache(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{CacheDir: dir}
+
+	ResetMemo()
+	first := tsvOf(t, "fig1", o)
+	if Simulations() == 0 {
+		t.Fatal("cold run simulated nothing")
+	}
+
+	// Drop the in-process memo so only the disk store can satisfy cells.
+	ResetMemo()
+	before := Simulations()
+	second := tsvOf(t, "fig1", o)
+	if n := Simulations() - before; n != 0 {
+		t.Errorf("warm-cache run simulated %d cells, want 0", n)
+	}
+	if first != second {
+		t.Errorf("warm-cache TSV differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", first, second)
+	}
+
+	// Corrupt every stored file: the store must treat them as misses and
+	// the run must re-simulate to the same output.
+	var corrupted int
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		corrupted++
+		return os.WriteFile(path, []byte("garbage"), 0o644)
+	})
+	if err != nil || corrupted == 0 {
+		t.Fatalf("corrupting cache files: %v (%d files)", err, corrupted)
+	}
+	ResetMemo()
+	before = Simulations()
+	third := tsvOf(t, "fig1", o)
+	if n := Simulations() - before; n == 0 {
+		t.Error("corrupted cache served hits instead of re-simulating")
+	}
+	if first != third {
+		t.Error("re-simulated TSV differs after cache corruption")
+	}
+
+	// And the rewritten entries serve the next run again.
+	ResetMemo()
+	before = Simulations()
+	fourth := tsvOf(t, "fig1", o)
+	if n := Simulations() - before; n != 0 {
+		t.Errorf("re-warmed cache simulated %d cells, want 0", n)
+	}
+	if first != fourth {
+		t.Error("re-warmed TSV differs")
+	}
+}
+
+// TestCacheDisabled: with no CacheDir nothing is written anywhere, and an
+// unusable cache directory degrades to plain simulation instead of failing.
+func TestCacheDisabled(t *testing.T) {
+	ResetMemo()
+	before := Simulations()
+	tsvOf(t, "fig3", Options{}) // fig3 is pure table arithmetic: 0 cells
+	tsvOf(t, "fig3", Options{CacheDir: string([]byte{0})})
+	if n := Simulations() - before; n != 0 {
+		t.Errorf("fig3 simulated %d cells, want 0", n)
+	}
+}

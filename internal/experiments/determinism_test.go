@@ -53,6 +53,36 @@ func TestSweepDeterminism(t *testing.T) {
 	}
 }
 
+// TestPoolingDeterminism: a sweep with System pooling enabled produces
+// byte-identical TSV to a pooling-disabled (fresh construction per cell)
+// run, serially and with a parallel worker pool. This is the end-to-end
+// guarantee behind core.Pool: leasing a re-seeded System never changes a
+// result.
+func TestPoolingDeterminism(t *testing.T) {
+	for _, id := range []string{"fig1", "predictive"} {
+		seeds := []uint64{11, 23}
+		if id == "predictive" {
+			seeds = nil // predictive pins its own seed
+		}
+
+		ResetMemo()
+		fresh := tsvOf(t, id, Options{Seeds: seeds, Parallel: 1, NoReuse: true})
+
+		ResetMemo()
+		pooledSerial := tsvOf(t, id, Options{Seeds: seeds, Parallel: 1})
+		if fresh != pooledSerial {
+			t.Errorf("%s: pooled serial TSV differs from fresh-construction TSV:\n--- fresh ---\n%s\n--- pooled ---\n%s",
+				id, fresh, pooledSerial)
+		}
+
+		ResetMemo()
+		pooledParallel := tsvOf(t, id, Options{Seeds: seeds, Parallel: 8})
+		if fresh != pooledParallel {
+			t.Errorf("%s: pooled parallel TSV differs from fresh-construction TSV", id)
+		}
+	}
+}
+
 // TestSweepProgress: the progress callback sees every cell of a sweep.
 func TestSweepProgress(t *testing.T) {
 	ResetMemo()

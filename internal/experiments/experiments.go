@@ -12,7 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cellstore"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/network"
@@ -145,6 +147,21 @@ type Options struct {
 	// Context cancels long sweeps; Run returns its error. Nil means no
 	// cancellation.
 	Context context.Context
+	// WatchdogInterval is the forward-progress watchdog interval for sweep
+	// cells in simulated nanoseconds; 0 selects the 500 ms default. Raise
+	// it for full-scale >=256-node cells, whose slowest protocol/bandwidth
+	// corners can legitimately exceed the default between completions.
+	WatchdogInterval sim.Time
+	// CacheDir, when non-empty, persists simulated cell results in a
+	// content-addressed store under this directory (see internal/cellstore)
+	// so later invocations — including after an interrupted run — replay
+	// unchanged cells without simulating. Empty disables persistence.
+	CacheDir string
+	// NoReuse disables System pooling: every cell constructs a fresh
+	// core.System instead of leasing a re-seeded one. Results are identical
+	// either way (the determinism tests assert it); the switch exists for
+	// benchmarking and fault isolation.
+	NoReuse bool
 }
 
 // runnerOptions adapts Options to the orchestration layer for one sweep.
@@ -186,7 +203,9 @@ func (o Options) bandwidths() []float64 {
 // the protocols compared throughout the evaluation, in the paper's order.
 var evalProtocols = []core.Protocol{core.Snooping, core.BASH, core.Directory}
 
-// runConfig describes one simulated data point.
+// runConfig describes one simulated data point. It is the key of both the
+// in-process cell memo and (hashed, via cacheKey) the persistent cell
+// store, so every field that influences the simulation must appear here.
 type runConfig struct {
 	protocol      core.Protocol
 	nodes         int
@@ -199,6 +218,45 @@ type runConfig struct {
 	policyBits    uint
 	seed          uint64
 	warm, measure uint64
+	watchdog      sim.Time // watchdog interval (0 = default 500 ms)
+}
+
+// cellFormat versions the persistent cell store's key space: bump it when a
+// cell's semantics change (simulation model, metrics definition, runConfig
+// fields), orphaning stale entries instead of replaying them.
+const cellFormat = 1
+
+// defaultWatchdogInterval is the per-cell forward-progress watchdog default
+// (simulated ns) applied when neither Options nor the cell specify one.
+const defaultWatchdogInterval sim.Time = 500_000_000
+
+// watchdogInterval resolves Options.WatchdogInterval against the default.
+func (o Options) watchdogInterval() sim.Time {
+	if o.WatchdogInterval > 0 {
+		return o.WatchdogInterval
+	}
+	return defaultWatchdogInterval
+}
+
+// cacheKey renders the full configuration of one cell as the persistent
+// store's content address. Every runConfig field appears, plus the format
+// version and the binary fingerprint — results from a different build of
+// the simulator are never replayed. Only the watchdog default is
+// normalized (0 and the explicit default share an entry); the adaptive
+// fields (threshold/interval/bits) are rendered raw, so a cell written
+// with an explicit adaptive default keys separately from its zero-valued
+// twin — same split the in-process memo has, costing at most one duplicate
+// simulation per such pair. Two invocations with an equal key are
+// guaranteed the same Metrics.
+func (rc runConfig) cacheKey() string {
+	wd := rc.watchdog
+	if wd == 0 {
+		wd = defaultWatchdogInterval
+	}
+	return fmt.Sprintf("bashsim-cell-v%d|bin=%s|proto=%d|nodes=%d|bw=%g|bcost=%g|think=%d|wl=%q|thresh=%d|interval=%d|bits=%d|seed=%d|warm=%d|measure=%d|watchdog=%d",
+		cellFormat, cellstore.Fingerprint(), int(rc.protocol), rc.nodes, rc.bandwidth, rc.broadcastCost,
+		rc.think, rc.workloadName, rc.threshold, rc.interval, rc.policyBits,
+		rc.seed, rc.warm, rc.measure, wd)
 }
 
 // makeWorkload builds the generator and the warm-start block list.
@@ -215,16 +273,46 @@ func makeWorkload(rc runConfig) (core.Workload, []coherence.Addr) {
 	return w, w.WarmBlocks()
 }
 
+// sysPool recycles Systems across sweep cells. Workers lease a structurally
+// compatible System per cell (re-seeded via core.System.Reset) instead of
+// constructing one, which removes the dominant remaining per-cell cost; see
+// BenchmarkSystemReuse. Options.NoReuse bypasses it.
+var sysPool = core.NewPool()
+
+// simCount counts actual simulations (runOne executions) process-wide. The
+// persistent-cache tests assert a warm cache performs zero of them, and the
+// CLIs report it alongside cache hit/miss counts.
+var simCount atomic.Uint64
+
+// Simulations returns the number of cells actually simulated (as opposed to
+// served from the in-process memo or the persistent store) by this process.
+func Simulations() uint64 { return simCount.Load() }
+
+// leaseSystem checks a System for cfg out of the pool (or builds one fresh
+// under Options.NoReuse) and returns it with its release function.
+func leaseSystem(o Options, cfg core.Config) (*core.System, func()) {
+	if o.NoReuse {
+		return core.NewSystem(cfg), func() {}
+	}
+	s := sysPool.Get(cfg)
+	return s, func() { sysPool.Put(s) }
+}
+
 // runOne simulates one data point. Warm-up and measurement operation
 // counts are scaled with system size (relative to the 16-processor
 // baseline) so that every processor sees enough misses for the adaptive
 // mechanism to reach steady state — the paper's mechanism needs ~130k
 // cycles (~1000 misses per processor) to swing across its full range.
-func runOne(rc runConfig) core.Metrics {
+func runOne(o Options, rc runConfig) core.Metrics {
+	simCount.Add(1)
 	if rc.nodes > 16 {
 		scale := uint64(rc.nodes / 16)
 		rc.warm *= scale
 		rc.measure *= scale
+	}
+	wd := rc.watchdog
+	if wd == 0 {
+		wd = defaultWatchdogInterval
 	}
 	cfg := core.Config{
 		Protocol:         rc.protocol,
@@ -232,12 +320,13 @@ func runOne(rc runConfig) core.Metrics {
 		BandwidthMBs:     rc.bandwidth,
 		BroadcastCost:    rc.broadcastCost,
 		Seed:             rc.seed,
-		WatchdogInterval: 500_000_000,
+		WatchdogInterval: wd,
 	}
 	cfg.Adaptive.ThresholdPercent = rc.threshold
 	cfg.Adaptive.Interval = rc.interval
 	cfg.Adaptive.PolicyBits = rc.policyBits
-	sys := core.NewSystem(cfg)
+	sys, release := leaseSystem(o, cfg)
+	defer release()
 	wl, warm := makeWorkload(rc)
 	for i, a := range warm {
 		sys.PreheatOwned(a, network.NodeID(i%rc.nodes), uint64(i)+1)
@@ -254,14 +343,38 @@ func runOne(rc runConfig) core.Metrics {
 // distinct cell is simulated exactly once per process.
 var cellMemo sync.Map // runConfig -> core.Metrics
 
-// runMemo returns the memoized metrics for rc, simulating on first use.
-func runMemo(rc runConfig) core.Metrics {
+// runMemo returns the metrics for rc, consulting the in-process memo, then
+// (when Options.CacheDir is set) the persistent cell store, and simulating
+// only when both miss. Fresh results are written through to both layers, so
+// an interrupted full-scale run resumes where it left off.
+func runMemo(o Options, rc runConfig) core.Metrics {
 	if v, ok := cellMemo.Load(rc); ok {
 		return v.(core.Metrics)
 	}
-	m := runOne(rc)
+	st := cellstore.For(o.CacheDir)
+	if st != nil {
+		var m core.Metrics
+		if st.Get(rc.cacheKey(), &m) {
+			v, _ := cellMemo.LoadOrStore(rc, m)
+			return v.(core.Metrics)
+		}
+	}
+	m := runOne(o, rc)
+	if st != nil {
+		st.Put(rc.cacheKey(), m) // best-effort; a failed write re-simulates later
+	}
 	v, _ := cellMemo.LoadOrStore(rc, m)
 	return v.(core.Metrics)
+}
+
+// CacheCounters reports the persistent cell store's hit/miss/write counts
+// for dir (zeros when no store was opened there). The CLIs print these with
+// their progress output.
+func CacheCounters(dir string) (hits, misses, writes uint64) {
+	if st := cellstore.For(dir); st != nil {
+		return st.Counters()
+	}
+	return 0, 0, 0
 }
 
 // ResetMemo drops every memoized cell, forcing subsequent runs to
@@ -297,6 +410,7 @@ type sweepResult struct {
 func runSweep(o Options, protocols []core.Protocol, xs []float64, base runConfig,
 	seeds []uint64, vary func(rc *runConfig, x float64)) map[core.Protocol][]*sweepResult {
 
+	base.watchdog = o.WatchdogInterval
 	type job struct {
 		pi, xi int
 		rc     runConfig
@@ -318,7 +432,7 @@ func runSweep(o Options, protocols []core.Protocol, xs []float64, base runConfig
 		return fmt.Sprintf("cell %s x=%g seed=%d", protocols[j.pi], xs[j.xi], j.rc.seed)
 	}
 	results, err := runner.Map(len(jobs), o.runnerOptions(label),
-		func(i int) (core.Metrics, error) { return runMemo(jobs[i].rc), nil })
+		func(i int) (core.Metrics, error) { return runMemo(o, jobs[i].rc), nil })
 	if err != nil {
 		panic(abort{err})
 	}

@@ -48,13 +48,14 @@ func Predictive(o Options) *TableResult {
 	}
 	rows, err := runner.Map(len(jobs), o.runnerOptions(label), func(i int) ([]string, error) {
 		j := jobs[i]
-		sys := core.NewSystem(core.Config{
+		sys, release := leaseSystem(o, core.Config{
 			Protocol:         j.p,
 			Nodes:            nodes,
 			BandwidthMBs:     j.bw,
 			Seed:             21,
-			WatchdogInterval: 500_000_000,
+			WatchdogInterval: o.watchdogInterval(),
 		})
+		defer release()
 		lk := workload.NewLocking(128*nodes, 0)
 		for i, a := range lk.WarmBlocks() {
 			sys.PreheatOwned(a, network.NodeID(i%nodes), uint64(i)+1)

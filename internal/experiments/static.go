@@ -193,12 +193,12 @@ func Stability(o Options) *TableResult {
 		},
 	}
 	for _, p := range []core.Protocol{core.BASH, core.BashSwitch} {
-		sys := core.NewSystem(core.Config{
+		sys, release := leaseSystem(o, core.Config{
 			Protocol:         p,
 			Nodes:            16,
 			BandwidthMBs:     1200,
 			Seed:             5,
-			WatchdogInterval: 500_000_000,
+			WatchdogInterval: o.watchdogInterval(),
 		})
 		lk := makeLocking(sys, 0)
 		sys.AttachWorkload(func(network.NodeID) core.Workload { return lk })
@@ -230,6 +230,7 @@ func Stability(o Options) *TableResult {
 		sys.Quiesce()
 		mean, sd := meanStd(probs)
 		thr := ops / elapsed
+		release()
 		t.Rows = append(t.Rows, []string{
 			p.String(), fmt.Sprintf("%.5f", thr),
 			fmt.Sprintf("%.3f", mean), fmt.Sprintf("%.3f", sd), fmt.Sprint(flips),

@@ -132,10 +132,10 @@ func Fig12(o Options) *TableResult {
 	}
 	ms, err := runner.Map(len(jobs), o.runnerOptions(label), func(i int) (core.Metrics, error) {
 		j := jobs[i]
-		return runMemo(runConfig{
+		return runMemo(o, runConfig{
 			protocol: j.p, nodes: macroNodes, bandwidth: 1600,
 			broadcastCost: 4, workloadName: j.name, seed: j.seed,
-			warm: warm, measure: measure,
+			warm: warm, measure: measure, watchdog: o.WatchdogInterval,
 		}), nil
 	})
 	if err != nil {

@@ -29,6 +29,20 @@ func NewChannel(bandwidthMBs float64) *Channel {
 	return &Channel{nsPerByte: 1000.0 / bandwidthMBs}
 }
 
+// Reset returns the channel to its freshly constructed state with a possibly
+// different bandwidth, so a reused interconnect replays exactly like a fresh
+// one. Samplers holding a pointer to the channel (adaptive units) stay valid.
+func (c *Channel) Reset(bandwidthMBs float64) {
+	if bandwidthMBs <= 0 {
+		panic("network: bandwidth must be positive")
+	}
+	c.nsPerByte = 1000.0 / bandwidthMBs
+	c.freeAt = 0
+	c.busy = 0
+	c.messages = 0
+	c.bytes = 0
+}
+
 // Seize reserves the channel for a message of the given size (scaled by
 // costMult) arriving at time now, and returns the time at which the message
 // wins the channel. Messages are served in seize-call order (FIFO).

@@ -125,6 +125,39 @@ func New(k *sim.Kernel, cfg Config) *Network {
 	return n
 }
 
+// Reset returns the interconnect to its freshly constructed state for a new
+// run: sequencer at zero, channels idle (with the new bandwidth), per-node
+// order/FIFO tracking cleared, counters zeroed, and the jitter generator
+// reseeded. The node count is structural and must match; handlers and the
+// channel objects themselves are retained, so registered receivers and
+// utilization samplers stay wired.
+func (n *Network) Reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes != n.cfg.Nodes {
+		panic(fmt.Sprintf("network: reset with %d nodes on a %d-node interconnect", cfg.Nodes, n.cfg.Nodes))
+	}
+	n.cfg = cfg
+	n.seq = 0
+	for i := range n.out {
+		n.out[i].Reset(cfg.BandwidthMBs)
+		n.in[i].Reset(cfg.BandwidthMBs)
+		n.lastSeqDelivered[i] = 0
+		n.lastStamp[i] = 0
+	}
+	if cfg.JitterNs > 0 {
+		seed := cfg.JitterSeed ^ 0x6a09e667f3bcc908
+		if n.jitter == nil {
+			n.jitter = sim.NewRNG(seed)
+		} else {
+			n.jitter.Reseed(seed)
+		}
+	} else {
+		n.jitter = nil
+	}
+	n.OrderedSent = 0
+	n.UnorderedSent = 0
+}
+
 // jitterDelay samples one message's extra traversal delay.
 func (n *Network) jitterDelay() sim.Time {
 	if n.jitter == nil {

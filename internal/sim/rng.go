@@ -15,6 +15,11 @@ type RNG struct {
 // NewRNG returns a generator with the given seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed restarts the generator from the given seed, as if freshly
+// constructed. Reused simulation structures (see core.System.Reset) reseed
+// their generators so a leased run replays exactly like a fresh one.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

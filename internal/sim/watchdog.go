@@ -29,6 +29,23 @@ func NewWatchdog(k *Kernel, interval Time, onTrip func(sinceWork Time)) *Watchdo
 	return w
 }
 
+// Reset re-arms the watchdog for a new run on the same kernel, which must
+// already have been Reset (the previously scheduled check was dropped with
+// the rest of the queue). The interval may differ from the one the watchdog
+// was built with; it must be positive.
+func (w *Watchdog) Reset(interval Time) {
+	if interval <= 0 {
+		panic("sim: watchdog interval must be positive")
+	}
+	w.interval = interval
+	w.last = w.kernel.Now()
+	w.lastWork = 0
+	w.work = 0
+	w.tripped = false
+	w.stopped = false
+	w.schedule()
+}
+
 // Progress records that useful work happened (a transaction completed, a
 // message was delivered, ...).
 func (w *Watchdog) Progress() {

@@ -20,6 +20,9 @@ type Accumulator struct {
 	max  float64
 }
 
+// Reset returns the accumulator to its empty zero value.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
 // Add records one observation.
 func (a *Accumulator) Add(x float64) {
 	a.n++
@@ -112,6 +115,16 @@ func NewHistogram(bounds ...float64) *Histogram {
 // NewLatencyHistogram returns buckets appropriate for 0..10µs miss latencies.
 func NewLatencyHistogram() *Histogram {
 	return NewHistogram(125, 180, 255, 400, 600, 1000, 2000, 5000, 10000)
+}
+
+// Reset zeroes every bucket and the moment accumulator, keeping the bounds
+// and the counts slice, so a reused histogram is indistinguishable from a
+// fresh one without reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.acc.Reset()
 }
 
 // Add records one observation.

@@ -106,3 +106,83 @@ func TestHistogramUnsortedBoundsPanics(t *testing.T) {
 	}()
 	NewHistogram(10, 5)
 }
+
+func TestHistogramMergeMismatchedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging histograms with different bounds did not panic")
+		}
+	}()
+	a := NewHistogram(10, 20, 30)
+	b := NewHistogram(10, 20)
+	a.Merge(b)
+}
+
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, p := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty histogram p%g = %v, want 0", 100*p, got)
+		}
+	}
+}
+
+func TestHistogramPercentileSingleBucket(t *testing.T) {
+	// A histogram with one bound has two buckets: [..100] and overflow.
+	h := NewHistogram(100)
+	for i := 0; i < 5; i++ {
+		h.Add(50)
+	}
+	for _, p := range []float64{0.01, 0.5, 1.0} {
+		if got := h.Percentile(p); got != 100 {
+			t.Errorf("p%g = %v, want bound 100", 100*p, got)
+		}
+	}
+	// All mass in the overflow bucket reports the observed max.
+	o := NewHistogram(100)
+	o.Add(250)
+	o.Add(900)
+	if got := o.Percentile(0.5); got != 900 {
+		t.Errorf("overflow p50 = %v, want observed max 900", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(100)
+	h.Add(50000)
+	h.Reset()
+	if h.N() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("reset left moments: n=%d mean=%v max=%v", h.N(), h.Mean(), h.Max())
+	}
+	for i := 0; i < h.Buckets(); i++ {
+		if h.Bucket(i) != 0 {
+			t.Fatalf("reset left bucket %d = %d", i, h.Bucket(i))
+		}
+	}
+	if got := h.Percentile(0.5); got != 0 {
+		t.Fatalf("reset histogram p50 = %v", got)
+	}
+}
+
+func TestAccumulatorCoVSmallN(t *testing.T) {
+	var a Accumulator
+	if got := a.CoV(); got != 0 {
+		t.Errorf("empty accumulator CoV = %v, want 0", got)
+	}
+	a.Add(5)
+	// n=1: variance is defined as 0, so CoV must be 0, not NaN.
+	if got := a.CoV(); got != 0 {
+		t.Errorf("n=1 CoV = %v, want 0", got)
+	}
+	// A single zero observation: zero mean must not divide.
+	var z Accumulator
+	z.Add(0)
+	if got := z.CoV(); got != 0 {
+		t.Errorf("zero-mean CoV = %v, want 0", got)
+	}
+	a.Add(10)
+	if got := a.CoV(); got <= 0 {
+		t.Errorf("n=2 CoV = %v, want > 0", got)
+	}
+}

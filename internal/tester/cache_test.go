@@ -1,0 +1,80 @@
+package tester
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cellstore"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// TestPooledRunMatchesFresh: tester trials lease Systems from a pool; a
+// trial that reuses the System a previous trial ran on must report exactly
+// what a fresh-construction trial reports, including across configs that
+// share a structural shape but differ in seed, bandwidth and jitter. The
+// baseline bypasses the pool entirely (runOn over core.NewSystem), so a
+// Reset bug that corrupts state the same way on every reuse cannot hide.
+func TestPooledRunMatchesFresh(t *testing.T) {
+	cfgs := []Config{
+		{Protocol: core.BASH, Nodes: 4, Blocks: 8, Ops: 3000, Seed: 13, JitterNs: 50},
+		{Protocol: core.BASH, Nodes: 4, Blocks: 8, Ops: 3000, Seed: 99, BandwidthMBs: 1500},
+		{Protocol: core.Directory, Nodes: 4, Blocks: 8, Ops: 3000, Seed: 13},
+		{Protocol: core.BASH, Nodes: 4, Blocks: 20, Ops: 3000, Seed: 13, TinyCache: true},
+	}
+	fresh := make([]Report, len(cfgs))
+	for i, c := range cfgs {
+		c = c.withDefaults()
+		fresh[i] = runOn(core.NewSystem(systemConfig(c)), c)
+	}
+	// Two pooled passes: the first may build, the second definitely reuses.
+	for pass := 0; pass < 2; pass++ {
+		for i, c := range cfgs {
+			if got := Run(c); !reflect.DeepEqual(got, fresh[i]) {
+				t.Errorf("pass %d config %d: pooled report differs from fresh:\n fresh:  %+v\n pooled: %+v",
+					pass, i, fresh[i], got)
+			}
+		}
+	}
+}
+
+// TestRunConfigsCached: a second invocation against a warm cache replays
+// every report from disk (all hits, no new writes) and returns identical
+// reports; an empty cacheDir falls back to plain RunConfigs.
+func TestRunConfigsCached(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := []Config{
+		{Protocol: core.BASH, Nodes: 4, Blocks: 8, Ops: 2000, Seed: 7},
+		{Protocol: core.Snooping, Nodes: 4, Blocks: 8, Ops: 2000, Seed: 7},
+	}
+	cold, err := RunConfigsCached(cfgs, runner.Options{Workers: 1}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cellstore.For(dir)
+	_, _, writesAfterCold := st.Counters()
+	if writesAfterCold != uint64(len(cfgs)) {
+		t.Fatalf("cold run wrote %d entries, want %d", writesAfterCold, len(cfgs))
+	}
+
+	warm, err := RunConfigsCached(cfgs, runner.Options{Workers: 1}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, writesAfterWarm := st.Counters()
+	if hits != uint64(len(cfgs)) || writesAfterWarm != writesAfterCold {
+		t.Errorf("warm run: %d hits (want %d), %d writes (want %d)",
+			hits, len(cfgs), writesAfterWarm, writesAfterCold)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("replayed reports differ from simulated reports")
+	}
+
+	plain, err := RunConfigsCached(cfgs, runner.Options{Workers: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, plain) {
+		t.Error("uncached reports differ from cached-run reports")
+	}
+}

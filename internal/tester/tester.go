@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cellstore"
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/network"
@@ -119,9 +120,14 @@ func (w randomWL) Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence.O
 	return think, op
 }
 
-// Run executes one randomized test and returns the report.
-func Run(cfg Config) Report {
-	cfg = cfg.withDefaults()
+// sysPool recycles Systems across trials: worker goroutines lease a
+// structurally compatible System per (protocol, seed) trial instead of
+// constructing one. Reset re-seeds every layer, so a pooled trial's report
+// is identical to a fresh-construction one.
+var sysPool = core.NewPool()
+
+// systemConfig maps a (defaulted) tester config to its machine config.
+func systemConfig(cfg Config) core.Config {
 	sysCfg := core.Config{
 		Protocol:         cfg.Protocol,
 		Nodes:            cfg.Nodes,
@@ -137,7 +143,22 @@ func Run(cfg Config) Report {
 		sysCfg.Cache.Sets = 4
 		sysCfg.Cache.Ways = 2
 	}
-	sys := core.NewSystem(sysCfg)
+	return sysCfg
+}
+
+// Run executes one randomized test and returns the report. The System is
+// leased from the trial pool; runOn carries the whole trial, so tests can
+// drive it with a fresh-constructed System to pin pooled == fresh.
+func Run(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	sys := sysPool.Get(systemConfig(cfg))
+	defer sysPool.Put(sys)
+	return runOn(sys, cfg)
+}
+
+// runOn executes one randomized trial on the given (fresh or leased) System
+// built for systemConfig(cfg). cfg must already be defaulted.
+func runOn(sys *core.System, cfg Config) Report {
 	sys.Checker.Panic = false
 
 	wl := randomWL{blocks: cfg.Blocks, maxThink: cfg.MaxThink, storeP: cfg.StoreFraction}
@@ -174,13 +195,57 @@ func Run(cfg Config) Report {
 // — an independent single-threaded simulation. A trial that panics is
 // reported as a *runner.PanicError naming its protocol and seed.
 func RunConfigs(cfgs []Config, opt runner.Options) ([]Report, error) {
+	applyDefaultLabel(cfgs, &opt)
+	return runner.Map(len(cfgs), opt, func(i int) (Report, error) {
+		return Run(cfgs[i]), nil
+	})
+}
+
+// applyDefaultLabel fills opt.Label with the standard trial label when the
+// caller supplied none.
+func applyDefaultLabel(cfgs []Config, opt *runner.Options) {
 	if opt.Label == nil {
 		opt.Label = func(i int) string {
 			return fmt.Sprintf("trial %s seed=%d", cfgs[i].Protocol, cfgs[i].Seed)
 		}
 	}
+}
+
+// reportFormat versions the persistent report cache; bump it when the
+// tester's semantics or the Report layout change, orphaning stale entries.
+const reportFormat = 1
+
+// cacheKey renders a (defaulted) config as the persistent store's content
+// address; every field that influences the trial appears, plus the binary
+// fingerprint, so a rebuilt tester never replays another build's verdicts —
+// cached PASS reports must not mask a freshly introduced protocol bug.
+func (c Config) cacheKey() string {
+	return fmt.Sprintf("bashtest-trial-v%d|bin=%s|proto=%d|nodes=%d|blocks=%d|ops=%d|think=%d|storep=%g|jitter=%d|bw=%g|retry=%d|tiny=%t|seed=%d",
+		reportFormat, cellstore.Fingerprint(), int(c.Protocol), c.Nodes, c.Blocks, c.Ops, c.MaxThink,
+		c.StoreFraction, c.JitterNs, c.BandwidthMBs, c.RetryBuffer, c.TinyCache, c.Seed)
+}
+
+// RunConfigsCached is RunConfigs backed by the persistent cell store under
+// cacheDir: a trial whose exact config was already run (by this or any
+// earlier process) replays its stored Report instead of simulating, so an
+// interrupted multi-seed soak resumes where it stopped. An empty cacheDir
+// disables persistence. Every trial is a pure deterministic function of its
+// Config, so replayed and fresh reports are identical.
+func RunConfigsCached(cfgs []Config, opt runner.Options, cacheDir string) ([]Report, error) {
+	st := cellstore.For(cacheDir)
+	if st == nil {
+		return RunConfigs(cfgs, opt)
+	}
+	applyDefaultLabel(cfgs, &opt)
 	return runner.Map(len(cfgs), opt, func(i int) (Report, error) {
-		return Run(cfgs[i]), nil
+		key := cfgs[i].withDefaults().cacheKey()
+		var rep Report
+		if st.Get(key, &rep) {
+			return rep, nil
+		}
+		rep = Run(cfgs[i])
+		st.Put(key, rep) // best-effort; a failed write re-runs later
+		return rep, nil
 	})
 }
 
