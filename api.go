@@ -1,10 +1,15 @@
 package bashsim
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/adaptive"
 	"repro/internal/cache"
+	"repro/internal/cellstore"
 	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/queueing"
@@ -98,6 +103,65 @@ func ShardSeeds(base uint64, n int) []uint64 { return runner.Seeds(base, n) }
 // batch-sharding job lists whose items are too cheap to dispatch singly.
 func ShardChunks(total, shards int) []ShardRange { return runner.Chunks(total, shards) }
 
+// Distributed execution (internal/dist + the runner backend seam): fan
+// simulation cells across worker processes and machines with byte-identical
+// results. See the "Distributed sweeps" section of the package
+// documentation and `bashsim -serve` / `bashsim -worker`.
+type (
+	// Backend executes batches of serializable jobs: the in-process pool
+	// (LocalBackend) or a distributed coordinator. ExperimentOptions.Backend
+	// selects one for experiment sweeps; nil keeps the direct in-process
+	// path.
+	Backend = runner.Backend
+	// RunnerJob is one remotely executable unit of work: a registered
+	// executor kind, a content-address key, and an opaque serialized spec.
+	RunnerJob = runner.Job
+	// DistOptions tunes the coordinator's lease-based job protocol.
+	DistOptions = dist.CoordinatorOptions
+	// DistCoordinator owns the job queue and lease table, serves the wire
+	// protocol over HTTP, and implements Backend.
+	DistCoordinator = dist.Coordinator
+	// DistWorkerOptions configures one worker process.
+	DistWorkerOptions = dist.WorkerOptions
+	// DistStats are a coordinator's lifetime dispatch counters.
+	DistStats = dist.Stats
+)
+
+// NewLocalBackend returns the in-process Backend: jobs run through their
+// registered executors on the goroutine pool, with Map's exact semantics.
+func NewLocalBackend() Backend { return runner.LocalBackend{} }
+
+// NewDistCoordinator returns an idle distributed-sweep coordinator; mount
+// its Handler on an HTTP server and pass it as ExperimentOptions.Backend.
+func NewDistCoordinator(o DistOptions) *DistCoordinator { return dist.NewCoordinator(o) }
+
+// RunDistWorker leases and executes jobs from a coordinator until ctx is
+// canceled. Call RegisterDistExecutors (or the internal registrars) first so
+// the worker has kinds to advertise.
+func RunDistWorker(ctx context.Context, o DistWorkerOptions) error { return dist.RunWorker(ctx, o) }
+
+// RegisterDistExecutors registers this process's executors for both
+// distributed job kinds — experiment cells and tester trials — publishing
+// results into the cell store under cacheDir (empty disables persistence).
+func RegisterDistExecutors(cacheDir string) {
+	experiments.RegisterCellExecutor(experiments.Options{CacheDir: cacheDir})
+	tester.RegisterTrialExecutor(cacheDir)
+}
+
+// CellStoreGC evicts stale-format and older-than-maxAge entries from the
+// cell store under dir (`bashsim -cache-gc` from the command line).
+func CellStoreGC(dir string, maxAge time.Duration) (cellstore.GCResult, error) {
+	st, err := cellstore.Open(dir)
+	if err != nil {
+		return cellstore.GCResult{}, err
+	}
+	return st.GC(maxAge)
+}
+
+// LoadCellStoreManifest reads the per-experiment cache-effectiveness
+// manifest persisted alongside the store under dir.
+func LoadCellStoreManifest(dir string) *cellstore.Manifest { return cellstore.LoadManifest(dir) }
+
 // NewSystem builds a simulated machine.
 func NewSystem(cfg Config) *System { return core.NewSystem(cfg) }
 
@@ -122,6 +186,12 @@ type (
 	LockingWorkload = workload.Locking
 	// SyntheticWorkload models one of the paper's full-system workloads.
 	SyntheticWorkload = workload.Synthetic
+	// MigratoryWorkload is the migratory-sharing microbenchmark from the
+	// destination-set-prediction follow-up work.
+	MigratoryWorkload = workload.Migratory
+	// WorkloadGenerator is any registered workload: a reference stream
+	// plus its warm-start block list.
+	WorkloadGenerator = workload.Generator
 )
 
 // NewLockingWorkload returns the Section 4.1 microbenchmark.
@@ -129,17 +199,22 @@ func NewLockingWorkload(locks int, think Time) *LockingWorkload {
 	return workload.NewLocking(locks, think)
 }
 
-// Workload constructors for the five Table 2 workloads.
+// Workload constructors for the five Table 2 workloads and the migratory
+// microbenchmark.
 var (
-	OLTP      = workload.OLTP
-	Apache    = workload.Apache
-	SPECjbb   = workload.SPECjbb
-	Slashcode = workload.Slashcode
-	BarnesHut = workload.BarnesHut
+	OLTP         = workload.OLTP
+	Apache       = workload.Apache
+	SPECjbb      = workload.SPECjbb
+	Slashcode    = workload.Slashcode
+	BarnesHut    = workload.BarnesHut
+	NewMigratory = workload.NewMigratory
 )
 
-// WorkloadByName resolves a Table 2 workload by name (nil if unknown).
-func WorkloadByName(name string) *SyntheticWorkload { return workload.ByName(name) }
+// WorkloadByName resolves a registered workload by name (nil if unknown).
+func WorkloadByName(name string) WorkloadGenerator { return workload.ByName(name) }
+
+// WorkloadNames lists the registered named workloads.
+func WorkloadNames() []string { return workload.Names() }
 
 // Adaptive mechanism (internal/adaptive).
 type (
@@ -219,6 +294,13 @@ func RunTesterMany(cfg TesterConfig, seeds []uint64, opt RunnerOptions) ([]Teste
 // folding reports back in config order.
 func RunTesterConfigs(cfgs []TesterConfig, opt RunnerOptions) ([]TesterReport, error) {
 	return tester.RunConfigs(cfgs, opt)
+}
+
+// RunTesterConfigsOn executes the trials through an arbitrary Backend (nil
+// selects the in-process cached path), serving and publishing reports via
+// the store under cacheDir; reports fold in config order either way.
+func RunTesterConfigsOn(backend Backend, cfgs []TesterConfig, opt RunnerOptions, cacheDir string) ([]TesterReport, error) {
+	return tester.RunConfigsOn(backend, cfgs, opt, cacheDir)
 }
 
 // Queueing model (internal/queueing, Figure 2).

@@ -1,8 +1,12 @@
 package bashsim_test
 
 import (
+	"context"
+	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	bashsim "repro"
 )
@@ -154,7 +158,7 @@ func TestPublicExperimentIDs(t *testing.T) {
 	ids := bashsim.ExperimentIDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "stability",
-		"ablation", "predictive"}
+		"ablation", "predictive", "migratory"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
@@ -166,14 +170,69 @@ func TestPublicExperimentIDs(t *testing.T) {
 	}
 }
 
-// TestPublicWorkloads resolves every Table 2 workload.
+// TestPublicWorkloads resolves every registered workload.
 func TestPublicWorkloads(t *testing.T) {
-	for _, name := range []string{"OLTP", "Apache", "SPECjbb", "Slashcode", "Barnes-Hut"} {
+	for _, name := range bashsim.WorkloadNames() {
 		if bashsim.WorkloadByName(name) == nil {
 			t.Errorf("workload %q unresolved", name)
 		}
 	}
 	if w := bashsim.OLTP(); w.SharingFraction <= bashsim.SPECjbb().SharingFraction {
 		t.Error("OLTP must share more than SPECjbb (the paper's contrast)")
+	}
+	if bashsim.NewMigratory().Blocks <= 0 {
+		t.Error("migratory workload has no block pool")
+	}
+}
+
+// TestPublicDistSurface exercises the distributed-execution facade: the
+// local backend runs registered jobs, and the coordinator + worker pair
+// drains a batch end to end.
+func TestPublicDistSurface(t *testing.T) {
+	bashsim.RegisterDistExecutors("") // cell + trial executors, no persistence
+
+	coord := bashsim.NewDistCoordinator(bashsim.DistOptions{LeaseTTL: time.Second})
+	if n := coord.Workers(); n != 0 {
+		t.Fatalf("idle coordinator reports %d workers", n)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go bashsim.RunDistWorker(ctx, bashsim.DistWorkerOptions{
+		Coordinator: srv.URL, Name: "api-test", Poll: 10 * time.Millisecond,
+	})
+
+	cfg := bashsim.TesterConfig{Protocol: bashsim.BASH, Ops: 2000, Seed: 7}
+	viaDist, err := bashsim.RunTesterConfigsOn(coord, []bashsim.TesterConfig{cfg}, bashsim.RunnerOptions{}, "")
+	if err != nil {
+		t.Fatalf("RunTesterConfigsOn(coordinator): %v", err)
+	}
+	direct := bashsim.RunTester(cfg)
+	if !reflect.DeepEqual(viaDist[0], direct) {
+		t.Error("distributed tester report differs from the in-process report")
+	}
+	if st := coord.Stats(); st.Completed != 1 {
+		t.Errorf("coordinator completed %d jobs, want 1", st.Completed)
+	}
+}
+
+// TestPublicCellStoreHygiene drives GC and the manifest through the facade.
+func TestPublicCellStoreHygiene(t *testing.T) {
+	dir := t.TempDir()
+	m := bashsim.LoadCellStoreManifest(dir)
+	m.Record("fig1", 3, 1, 1)
+	if err := m.Save(dir); err != nil {
+		t.Fatalf("manifest save: %v", err)
+	}
+	if got := bashsim.LoadCellStoreManifest(dir).Experiments["fig1"].Hits; got != 3 {
+		t.Errorf("manifest hits = %d, want 3", got)
+	}
+	res, err := bashsim.CellStoreGC(dir, 0)
+	if err != nil {
+		t.Fatalf("CellStoreGC: %v", err)
+	}
+	if res.Removed() != 0 {
+		t.Errorf("GC of an empty store removed %d files", res.Removed())
 	}
 }

@@ -9,24 +9,41 @@
 //	bashsim -list                # list experiment ids
 //	bashsim -run -protocol bash -nodes 64 -bandwidth 800   # one ad-hoc run
 //
+// Distributed mode fans sweep cells across worker processes (same binary,
+// any machine) through the lease-based job protocol of internal/dist:
+//
+//	bashsim -worker http://coord:8497 &   # on each worker machine
+//	bashsim -exp all -serve :8497         # coordinator: dispatches cells
+//
+// Cell-store hygiene:
+//
+//	bashsim -cache-gc                     # evict stale/aged cache entries
+//
 // Output is TSV on stdout (or -out FILE), one block per artifact. Sweeps
 // fan out across the run-orchestration layer; results are folded in job
-// order, so the TSV is byte-identical at any -parallel setting.
+// order, so the TSV is byte-identical at any -parallel setting — and, via
+// the content-addressed cell store, at any worker-fleet composition.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/cellstore"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/tester"
 	"repro/internal/workload"
 )
 
@@ -37,7 +54,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		out   = flag.String("out", "", "write output to a file instead of stdout")
 
-		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial)")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial); worker job slots in -worker mode")
 		timeout  = flag.Duration("timeout", 0, "abort experiments after this long (0 = no limit)")
 		progress = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
 		cacheDir = flag.String("cache-dir", ".cache", "persistent cell-result cache directory")
@@ -45,12 +62,19 @@ func main() {
 		noReuse  = flag.Bool("no-reuse", false, "disable System pooling (fresh construction per cell)")
 		watchdog = flag.Duration("watchdog", 0, "per-cell forward-progress watchdog interval in simulated time (0 = 500ms default)")
 
+		serve    = flag.String("serve", "", "coordinate a distributed run: serve the job protocol on this address (e.g. :8497) and dispatch sweep cells to workers")
+		worker   = flag.String("worker", "", "run as a distributed worker against this coordinator URL (e.g. http://host:8497)")
+		leaseTTL = flag.Duration("lease-ttl", 0, "distributed job lease TTL before reassignment (0 = 15s default)")
+
+		cacheGC     = flag.Bool("cache-gc", false, "evict stale-format and aged cell-store entries, print a report, and exit")
+		cacheMaxAge = flag.Duration("cache-max-age", 30*24*time.Hour, "with -cache-gc: evict entries older than this (0 = stale formats only)")
+
 		single    = flag.Bool("run", false, "single ad-hoc run instead of an experiment")
 		protoName = flag.String("protocol", "bash", "snooping | directory | bash | bash-pred | bash-bcast | bash-ucast")
 		nodes     = flag.Int("nodes", 16, "processors (single run)")
 		bandwidth = flag.Float64("bandwidth", 1600, "endpoint MB/s (single run)")
 		bcost     = flag.Float64("bcost", 1, "broadcast cost multiplier (single run)")
-		wlName    = flag.String("workload", "locking", "locking | oltp | apache | specjbb | slashcode | barnes")
+		wlName    = flag.String("workload", "locking", "locking | oltp | apache | specjbb | slashcode | barnes | migratory")
 		think     = flag.Int64("think", 0, "locking think time in cycles (single run)")
 		ops       = flag.Uint64("ops", 20000, "measured operations (single run)")
 	)
@@ -60,6 +84,14 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+	if *cacheGC {
+		runCacheGC(*cacheDir, *cacheMaxAge)
+		return
+	}
+	if *worker != "" {
+		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel)
 		return
 	}
 	if *single {
@@ -95,9 +127,19 @@ func main() {
 		defer cancel()
 		opts.Context = ctx
 	}
+
+	var coord *dist.Coordinator
+	if *serve != "" {
+		coord = serveCoordinator(*serve, *leaseTTL)
+		opts.Backend = coord
+	}
 	if *progress {
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if coord != nil {
+				fmt.Fprintf(os.Stderr, "\r%d/%d cells (%d workers)", done, total, coord.Workers())
+			} else {
+				fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			}
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
@@ -115,13 +157,17 @@ func main() {
 		w = f
 	}
 
+	var manifest *cellstore.Manifest
+	if opts.CacheDir != "" {
+		manifest = cellstore.LoadManifest(opts.CacheDir)
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		prevHits, prevMisses, _ := experiments.CacheCounters(opts.CacheDir)
+		prevHits, prevMisses, prevWrites := experiments.CacheCounters(opts.CacheDir)
 		arts, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
@@ -132,8 +178,9 @@ func main() {
 		}
 		line := fmt.Sprintf("%-10s %6.1fs", id, time.Since(start).Seconds())
 		if opts.CacheDir != "" {
-			hits, misses, _ := experiments.CacheCounters(opts.CacheDir)
+			hits, misses, writes := experiments.CacheCounters(opts.CacheDir)
 			line += fmt.Sprintf("   cache %d hits / %d misses", hits-prevHits, misses-prevMisses)
+			manifest.Record(id, hits-prevHits, misses-prevMisses, writes-prevWrites)
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
@@ -141,7 +188,82 @@ func main() {
 		hits, misses, writes := experiments.CacheCounters(opts.CacheDir)
 		fmt.Fprintf(os.Stderr, "cell cache (%s): %d hits, %d misses, %d written, %d cells simulated\n",
 			opts.CacheDir, hits, misses, writes, experiments.Simulations())
+		if err := manifest.Save(opts.CacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: manifest not saved: %v\n", err)
+		}
+		fmt.Fprint(os.Stderr, manifest)
 	}
+	if coord != nil {
+		st := coord.Stats()
+		fmt.Fprintf(os.Stderr, "dist: %d jobs dispatched, %d completed, %d leases reassigned, %d failed\n",
+			st.Dispatched, st.Completed, st.Reassigned, st.Failed)
+	}
+}
+
+// serveCoordinator starts the distributed job protocol on addr and returns
+// the coordinator backend.
+func serveCoordinator(addr string, leaseTTL time.Duration) *dist.Coordinator {
+	coord := dist.NewCoordinator(dist.CoordinatorOptions{LeaseTTL: leaseTTL})
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: -serve %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bashsim: coordinating on %s (workers: bashsim -worker http://%s)\n",
+		l.Addr(), l.Addr())
+	go http.Serve(l, coord.Handler())
+	return coord
+}
+
+// runWorker executes distributed jobs until interrupted. The worker
+// registers both executors — experiment cells and tester trials — and
+// publishes results into its cell store, which coordinators sharing the
+// directory (or just this worker, across restarts) serve as cache hits.
+func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int) {
+	dir := cacheDir
+	if noCache {
+		dir = ""
+	} else if _, err := cellstore.Open(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: worker cache disabled: %v\n", err)
+		dir = ""
+	}
+	experiments.RegisterCellExecutor(experiments.Options{CacheDir: dir, NoReuse: noReuse})
+	tester.RegisterTrialExecutor(dir)
+
+	if slots <= 0 {
+		slots = runtime.NumCPU() // match the -parallel flag's "0 = one per CPU"
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "bashsim: worker polling %s (%d slot(s), cache %q)\n", coordinator, slots, dir)
+	if err := dist.RunWorker(ctx, dist.WorkerOptions{
+		Coordinator: coordinator,
+		Slots:       slots,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bashsim: worker stopped")
+}
+
+// runCacheGC evicts unusable and aged cell-store entries and reports.
+func runCacheGC(dir string, maxAge time.Duration) {
+	st, err := cellstore.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: -cache-gc: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := st.GC(maxAge)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: -cache-gc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cell cache (%s): kept %d entries (%d bytes)\n", dir, res.Kept, res.KeptBytes)
+	fmt.Printf("evicted %d (%d bytes): %d stale-format, %d older than %s, %d abandoned temp files\n",
+		res.Removed(), res.RemovedBytes, res.RemovedStale, res.RemovedExpired, maxAge, res.RemovedTemp)
 }
 
 // singleRun simulates one ad-hoc configuration and prints the full metric

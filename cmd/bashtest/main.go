@@ -130,6 +130,12 @@ func main() {
 			hits, misses, writes := st.Counters()
 			fmt.Fprintf(os.Stderr, "trial cache (%s): %d hits, %d misses, %d written\n",
 				dir, hits, misses, writes)
+			manifest := cellstore.LoadManifest(dir)
+			manifest.Record("bashtest", hits, misses, writes)
+			if merr := manifest.Save(dir); merr != nil {
+				fmt.Fprintf(os.Stderr, "bashtest: manifest not saved: %v\n", merr)
+			}
+			fmt.Fprint(os.Stderr, manifest)
 		}
 	}
 	if err != nil {

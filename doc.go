@@ -12,7 +12,7 @@
 // ExperimentIDs lists the reproducible artifacts; `cmd/bashsim -list` does
 // the same from the command line.
 //
-// Three layers make large evaluations fast and exactly reproducible:
+// Four layers make large evaluations fast and exactly reproducible:
 //
 //   - The event kernel (Kernel, internal/sim) is a concrete-typed 4-ary
 //     heap ordered by (time, schedule-order): zero allocations per
@@ -33,6 +33,11 @@
 //     process invocations. Both are exact: a leased System is re-seeded to
 //     byte-identical behaviour, and a stored cell is keyed by a hash of its
 //     complete configuration.
+//   - The distributed sweep backend (Backend, DistCoordinator,
+//     RunDistWorker; internal/dist) fans the same cells across worker
+//     processes and machines through a lease-based job protocol, folding
+//     results from the shared cell store in job order — so a fleet of
+//     machines produces the same bytes one goroutine would.
 //
 // # The pooled simulation lifecycle
 //
@@ -67,6 +72,45 @@
 // resumes where it stopped. bashtest persists tester trial Reports the same
 // way. Bumping a key's format version (cellFormat in internal/experiments,
 // reportFormat in internal/tester) orphans stale entries wholesale.
+//
+// # Distributed sweeps
+//
+// With ExperimentOptions.Backend set, sweep cells become serializable jobs
+// (RunnerJob: an executor kind, a content-address key, a gob spec) executed
+// by whatever implements Backend. NewLocalBackend routes them through the
+// in-process pool; NewDistCoordinator fans them across worker processes
+// started with RunDistWorker — `bashsim -serve ADDR` and `bashsim -worker
+// URL` from the command line. The coordinator leases one job per worker
+// slot, workers heartbeat while simulating, and an expired lease (worker
+// crashed, hung, or partitioned) requeues the job for another worker, a
+// bounded number of times. Worker-side panics surface coordinator-side as
+// *RunnerPanicError with the job's label and the remote stack, exactly like
+// in-process pool panics.
+//
+// Three properties make the fleet exact and restartable:
+//
+//   - Determinism: every cell is a pure function of its spec, and results
+//     fold in job order, so the TSV is byte-identical at any fleet size,
+//     worker death included (the test suite kills a worker mid-sweep and
+//     diffs the bytes).
+//   - Placement independence: workers publish finished cells into the
+//     shared content-addressed store, so it never matters who simulated
+//     what; cells already in the coordinator's memo or store are served
+//     locally and never dispatched.
+//   - Resume: killing anything mid-sweep loses only in-flight cells. A
+//     re-run serves published cells from the store and simulates just the
+//     remainder — zero re-simulation of anything published, even with no
+//     workers left.
+//
+// Coordinator and workers must run the same binary: cache keys embed the
+// binary fingerprint, so mismatched builds never exchange stale results
+// (they simply miss). The protocol (JSON over HTTP, gob payloads) trusts
+// its network — run it on a private cluster.
+//
+// Cell-store hygiene: `bashsim -cache-gc` evicts entries whose on-disk
+// format is stale or whose age exceeds -cache-max-age (CellStoreGC from
+// code), and a per-experiment hit/miss manifest (LoadCellStoreManifest) is
+// persisted alongside the store and printed after runs.
 //
 // Quick start:
 //

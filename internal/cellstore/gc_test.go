@@ -1,0 +1,103 @@
+package cellstore
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestGCEvictsStaleAndAged: a GC pass removes foreign-format and corrupt
+// entries, removes aged entries when maxAge is set, keeps everything else,
+// and never touches the manifest.
+func TestGCEvictsStaleAndAged(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four healthy entries.
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if err := st.Put("key-"+k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One aged entry (35 days old), one corrupt, one foreign-format.
+	old := time.Now().Add(-35 * 24 * time.Hour)
+	if err := os.Chtimes(st.path("key-a"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path("key-b"), []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := os.Create(st.path("key-c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(foreign)
+	if err := enc.Encode(envelope{Format: formatVersion + 99, Key: "key-c"}); err != nil {
+		t.Fatal(err)
+	}
+	foreign.Close()
+	// Abandoned temp litter (old) and a fresh temp file (kept: a writer
+	// might still own it).
+	oldTmp := filepath.Join(dir, "00", ".tmp-dead")
+	os.MkdirAll(filepath.Dir(oldTmp), 0o755)
+	os.WriteFile(oldTmp, []byte("x"), 0o644)
+	os.Chtimes(oldTmp, old, old)
+	freshTmp := filepath.Join(dir, "00", ".tmp-live")
+	os.WriteFile(freshTmp, []byte("x"), 0o644)
+	// A manifest, which GC must leave alone.
+	m := LoadManifest(dir)
+	m.Record("fig1", 1, 2, 3)
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := st.GC(30 * 24 * time.Hour)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if res.Kept != 1 {
+		t.Errorf("Kept = %d, want 1 (only key-d survives)", res.Kept)
+	}
+	if res.RemovedStale != 2 || res.RemovedExpired != 1 || res.RemovedTemp != 1 {
+		t.Errorf("Removed stale/expired/temp = %d/%d/%d, want 2/1/1",
+			res.RemovedStale, res.RemovedExpired, res.RemovedTemp)
+	}
+	if res.Removed() != 4 {
+		t.Errorf("Removed() = %d, want 4", res.Removed())
+	}
+	var v string
+	if st.Get("key-a", &v) || st.Get("key-b", &v) || st.Get("key-c", &v) {
+		t.Error("evicted entries still readable")
+	}
+	if !st.Get("key-d", &v) || v != "d" {
+		t.Error("healthy entry lost")
+	}
+	if _, err := os.Stat(freshTmp); err != nil {
+		t.Error("fresh temp file removed")
+	}
+	if got := LoadManifest(dir); got.Experiments["fig1"].Misses != 2 {
+		t.Error("GC damaged the manifest")
+	}
+}
+
+// TestGCZeroMaxAgeKeepsAnyAge: maxAge 0 evicts only unusable entries.
+func TestGCZeroMaxAgeKeepsAnyAge(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	if err := st.Put("ancient", 42); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-10 * 365 * 24 * time.Hour)
+	os.Chtimes(st.path("ancient"), old, old)
+	res, err := st.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kept != 1 || res.Removed() != 0 {
+		t.Errorf("GC(0) kept %d removed %d, want 1/0", res.Kept, res.Removed())
+	}
+}

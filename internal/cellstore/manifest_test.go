@@ -1,0 +1,74 @@
+package cellstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManifestRoundTrip: record, save, reload, accumulate.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := LoadManifest(dir)
+	if len(m.Experiments) != 0 {
+		t.Fatalf("missing manifest not empty: %+v", m.Experiments)
+	}
+	m.Record("fig1", 10, 5, 5)
+	m.Record("fig8", 0, 21, 21)
+	if err := m.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	got := LoadManifest(dir)
+	e := got.Experiments["fig1"]
+	if e.Runs != 1 || e.Hits != 10 || e.Misses != 5 || e.Writes != 5 {
+		t.Errorf("fig1 entry = %+v", e)
+	}
+	if r := e.HitRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("fig1 hit rate = %v, want ~2/3", r)
+	}
+	if e.LastRun.IsZero() {
+		t.Error("LastRun not stamped")
+	}
+
+	// A later run accumulates into the same entry.
+	got.Record("fig1", 15, 0, 0)
+	if err := got.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	again := LoadManifest(dir)
+	e = again.Experiments["fig1"]
+	if e.Runs != 2 || e.Hits != 25 || e.Misses != 5 {
+		t.Errorf("accumulated fig1 entry = %+v", e)
+	}
+
+	s := again.String()
+	for _, want := range []string{"fig1", "fig8", "hit-rate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("manifest table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestManifestCorruptIsEmpty: a damaged manifest degrades to empty, never
+// to an error (the store's forgiving-by-design rule).
+func TestManifestCorruptIsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := LoadManifest(dir)
+	if len(m.Experiments) != 0 {
+		t.Errorf("corrupt manifest not empty: %+v", m.Experiments)
+	}
+	m.Record("x", 1, 1, 1) // must not panic on the recovered map
+}
+
+// TestManifestEmptyString renders a placeholder rather than a bare header.
+func TestManifestEmptyString(t *testing.T) {
+	m := LoadManifest(t.TempDir())
+	if !strings.Contains(m.String(), "empty") {
+		t.Errorf("empty manifest renders %q", m.String())
+	}
+}

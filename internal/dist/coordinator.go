@@ -1,0 +1,465 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// CoordinatorOptions tunes the lease protocol.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a worker may hold a job between contacts
+	// (lease grant, heartbeat) before the job is reassigned. Zero selects
+	// 15s. Workers heartbeat at a third of the TTL, so the TTL bounds how
+	// long a dead worker delays its jobs, not how long a job may run.
+	LeaseTTL time.Duration
+	// MaxLeaseExpiries bounds how many times one job may be reassigned
+	// after expired leases before it fails the batch (a job cannot
+	// ping-pong forever between dying workers). Zero selects 3.
+	MaxLeaseExpiries int
+}
+
+func (o CoordinatorOptions) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return defaultLeaseTTL
+}
+
+func (o CoordinatorOptions) maxExpiries() int {
+	if o.MaxLeaseExpiries > 0 {
+		return o.MaxLeaseExpiries
+	}
+	return defaultMaxLeaseExpiries
+}
+
+// jobState is the lifecycle of one tracked job.
+type jobState int
+
+const (
+	jobPending jobState = iota // queued, waiting for a lease
+	jobLeased                  // held by a worker, deadline armed
+	jobDone                    // result or terminal failure recorded
+)
+
+// trackedJob is one job of the active batch.
+type trackedJob struct {
+	id       int64
+	index    int // index into the batch's job list
+	job      runner.Job
+	state    jobState
+	worker   string    // current (or last) lease holder
+	deadline time.Time // lease expiry when leased
+	expiries int       // expired-lease count
+}
+
+// batch is one Backend.Run invocation in flight.
+type batch struct {
+	jobs      []*trackedJob
+	results   [][]byte
+	errs      []error
+	remaining int
+	completed int
+	progress  func(done, total int)
+	done      chan struct{} // closed when remaining reaches zero
+	closed    bool          // abandoned (canceled); late results are dropped
+
+	// progressMu serializes notifyProgress; lastReported keeps the
+	// reported count strictly increasing when notifications race.
+	progressMu   sync.Mutex
+	lastReported int
+}
+
+// notifyProgress fires the batch's progress callback. It must be called
+// WITHOUT holding the coordinator mutex: the callback is user code and may
+// call back into the Coordinator (the CLI's progress line asks Workers()).
+// Counts that lost the race to a later completion are dropped, so done is
+// strictly increasing as Options.Progress promises.
+func (b *batch) notifyProgress(done int) {
+	if b == nil || b.progress == nil || done == 0 {
+		return
+	}
+	b.progressMu.Lock()
+	defer b.progressMu.Unlock()
+	if done <= b.lastReported {
+		return
+	}
+	b.lastReported = done
+	b.progress(done, len(b.jobs))
+}
+
+// Coordinator owns the job queue and lease table and serves the wire
+// protocol. It implements runner.Backend: Run enqueues a batch and blocks
+// until workers drain it (or the context cancels). One batch runs at a
+// time; concurrent Run calls serialize, which matches how the experiment
+// harness issues sweeps.
+type Coordinator struct {
+	opt   CoordinatorOptions
+	runMu sync.Mutex // serializes Run invocations
+
+	mu      sync.Mutex
+	nextID  int64
+	queue   []*trackedJob         // pending jobs, FIFO
+	leased  map[int64]*trackedJob // in-flight jobs by id
+	batch   *batch                // active batch, nil when idle
+	workers map[string]time.Time  // worker name -> last contact
+
+	dispatched, completed, failed, reassigned atomic.Uint64
+}
+
+// NewCoordinator returns an idle coordinator.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	return &Coordinator{
+		opt:     opt,
+		leased:  map[int64]*trackedJob{},
+		workers: map[string]time.Time{},
+	}
+}
+
+// Handler returns the HTTP handler serving the job protocol; mount it on
+// any server (the bashsim CLI serves it directly, tests use httptest).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /dist/lease", c.handleLease)
+	mux.HandleFunc("POST /dist/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /dist/result", c.handleResult)
+	mux.HandleFunc("GET /dist/status", c.handleStatus)
+	return mux
+}
+
+// Stats returns lifetime dispatch counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Dispatched: c.dispatched.Load(),
+		Completed:  c.completed.Load(),
+		Failed:     c.failed.Load(),
+		Reassigned: c.reassigned.Load(),
+	}
+}
+
+// Workers counts workers heard from within the liveness window.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveWorkersLocked(time.Now())
+}
+
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	window := workerTTLFactor * c.opt.leaseTTL()
+	n := 0
+	for name, last := range c.workers {
+		if now.Sub(last) <= window {
+			n++
+		} else {
+			delete(c.workers, name)
+		}
+	}
+	return n
+}
+
+// Run implements runner.Backend: it enqueues the jobs, waits for workers to
+// drain them, and folds results in job-index order. Error semantics mirror
+// runner.Map: the lowest-indexed failed job wins, worker panics surface as
+// *runner.PanicError with the job's label and remote stack, and on
+// cancellation the partial results are still returned.
+func (c *Coordinator) Run(jobs []runner.Job, opt runner.Options) ([][]byte, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+
+	b := &batch{
+		jobs:      make([]*trackedJob, len(jobs)),
+		results:   make([][]byte, len(jobs)),
+		errs:      make([]error, len(jobs)),
+		remaining: len(jobs),
+		progress:  opt.Progress,
+		done:      make(chan struct{}),
+	}
+	if len(jobs) == 0 {
+		return b.results, nil
+	}
+	ctx, cancel := opt.RunContext()
+	defer cancel()
+
+	c.mu.Lock()
+	for i, j := range jobs {
+		c.nextID++
+		tj := &trackedJob{id: c.nextID, index: i, job: j}
+		b.jobs[i] = tj
+		c.queue = append(c.queue, tj)
+	}
+	c.batch = b
+	c.mu.Unlock()
+
+	// Expired leases are also reclaimed lazily on every lease request, but
+	// if every worker died there are no more requests — the ticker
+	// guarantees reassignment bookkeeping (and terminal failure once a
+	// job's expiry budget is spent) still happens.
+	ticker := time.NewTicker(c.opt.leaseTTL() / 2)
+	defer ticker.Stop()
+	var canceled error
+wait:
+	for {
+		select {
+		case <-b.done:
+			break wait
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			c.abandon(b)
+			break wait
+		case <-ticker.C:
+			c.mu.Lock()
+			prog, done := c.reclaimExpiredLocked(time.Now())
+			c.mu.Unlock()
+			prog.notifyProgress(done)
+		}
+	}
+
+	c.mu.Lock()
+	c.batch = nil
+	c.mu.Unlock()
+
+	label := func(i int) string {
+		if opt.Label != nil {
+			return opt.Label(i)
+		}
+		return jobs[i].Label
+	}
+	for i, err := range b.errs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*runner.PanicError); ok {
+			return b.results, pe
+		}
+		return b.results, fmt.Errorf("dist: %s: %w", label(i), err)
+	}
+	if canceled != nil {
+		return b.results, canceled
+	}
+	return b.results, nil
+}
+
+// abandon drops a canceled batch: pending jobs leave the queue, leased jobs
+// are forgotten (a late result is ignored), and the batch stops accepting
+// completions.
+func (c *Coordinator) abandon(b *batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b.closed = true
+	var keep []*trackedJob
+	for _, tj := range c.queue {
+		if tj.state == jobPending && c.inBatchLocked(b, tj) {
+			tj.state = jobDone
+			continue
+		}
+		keep = append(keep, tj)
+	}
+	c.queue = keep
+	for id, tj := range c.leased {
+		if c.inBatchLocked(b, tj) {
+			tj.state = jobDone
+			delete(c.leased, id)
+		}
+	}
+}
+
+// inBatchLocked reports whether tj belongs to b (jobs carry no batch
+// pointer; with one batch active at a time, membership is an index check).
+func (c *Coordinator) inBatchLocked(b *batch, tj *trackedJob) bool {
+	return tj.index < len(b.jobs) && b.jobs[tj.index] == tj
+}
+
+// reclaimExpiredLocked requeues (or terminally fails) every leased job
+// whose deadline passed. It returns the batch and completion count to
+// report via notifyProgress once the coordinator mutex is released (zero
+// when nothing terminal happened).
+func (c *Coordinator) reclaimExpiredLocked(now time.Time) (prog *batch, done int) {
+	b := c.batch
+	if b == nil {
+		return nil, 0
+	}
+	for id, tj := range c.leased {
+		if now.Before(tj.deadline) {
+			continue
+		}
+		delete(c.leased, id)
+		tj.expiries++
+		if tj.expiries > c.opt.maxExpiries() {
+			done = c.finishLocked(b, tj, nil, fmt.Errorf(
+				"lease expired %d times (last worker %q lost); giving up", tj.expiries, tj.worker))
+			prog = b
+			continue
+		}
+		c.reassigned.Add(1)
+		tj.state = jobPending
+		c.queue = append(c.queue, tj)
+	}
+	return prog, done
+}
+
+// finishLocked records a job's terminal result (value or error), closes the
+// batch when it was the last one, and returns the new completion count for
+// the caller to report via notifyProgress after releasing the coordinator
+// mutex (zero when the job was already finished or the batch abandoned).
+func (c *Coordinator) finishLocked(b *batch, tj *trackedJob, result []byte, err error) int {
+	if b.closed || tj.state == jobDone {
+		return 0
+	}
+	tj.state = jobDone
+	b.results[tj.index] = result
+	b.errs[tj.index] = err
+	if err == nil {
+		c.completed.Add(1)
+	} else {
+		c.failed.Add(1)
+	}
+	b.remaining--
+	b.completed++
+	if b.remaining == 0 {
+		close(b.done)
+	}
+	return b.completed
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// A worker advertising no kinds can execute nothing: grant it nothing
+	// rather than jobs it would terminally fail (one misconfigured worker
+	// must not abort a healthy fleet's batch).
+	kinds := map[string]bool{}
+	for _, k := range req.Kinds {
+		kinds[k] = true
+	}
+	now := time.Now()
+
+	c.mu.Lock()
+	c.workers[req.Worker] = now
+	prog, done := c.reclaimExpiredLocked(now)
+	var grant *trackedJob
+	for qi, tj := range c.queue {
+		if tj.state != jobPending {
+			continue
+		}
+		if !kinds[tj.job.Kind] {
+			continue
+		}
+		c.queue = append(c.queue[:qi:qi], c.queue[qi+1:]...)
+		tj.state = jobLeased
+		tj.worker = req.Worker
+		tj.deadline = now.Add(c.opt.leaseTTL())
+		c.leased[tj.id] = tj
+		grant = tj
+		break
+	}
+	c.mu.Unlock()
+	prog.notifyProgress(done)
+
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	c.dispatched.Add(1)
+	writeJSON(w, leaseResponse{
+		JobID:       grant.id,
+		Kind:        grant.job.Kind,
+		Key:         grant.job.Key,
+		Label:       grant.job.Label,
+		Spec:        grant.job.Spec,
+		LeaseMillis: c.opt.leaseTTL().Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.workers[req.Worker] = now
+	for _, id := range req.JobIDs {
+		if tj, ok := c.leased[id]; ok && tj.worker == req.Worker {
+			tj.deadline = now.Add(c.opt.leaseTTL())
+		}
+	}
+	active := c.batch != nil
+	c.mu.Unlock()
+	writeJSON(w, heartbeatResponse{Active: active})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	c.workers[req.Worker] = time.Now()
+	tj, ok := c.leased[req.JobID]
+	if ok {
+		delete(c.leased, req.JobID)
+	}
+	b := c.batch
+	done := 0
+	if ok && b != nil && c.inBatchLocked(b, tj) {
+		switch {
+		case req.Panic != "":
+			// Mirror the in-process pool: a worker-side panic becomes a
+			// *runner.PanicError carrying the job's label and the remote
+			// stack, attributed to the job that raised it.
+			done = c.finishLocked(b, tj, nil, &runner.PanicError{
+				Index: tj.index,
+				Label: tj.job.Label,
+				Value: fmt.Sprintf("%s (on worker %q)", req.Panic, req.Worker),
+				Stack: req.Stack,
+			})
+		case req.Error != "":
+			done = c.finishLocked(b, tj, nil, fmt.Errorf("%s (on worker %q)", req.Error, req.Worker))
+		default:
+			done = c.finishLocked(b, tj, req.Result, nil)
+		}
+	}
+	c.mu.Unlock()
+	b.notifyProgress(done)
+	// A result for an unknown job (lease expired and completed elsewhere,
+	// or batch canceled) is acknowledged and dropped: results are
+	// content-addressed, so duplicates are interchangeable.
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	c.mu.Lock()
+	st := statusResponse{Workers: c.liveWorkersLocked(now)}
+	if b := c.batch; b != nil {
+		st.Active = true
+		st.Done = b.completed
+		st.Total = len(b.jobs)
+	}
+	c.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// maxBody bounds request bodies; specs are small (a cell config is well
+// under a kilobyte) but results may carry full reports.
+const maxBody = 64 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

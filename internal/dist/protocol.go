@@ -1,0 +1,111 @@
+// Package dist is the distributed sweep backend: a coordinator/worker
+// subsystem that fans simulation cells across processes and machines. It
+// implements runner.Backend over a lease-based job protocol (JSON over
+// HTTP; specs and results are opaque gob payloads), so any sweep the
+// in-process goroutine pool can run, a fleet of worker processes can run
+// with byte-identical output.
+//
+// Protocol (all endpoints under one HTTP mux, see Coordinator.Handler):
+//
+//	POST /dist/lease     {worker, kinds}        -> one job + lease TTL, or 204
+//	POST /dist/heartbeat {worker, job_ids}      -> extends the jobs' leases
+//	POST /dist/result    {worker, job_id, ...}  -> completes (or fails) a job
+//	GET  /dist/status                           -> batch progress + live workers
+//
+// A worker leases one job at a time per slot, heartbeats while executing,
+// and posts the gob-encoded result. A lease that expires — worker crashed,
+// hung, or partitioned — puts the job back in the queue for another worker
+// (bounded by MaxLeaseExpiries, so a job cannot ping-pong forever between
+// dying workers). Worker-side panics are captured with their stack and
+// surface on the coordinator as *runner.PanicError, mirroring the
+// in-process pool. Results are folded in job-index order once the batch
+// drains, so which worker produced which cell never influences output.
+//
+// Determinism and placement-independence lean on the content-addressed cell
+// store (internal/cellstore): every job carries its store Key, workers
+// publish finished cells into the shared store, and every cell is a pure
+// function of its spec — so a re-run after any interruption serves
+// already-published cells from the store instead of re-simulating, and it
+// does not matter which worker (or how many) executed what.
+//
+// The protocol trusts its network: coordinator and workers are assumed to
+// run the same binary (cache keys embed the binary fingerprint, so
+// mismatched builds waste work but never corrupt results) on a private
+// cluster; there is no authentication.
+package dist
+
+import "time"
+
+// Wire messages. Byte slices ([]byte) travel base64-encoded by
+// encoding/json; specs and results are gob payloads produced by the
+// registered executors and their callers.
+
+// leaseRequest asks for one job executable by any of the worker's kinds.
+type leaseRequest struct {
+	Worker string   `json:"worker"`
+	Kinds  []string `json:"kinds"`
+}
+
+// leaseResponse grants one job. JobID is never zero; a 204 response (no
+// body) means no work is available right now.
+type leaseResponse struct {
+	JobID       int64  `json:"job_id"`
+	Kind        string `json:"kind"`
+	Key         string `json:"key"`
+	Label       string `json:"label"`
+	Spec        []byte `json:"spec"`
+	LeaseMillis int64  `json:"lease_millis"`
+}
+
+// heartbeatRequest extends the leases of the worker's in-flight jobs.
+type heartbeatRequest struct {
+	Worker string  `json:"worker"`
+	JobIDs []int64 `json:"job_ids"`
+}
+
+// heartbeatResponse tells the worker whether a batch is active (an idle
+// worker may poll more slowly when not).
+type heartbeatResponse struct {
+	Active bool `json:"active"`
+}
+
+// resultRequest completes one leased job. Exactly one of Result, Error, or
+// Panic is meaningful: Result carries the serialized value on success,
+// Error a worker-side failure message, and Panic (with Stack) a captured
+// executor panic.
+type resultRequest struct {
+	Worker string `json:"worker"`
+	JobID  int64  `json:"job_id"`
+	Result []byte `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Panic  string `json:"panic,omitempty"`
+	Stack  []byte `json:"stack,omitempty"`
+}
+
+// statusResponse reports batch progress for dashboards and the CLI's
+// aggregated progress line.
+type statusResponse struct {
+	Active  bool `json:"active"`
+	Done    int  `json:"done"`
+	Total   int  `json:"total"`
+	Workers int  `json:"workers"`
+}
+
+// Stats are the coordinator's lifetime counters.
+type Stats struct {
+	// Dispatched counts granted leases (re-dispatch after an expiry counts
+	// again); Completed counts successful results, Failed jobs that ended
+	// in an error or exhausted their lease budget, and Reassigned leases
+	// that expired and were requeued.
+	Dispatched, Completed, Failed, Reassigned uint64
+}
+
+// workerTTL is how long after its last contact a worker still counts as
+// alive in status reports, expressed in lease TTLs.
+const workerTTLFactor = 3
+
+// defaults for CoordinatorOptions.
+const (
+	defaultLeaseTTL         = 15 * time.Second
+	defaultMaxLeaseExpiries = 3
+)

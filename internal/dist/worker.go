@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// WorkerOptions configures one worker process (or in-process worker loop).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8497".
+	Coordinator string
+	// Name identifies the worker in leases and logs; empty derives
+	// "host:pid".
+	Name string
+	// Slots is the number of jobs executed concurrently (one pooled
+	// simulation each). Zero or negative selects 1; sweep cells are
+	// single-threaded, so one slot per core is the useful maximum.
+	Slots int
+	// Kinds restricts which job kinds this worker leases; nil advertises
+	// every executor registered in this process (runner.Kinds).
+	Kinds []string
+	// Poll is the idle re-poll interval when the coordinator has no work.
+	// Zero selects 500ms.
+	Poll time.Duration
+	// Client overrides the HTTP client (tests shorten timeouts).
+	Client *http.Client
+	// Log, when non-nil, receives one line per lifecycle event (lease,
+	// completion, failure); nil is silent.
+	Log func(format string, args ...any)
+}
+
+func (o WorkerOptions) name() string {
+	if o.Name != "" {
+		return o.Name
+	}
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+func (o WorkerOptions) slots() int {
+	if o.Slots < 1 {
+		return 1
+	}
+	return o.Slots
+}
+
+func (o WorkerOptions) poll() time.Duration {
+	if o.Poll > 0 {
+		return o.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (o WorkerOptions) kinds() []string {
+	if o.Kinds != nil {
+		return o.Kinds
+	}
+	return runner.Kinds()
+}
+
+func (o WorkerOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return http.DefaultClient
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// RunWorker leases and executes jobs until ctx is canceled, then returns
+// ctx's error. Each slot loops independently: lease one job, heartbeat at a
+// third of the lease TTL while the registered executor runs, post the
+// result (or the captured panic). Connection errors — coordinator not up
+// yet, restarting, partitioned — degrade to idle polling, so workers may be
+// started before the coordinator and survive coordinator restarts.
+//
+// A worker killed mid-job simply stops heartbeating: the coordinator
+// reassigns the job when the lease expires, and any cells the dead worker
+// already published remain in the shared store, so nothing completed is
+// ever re-simulated.
+//
+// A worker with nothing to advertise — no Kinds configured and no
+// executors registered — refuses to start: the coordinator grants such a
+// worker nothing, so it could only ever poll uselessly.
+func RunWorker(ctx context.Context, o WorkerOptions) error {
+	if len(o.kinds()) == 0 {
+		return fmt.Errorf("dist: worker has no job kinds: register executors (e.g. experiments.RegisterCellExecutor) or set WorkerOptions.Kinds before starting")
+	}
+	w := &worker{opt: o, name: o.name()}
+	done := make(chan struct{})
+	for i := 0; i < o.slots(); i++ {
+		go func() {
+			w.loop(ctx)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < o.slots(); i++ {
+		<-done
+	}
+	return ctx.Err()
+}
+
+type worker struct {
+	opt  WorkerOptions
+	name string
+}
+
+func (w *worker) loop(ctx context.Context) {
+	for {
+		lease, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.opt.logf("worker %s: lease: %v (will retry)", w.name, err)
+			lease = nil
+		}
+		if lease == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(w.opt.poll()):
+			}
+			continue
+		}
+		w.execute(ctx, lease)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// lease asks for one job; nil means no work available.
+func (w *worker) lease(ctx context.Context) (*leaseResponse, error) {
+	var resp leaseResponse
+	status, err := w.post(ctx, "/dist/lease", leaseRequest{Worker: w.name, Kinds: w.opt.kinds()}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("lease: HTTP %d", status)
+	}
+	return &resp, nil
+}
+
+// execute runs one leased job with heartbeats and posts its outcome.
+func (w *worker) execute(ctx context.Context, lease *leaseResponse) {
+	w.opt.logf("worker %s: job %d (%s)", w.name, lease.JobID, lease.Label)
+
+	// Heartbeat at a third of the TTL while the executor runs, so one
+	// missed beat (GC pause, transient network loss) never costs the lease.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(lease.LeaseMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				var hb heartbeatResponse
+				w.post(hbCtx, "/dist/heartbeat", heartbeatRequest{Worker: w.name, JobIDs: []int64{lease.JobID}}, &hb)
+			}
+		}
+	}()
+
+	res := w.runJob(lease)
+	stopHB()
+	<-hbDone
+	if ctx.Err() != nil {
+		// Killed mid-job: do not post — the lease will expire and the job
+		// will be reassigned, exactly as if the process had died.
+		return
+	}
+	// Retry the result post a few times: losing a finished result to one
+	// dropped packet would waste a whole simulation.
+	for attempt := 0; ; attempt++ {
+		status, err := w.post(ctx, "/dist/result", res, nil)
+		if err == nil && status == http.StatusOK {
+			return
+		}
+		if attempt >= 2 || ctx.Err() != nil {
+			w.opt.logf("worker %s: job %d result lost: status=%d err=%v", w.name, lease.JobID, status, err)
+			return
+		}
+		time.Sleep(w.opt.poll())
+	}
+}
+
+// runJob executes the job's registered executor, capturing panics into the
+// result message (they surface coordinator-side as *runner.PanicError).
+func (w *worker) runJob(lease *leaseResponse) (res resultRequest) {
+	res = resultRequest{Worker: w.name, JobID: lease.JobID}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Panic = fmt.Sprint(r)
+			res.Stack = debug.Stack()
+		}
+	}()
+	fn := runner.ExecutorFor(lease.Kind)
+	if fn == nil {
+		res.Error = fmt.Sprintf("no executor registered for job kind %q", lease.Kind)
+		return res
+	}
+	out, err := fn(lease.Spec)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Result = out
+	return res
+}
+
+// post sends one JSON request and decodes the response body (if any) into
+// out, returning the HTTP status.
+func (w *worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opt.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Status fetches a coordinator's progress snapshot (the CLI's aggregated
+// progress line and the smoke tests use it).
+func Status(ctx context.Context, client *http.Client, coordinator string) (done, total, workers int, active bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordinator+"/dist/status", nil)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	defer resp.Body.Close()
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, 0, false, err
+	}
+	return st.Done, st.Total, st.Workers, st.Active, nil
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -68,11 +67,11 @@ func Ablation(o Options) *TableResult {
 		}})
 	}
 	label := func(i int) string { return "ablation " + vs[i].label }
-	ms, err := runner.Map(len(vs), o.runnerOptions(label),
-		func(i int) (core.Metrics, error) { return runMemo(o, vs[i].rc), nil })
-	if err != nil {
-		panic(abort{err})
+	rcs := make([]runConfig, len(vs))
+	for i, v := range vs {
+		rcs[i] = v.rc
 	}
+	ms := runCells(o, rcs, label)
 	for i, v := range vs {
 		m := ms[i]
 		t.Rows = append(t.Rows, []string{

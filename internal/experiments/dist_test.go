@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestBackendLocalByteIdentical: routing cells through the serialized
+// backend seam (encode spec -> executor -> decode metrics) produces TSV
+// byte-identical to the direct in-process path, for both a sweep-shaped
+// experiment and a list-shaped one.
+func TestBackendLocalByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs quick-scale experiments twice")
+	}
+	RegisterCellExecutor(Options{})
+	for _, id := range []string{"fig1", "ablation", "migratory"} {
+		ResetMemo()
+		direct := tsvOf(t, id, Options{})
+		ResetMemo()
+		backed := tsvOf(t, id, Options{Backend: runner.LocalBackend{}})
+		if direct != backed {
+			t.Errorf("%s: backend TSV differs from direct TSV:\n--- direct ---\n%s\n--- backend ---\n%s",
+				id, direct, backed)
+		}
+	}
+}
+
+// TestBackendServesMemoHitsLocally: cells already memoized are not
+// re-dispatched — a second backend run executes zero jobs.
+func TestBackendServesMemoHitsLocally(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick-scale sweep")
+	}
+	RegisterCellExecutor(Options{})
+	ResetMemo()
+	var calls int
+	counting := countingBackend{inner: runner.LocalBackend{}, calls: &calls}
+	first := tsvOf(t, "fig1", Options{Backend: counting})
+	if calls == 0 {
+		t.Fatal("first run dispatched no jobs")
+	}
+	callsAfterFirst := calls
+	second := tsvOf(t, "fig1", Options{Backend: counting})
+	if calls != callsAfterFirst {
+		t.Errorf("memo-warm run dispatched %d jobs, want 0", calls-callsAfterFirst)
+	}
+	if first != second {
+		t.Error("memo-served TSV differs from dispatched TSV")
+	}
+}
+
+// TestCellSpecRoundTrip pins the wire form: every runConfig field survives
+// encode/decode, so remote cells key and simulate identically.
+func TestCellSpecRoundTrip(t *testing.T) {
+	rc := runConfig{
+		protocol: 2, nodes: 32, bandwidth: 1337.5, broadcastCost: 4,
+		think: 250, workloadName: "Migratory", threshold: 55, interval: 512,
+		policyBits: 12, seed: 99, warm: 100, measure: 400, watchdog: 123456,
+	}
+	if got := rc.spec().runConfig(); got != rc {
+		t.Errorf("round trip changed the config:\n got %+v\nwant %+v", got, rc)
+	}
+	data, err := gobEncode(rc.spec())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var cs cellSpec
+	if err := gobDecode(data, &cs); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cs.runConfig() != rc {
+		t.Errorf("gob round trip changed the config: %+v", cs.runConfig())
+	}
+	if cs.runConfig().cacheKey() != rc.cacheKey() {
+		t.Error("round-tripped config keys differently")
+	}
+}
+
+// countingBackend counts Run invocations' jobs.
+type countingBackend struct {
+	inner runner.Backend
+	calls *int
+}
+
+func (c countingBackend) Run(jobs []runner.Job, opt runner.Options) ([][]byte, error) {
+	*c.calls += len(jobs)
+	return c.inner.Run(jobs, opt)
+}

@@ -162,6 +162,16 @@ type Options struct {
 	// either way (the determinism tests assert it); the switch exists for
 	// benchmarking and fault isolation.
 	NoReuse bool
+	// Backend, when non-nil, executes simulation cells as serializable jobs
+	// through the given runner.Backend (runner.LocalBackend for the
+	// in-process executor path, a dist.Coordinator for worker processes on
+	// other machines) instead of calling the simulator directly. Cells
+	// already present in the in-process memo or the persistent store are
+	// served locally; only misses are dispatched. Every backend folds
+	// results in job order, so the output is byte-identical to the default
+	// nil (direct in-process) path. The predictive experiment inspects
+	// simulator internals beyond a cell's Metrics and always runs locally.
+	Backend runner.Backend
 }
 
 // runnerOptions adapts Options to the orchestration layer for one sweep.
@@ -343,28 +353,42 @@ func runOne(o Options, rc runConfig) core.Metrics {
 // distinct cell is simulated exactly once per process.
 var cellMemo sync.Map // runConfig -> core.Metrics
 
+// lookupCell consults the in-process memo, then (when Options.CacheDir is
+// set) the persistent cell store, without simulating.
+func lookupCell(o Options, rc runConfig) (core.Metrics, bool) {
+	if v, ok := cellMemo.Load(rc); ok {
+		return v.(core.Metrics), true
+	}
+	if st := cellstore.For(o.CacheDir); st != nil {
+		var m core.Metrics
+		if st.Get(rc.cacheKey(), &m) {
+			v, _ := cellMemo.LoadOrStore(rc, m)
+			return v.(core.Metrics), true
+		}
+	}
+	return core.Metrics{}, false
+}
+
+// storeCell writes a freshly obtained result through both cache layers (the
+// persistent write is best-effort: a failure only re-simulates later) and
+// returns the canonical memoized value.
+func storeCell(o Options, rc runConfig, m core.Metrics) core.Metrics {
+	if st := cellstore.For(o.CacheDir); st != nil {
+		st.Put(rc.cacheKey(), m)
+	}
+	v, _ := cellMemo.LoadOrStore(rc, m)
+	return v.(core.Metrics)
+}
+
 // runMemo returns the metrics for rc, consulting the in-process memo, then
 // (when Options.CacheDir is set) the persistent cell store, and simulating
 // only when both miss. Fresh results are written through to both layers, so
 // an interrupted full-scale run resumes where it left off.
 func runMemo(o Options, rc runConfig) core.Metrics {
-	if v, ok := cellMemo.Load(rc); ok {
-		return v.(core.Metrics)
+	if m, ok := lookupCell(o, rc); ok {
+		return m
 	}
-	st := cellstore.For(o.CacheDir)
-	if st != nil {
-		var m core.Metrics
-		if st.Get(rc.cacheKey(), &m) {
-			v, _ := cellMemo.LoadOrStore(rc, m)
-			return v.(core.Metrics)
-		}
-	}
-	m := runOne(o, rc)
-	if st != nil {
-		st.Put(rc.cacheKey(), m) // best-effort; a failed write re-simulates later
-	}
-	v, _ := cellMemo.LoadOrStore(rc, m)
-	return v.(core.Metrics)
+	return storeCell(o, rc, runOne(o, rc))
 }
 
 // CacheCounters reports the persistent cell store's hit/miss/write counts
@@ -431,11 +455,11 @@ func runSweep(o Options, protocols []core.Protocol, xs []float64, base runConfig
 		j := jobs[i]
 		return fmt.Sprintf("cell %s x=%g seed=%d", protocols[j.pi], xs[j.xi], j.rc.seed)
 	}
-	results, err := runner.Map(len(jobs), o.runnerOptions(label),
-		func(i int) (core.Metrics, error) { return runMemo(o, jobs[i].rc), nil })
-	if err != nil {
-		panic(abort{err})
+	rcs := make([]runConfig, len(jobs))
+	for i, j := range jobs {
+		rcs[i] = j.rc
 	}
+	results := runCells(o, rcs, label)
 
 	out := make(map[core.Protocol][]*sweepResult)
 	for _, p := range protocols {

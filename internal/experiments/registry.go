@@ -45,6 +45,7 @@ var registry = map[string]Runner{
 	"stability":  func(o Options) []Renderable { return one(Stability(o)) },
 	"ablation":   func(o Options) []Renderable { return one(Ablation(o)) },
 	"predictive": func(o Options) []Renderable { return one(Predictive(o)) },
+	"migratory":  func(o Options) []Renderable { return one(Migratory(o)) },
 }
 
 // IDs lists the registered experiment ids in order.

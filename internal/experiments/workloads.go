@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -93,6 +92,21 @@ func Fig11(o Options) []*Figure {
 	return out
 }
 
+// Migratory is the migratory-sharing bandwidth sweep from the
+// destination-set-prediction follow-up work: every episode is a remote
+// read-modify-write, so the sweep isolates the protocols' behaviour on pure
+// cache-to-cache migration — Snooping's best case per miss, Directory's
+// worst (every episode pays the 3-hop indirection), with BASH expected to
+// track Snooping once bandwidth allows.
+func Migratory(o Options) *Figure {
+	f := macroSweep(o, "Migratory", 1)
+	f.ID = "migratory"
+	f.Notes = append(f.Notes,
+		"expected: the widest Snooping-over-Directory latency gap of any workload;",
+		"BASH converges to Snooping as bandwidth grows")
+	return f
+}
+
 // Fig12 reproduces Figure 12: per-workload bars at 1600 MB/s with 4x
 // broadcast cost, normalized to BASH.
 func Fig12(o Options) *TableResult {
@@ -130,17 +144,15 @@ func Fig12(o Options) *TableResult {
 		j := jobs[i]
 		return fmt.Sprintf("cell %s %s seed=%d", j.name, j.p, j.seed)
 	}
-	ms, err := runner.Map(len(jobs), o.runnerOptions(label), func(i int) (core.Metrics, error) {
-		j := jobs[i]
-		return runMemo(o, runConfig{
+	rcs := make([]runConfig, len(jobs))
+	for i, j := range jobs {
+		rcs[i] = runConfig{
 			protocol: j.p, nodes: macroNodes, bandwidth: 1600,
 			broadcastCost: 4, workloadName: j.name, seed: j.seed,
 			warm: warm, measure: measure, watchdog: o.WatchdogInterval,
-		}), nil
-	})
-	if err != nil {
-		panic(abort{err})
+		}
 	}
+	ms := runCells(o, rcs, label)
 
 	for ni, name := range names {
 		vals := map[core.Protocol]*stats.Accumulator{}

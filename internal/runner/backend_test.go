@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestExecutorRegistry: registration, replacement, removal, and Kinds.
+func TestExecutorRegistry(t *testing.T) {
+	const kind = "runner-test.reg"
+	RegisterExecutor(kind, func(spec []byte) ([]byte, error) { return []byte("v1"), nil })
+	defer RegisterExecutor(kind, nil)
+	out, err := ExecutorFor(kind)(nil)
+	if err != nil || string(out) != "v1" {
+		t.Fatalf("executor v1: %q, %v", out, err)
+	}
+	RegisterExecutor(kind, func(spec []byte) ([]byte, error) { return []byte("v2"), nil })
+	if out, _ := ExecutorFor(kind)(nil); string(out) != "v2" {
+		t.Fatalf("re-registration did not replace: %q", out)
+	}
+	found := false
+	for _, k := range Kinds() {
+		if k == kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Kinds does not list the registered kind")
+	}
+	RegisterExecutor(kind, nil)
+	if ExecutorFor(kind) != nil {
+		t.Error("nil registration did not remove the executor")
+	}
+}
+
+// TestLocalBackendRunsJobs: results fold in job order through the
+// registered executor, with the jobs' own labels in errors.
+func TestLocalBackendRunsJobs(t *testing.T) {
+	const kind = "runner-test.echo"
+	RegisterExecutor(kind, func(spec []byte) ([]byte, error) {
+		if len(spec) > 0 && spec[0] == 'x' {
+			return nil, fmt.Errorf("bad spec")
+		}
+		return append([]byte("got:"), spec...), nil
+	})
+	defer RegisterExecutor(kind, nil)
+
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Kind: kind, Key: fmt.Sprintf("k%d", i), Label: fmt.Sprintf("j%d", i), Spec: []byte{byte('0' + i)}}
+	}
+	outs, err := (LocalBackend{}).Run(jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, out := range outs {
+		if want := "got:" + string(jobs[i].Spec); string(out) != want {
+			t.Errorf("job %d: %q, want %q", i, out, want)
+		}
+	}
+
+	// Errors carry the job's label.
+	jobs[3].Spec = []byte("x")
+	_, err = (LocalBackend{}).Run(jobs, Options{})
+	if err == nil || !strings.Contains(err.Error(), "j3") {
+		t.Errorf("error %v does not name job j3", err)
+	}
+}
+
+// TestLocalBackendUnknownKind fails with a helpful error, not a panic.
+func TestLocalBackendUnknownKind(t *testing.T) {
+	_, err := (LocalBackend{}).Run([]Job{{Kind: "runner-test.absent", Label: "orphan"}}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "runner-test.absent") {
+		t.Errorf("error %v does not name the missing kind", err)
+	}
+}
+
+// TestLocalBackendPanicCapture: an executor panic is attributed to the job
+// exactly like a closure panic in Map.
+func TestLocalBackendPanicCapture(t *testing.T) {
+	const kind = "runner-test.boom"
+	RegisterExecutor(kind, func(spec []byte) ([]byte, error) { panic("boom") })
+	defer RegisterExecutor(kind, nil)
+	_, err := (LocalBackend{}).Run([]Job{{Kind: kind, Label: "tnt"}}, Options{})
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("error %v (%T), want *PanicError", err, err)
+	}
+	if pe.Label != "tnt" || fmt.Sprint(pe.Value) != "boom" {
+		t.Errorf("PanicError label %q value %v", pe.Label, pe.Value)
+	}
+}

@@ -1,0 +1,73 @@
+package tester
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// distCfgs is a small trial grid exercising two protocols and two seeds.
+func distCfgs() []Config {
+	var cfgs []Config
+	for _, p := range []core.Protocol{core.Snooping, core.BASH} {
+		for s := uint64(1); s <= 2; s++ {
+			cfgs = append(cfgs, Config{Protocol: p, Ops: 3000, Seed: s})
+		}
+	}
+	return cfgs
+}
+
+// TestRunConfigsOnMatchesInProcess: trials routed through the backend seam
+// report identically to the direct path, and a second run is served
+// entirely from the store.
+func TestRunConfigsOnMatchesInProcess(t *testing.T) {
+	cfgs := distCfgs()
+	direct, err := RunConfigs(cfgs, runner.Options{})
+	if err != nil {
+		t.Fatalf("RunConfigs: %v", err)
+	}
+
+	dir := t.TempDir()
+	RegisterTrialExecutor(dir)
+	backed, err := RunConfigsOn(runner.LocalBackend{}, cfgs, runner.Options{}, dir)
+	if err != nil {
+		t.Fatalf("RunConfigsOn: %v", err)
+	}
+	if !reflect.DeepEqual(direct, backed) {
+		t.Errorf("backend reports differ from in-process reports:\n got %+v\nwant %+v", backed, direct)
+	}
+
+	// Everything is in the store now: a backend that refuses to run jobs
+	// still serves the full report set.
+	refused, err := RunConfigsOn(failingBackend{t}, cfgs, runner.Options{}, dir)
+	if err != nil {
+		t.Fatalf("store-served RunConfigsOn: %v", err)
+	}
+	if !reflect.DeepEqual(direct, refused) {
+		t.Error("store-served reports differ from in-process reports")
+	}
+}
+
+// TestRunConfigsOnNilBackend falls back to the in-process cached path.
+func TestRunConfigsOnNilBackend(t *testing.T) {
+	cfgs := distCfgs()[:1]
+	dir := t.TempDir()
+	reps, err := RunConfigsOn(nil, cfgs, runner.Options{}, dir)
+	if err != nil {
+		t.Fatalf("RunConfigsOn(nil): %v", err)
+	}
+	direct, _ := RunConfigs(cfgs, runner.Options{})
+	if !reflect.DeepEqual(reps, direct) {
+		t.Error("nil-backend reports differ from in-process reports")
+	}
+}
+
+// failingBackend fails the test if any job reaches it.
+type failingBackend struct{ t *testing.T }
+
+func (f failingBackend) Run(jobs []runner.Job, opt runner.Options) ([][]byte, error) {
+	f.t.Errorf("backend dispatched %d jobs, want 0 (store should have served them)", len(jobs))
+	return make([][]byte, len(jobs)), nil
+}

@@ -120,10 +120,81 @@ func (w *Synthetic) Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence
 	return think, coherence.Op{Store: store, Addr: a, HintUnicast: hint}
 }
 
+// Generator is a registered workload generator: a reference stream
+// (core.Workload's Next) plus the block list to preheat so the steady-state
+// sharing pattern holds from the first access. ByName resolves one.
+type Generator interface {
+	Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence.Op)
+	WarmBlocks() []coherence.Addr
+}
+
+// Migratory is the migratory-sharing microbenchmark from the
+// destination-set-prediction follow-up work: data that moves processor to
+// processor in read-modify-write episodes (per-object counters, work-queue
+// entries, reference counts). Each episode loads a block last written by
+// another processor — a sharing miss fetching the previous owner's M copy —
+// then stores to it (upgrading to ownership) Writes times, then moves to a
+// new random block, migrating the dirty copy onward. The pattern is the
+// worst case for indirection protocols (every episode pays the 3-hop
+// directory walk) and the cleanest win for owner prediction, which is why
+// the follow-up papers single it out.
+type Migratory struct {
+	// Name labels the workload in reports.
+	Name string
+	// Blocks sizes the migratory object pool.
+	Blocks int
+	// MeanThink is the mean think time before an episode, in cycles
+	// (exponentially distributed). Within an episode the stores follow at
+	// a quarter of it, modeling the short read-modify-write window.
+	MeanThink sim.Time
+	// Writes is the number of stores per episode after the opening load.
+	Writes int
+
+	visits map[network.NodeID]*migVisit
+}
+
+// migVisit tracks one processor's in-progress episode.
+type migVisit struct {
+	addr coherence.Addr
+	left int // stores still to issue
+}
+
+// NewMigratory returns the migratory workload with its standard shape.
+func NewMigratory() *Migratory {
+	return &Migratory{Name: "Migratory", Blocks: 512, MeanThink: 200, Writes: 2}
+}
+
+// WarmBlocks lists the migratory pool so episodes hit dirty remote copies
+// from the first access.
+func (w *Migratory) WarmBlocks() []coherence.Addr {
+	out := make([]coherence.Addr, w.Blocks)
+	for i := range out {
+		out[i] = migratoryBase + coherence.Addr(i)
+	}
+	return out
+}
+
+// Next implements core.Workload.
+func (w *Migratory) Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence.Op) {
+	if w.visits == nil {
+		w.visits = make(map[network.NodeID]*migVisit)
+	}
+	if v := w.visits[self]; v != nil && v.left > 0 {
+		v.left--
+		think := rng.ExpTime(float64(w.MeanThink) / 4)
+		return think, coherence.Op{Store: true, Addr: v.addr}
+	}
+	addr := migratoryBase + coherence.Addr(rng.Intn(w.Blocks))
+	w.visits[self] = &migVisit{addr: addr, left: w.Writes}
+	return rng.ExpTime(float64(w.MeanThink)), coherence.Op{Addr: addr}
+}
+
 // Address-space layout: locks at the bottom, the shared pool above them,
-// then per-node private regions. Block addresses are abstract line numbers.
+// the migratory pool between, then per-node private regions. Block
+// addresses are abstract line numbers.
 const (
 	sharedBase    coherence.Addr = 1 << 24
+	migratoryBase coherence.Addr = 1 << 26
 	privateStride coherence.Addr = 1 << 20
 )
 
@@ -182,8 +253,9 @@ func BarnesHut() *Synthetic {
 	}
 }
 
-// ByName returns a named workload generator factory, nil if unknown.
-func ByName(name string) *Synthetic {
+// ByName returns a fresh instance of a named workload generator, nil if
+// unknown.
+func ByName(name string) Generator {
 	switch name {
 	case "oltp", "OLTP":
 		return OLTP()
@@ -195,11 +267,15 @@ func ByName(name string) *Synthetic {
 		return Slashcode()
 	case "barnes", "barnes-hut", "Barnes-Hut":
 		return BarnesHut()
+	case "migratory", "Migratory":
+		return NewMigratory()
 	}
 	return nil
 }
 
-// Names lists the five macro workloads in the paper's figure order.
+// Names lists the registered named workloads: the five Table 2 macro
+// workloads in the paper's figure order, then the migratory-sharing
+// microbenchmark.
 func Names() []string {
-	return []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb"}
+	return []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb", "Migratory"}
 }

@@ -129,8 +129,65 @@ func TestByNameAndNames(t *testing.T) {
 	if ByName("nope") != nil {
 		t.Fatal("ByName of unknown workload not nil")
 	}
-	if ByName("oltp").Name != "OLTP" {
+	if ByName("oltp").(*Synthetic).Name != "OLTP" {
 		t.Fatal("lowercase lookup broken")
+	}
+	if ByName("migratory").(*Migratory).Name != "Migratory" {
+		t.Fatal("migratory lookup broken")
+	}
+}
+
+// TestMigratoryPattern: every episode is a load of a pool block followed by
+// exactly Writes stores to the same block, and warm blocks cover the pool.
+func TestMigratoryPattern(t *testing.T) {
+	w := NewMigratory()
+	if len(w.WarmBlocks()) != w.Blocks {
+		t.Fatalf("warm blocks = %d, want %d", len(w.WarmBlocks()), w.Blocks)
+	}
+	pool := map[coherence.Addr]bool{}
+	for _, a := range w.WarmBlocks() {
+		pool[a] = true
+	}
+	rng := sim.NewRNG(7)
+	for node := 0; node < 3; node++ {
+		self := network.NodeID(node)
+		for ep := 0; ep < 50; ep++ {
+			_, op := w.Next(rng, self)
+			if op.Store {
+				t.Fatalf("node %d episode %d opened with a store", node, ep)
+			}
+			if !pool[op.Addr] {
+				t.Fatalf("node %d accessed %d outside the migratory pool", node, op.Addr)
+			}
+			addr := op.Addr
+			for s := 0; s < w.Writes; s++ {
+				_, op := w.Next(rng, self)
+				if !op.Store || op.Addr != addr {
+					t.Fatalf("node %d episode %d store %d: got store=%t addr=%d, want store of %d",
+						node, ep, s, op.Store, op.Addr, addr)
+				}
+			}
+		}
+	}
+}
+
+// TestMigratoryEpisodesInterleave: per-node episode state is independent,
+// so interleaved callers never corrupt each other's bursts.
+func TestMigratoryEpisodesInterleave(t *testing.T) {
+	w := NewMigratory()
+	rng := sim.NewRNG(9)
+	_, opA := w.Next(rng, 0) // node 0 opens an episode
+	_, opB := w.Next(rng, 1) // node 1 opens its own
+	if opA.Store || opB.Store {
+		t.Fatal("episode openings must be loads")
+	}
+	_, sA := w.Next(rng, 0)
+	_, sB := w.Next(rng, 1)
+	if !sA.Store || sA.Addr != opA.Addr {
+		t.Fatalf("node 0 store went to %d, want %d", sA.Addr, opA.Addr)
+	}
+	if !sB.Store || sB.Addr != opB.Addr {
+		t.Fatalf("node 1 store went to %d, want %d", sB.Addr, opB.Addr)
 	}
 }
 

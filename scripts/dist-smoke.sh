@@ -1,0 +1,50 @@
+#!/bin/sh
+# dist-smoke.sh: end-to-end distributed-sweep smoke test (the CI job).
+#
+# Builds bashsim once, runs a small sweep serially, then re-runs it through
+# a coordinator with two separate worker processes over the job protocol,
+# and asserts the TSVs are byte-identical. Then kills the workers and
+# re-runs the coordinator against the populated cell store: the sweep must
+# complete from published cells alone — zero workers, zero simulations —
+# and still match byte for byte.
+#
+# The same binary must serve every role: cell cache keys embed the binary
+# fingerprint, so a rebuilt binary deliberately misses the old store.
+set -eu
+
+PORT="${DIST_SMOKE_PORT:-8497}"
+WORK="$(mktemp -d)"
+trap 'kill $W1 $W2 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "==> building bashsim"
+go build -o "$WORK/bashsim" ./cmd/bashsim
+
+echo "==> serial reference sweep"
+"$WORK/bashsim" -exp fig1 -parallel 1 -no-cache -out "$WORK/serial.tsv"
+
+echo "==> starting two workers"
+"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -cache-dir "$WORK/cache" >"$WORK/w1.log" 2>&1 &
+W1=$!
+"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -cache-dir "$WORK/cache" >"$WORK/w2.log" 2>&1 &
+W2=$!
+
+echo "==> distributed sweep (coordinator + 2 workers)"
+"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$PORT" -cache-dir "$WORK/cache" \
+    -timeout 120s -out "$WORK/dist.tsv" 2>"$WORK/serve.log"
+grep '^dist:' "$WORK/serve.log" || true
+cmp "$WORK/serial.tsv" "$WORK/dist.tsv"
+echo "OK: distributed TSV is byte-identical to serial"
+
+echo "==> killing workers; resuming from the shared cell store"
+kill $W1 $W2
+wait $W1 2>/dev/null || true
+wait $W2 2>/dev/null || true
+"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$((PORT + 1))" -cache-dir "$WORK/cache" \
+    -timeout 60s -out "$WORK/resume.tsv" 2>"$WORK/resume.log"
+cmp "$WORK/serial.tsv" "$WORK/resume.tsv"
+grep -q ' 0 cells simulated' "$WORK/resume.log"
+echo "OK: resume completed from the store with zero simulations and no workers"
+
+echo "==> cache-gc on the populated store"
+"$WORK/bashsim" -cache-gc -cache-dir "$WORK/cache"
+echo "dist smoke passed"
