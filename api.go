@@ -53,10 +53,17 @@ type (
 	NodeID = network.NodeID
 	// Addr is a cache block address.
 	Addr = cache.Addr
+	// CacheConfig sizes the L2 array (Config.Cache; zero selects the
+	// paper's 4 MB 4-way 64 B geometry).
+	CacheConfig = cache.Config
 	// Time is simulated nanoseconds (= cycles).
 	Time = sim.Time
 	// Op is one processor memory operation.
 	Op = coherence.Op
+	// Recycler bundles a System's shared hot-path free lists (packets,
+	// line/txn records, directory entries); System.Recycler exposes it for
+	// leak checks (Live) and diagnostics. Config.NoRecycle disables it.
+	Recycler = coherence.Recycler
 	// Kernel is the deterministic discrete-event scheduler: a
 	// concrete-typed 4-ary heap ordered by (time, schedule-order) with
 	// zero steady-state allocations per Schedule/Step and a Reset method
@@ -199,15 +206,16 @@ func NewLockingWorkload(locks int, think Time) *LockingWorkload {
 	return workload.NewLocking(locks, think)
 }
 
-// Workload constructors for the five Table 2 workloads and the migratory
-// microbenchmark.
+// Workload constructors for the five Table 2 workloads and the
+// sharing-pattern microbenchmarks (migratory and producer-consumer).
 var (
-	OLTP         = workload.OLTP
-	Apache       = workload.Apache
-	SPECjbb      = workload.SPECjbb
-	Slashcode    = workload.Slashcode
-	BarnesHut    = workload.BarnesHut
-	NewMigratory = workload.NewMigratory
+	OLTP                = workload.OLTP
+	Apache              = workload.Apache
+	SPECjbb             = workload.SPECjbb
+	Slashcode           = workload.Slashcode
+	BarnesHut           = workload.BarnesHut
+	NewMigratory        = workload.NewMigratory
+	NewProducerConsumer = workload.NewProducerConsumer
 )
 
 // WorkloadByName resolves a registered workload by name (nil if unknown).

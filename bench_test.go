@@ -184,6 +184,49 @@ func BenchmarkSystemReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkSteadyStateOps measures the per-operation cost of a *warmed*
+// System — the paper-sweep inner loop after the pooled lifecycle and the
+// reset-aware free lists have done their work. Geometry is sized so the
+// whole working set warms quickly; after warm-up every packet, message,
+// line/txn record and directory entry recycles, so -benchmem reports zero
+// allocations per operation for all three protocols. The NoRecycle
+// sub-benchmarks run the identical simulation with the free lists disabled
+// — the delta is what the recycling buys.
+func BenchmarkSteadyStateOps(b *testing.B) {
+	const nodes = 16
+	run := func(b *testing.B, p bashsim.Protocol, noRecycle bool) {
+		sys := bashsim.NewSystem(bashsim.Config{
+			Protocol:     p,
+			Nodes:        nodes,
+			BandwidthMBs: 1600,
+			Cache:        bashsim.CacheConfig{Sets: 32, Ways: 4},
+			Seed:         11,
+			NoRecycle:    noRecycle,
+		})
+		lk := bashsim.NewLockingWorkload(8*nodes, 0)
+		for i, a := range lk.WarmBlocks() {
+			sys.PreheatOwned(a, bashsim.NodeID(i%nodes), uint64(i)+1)
+		}
+		sys.AttachWorkload(func(bashsim.NodeID) bashsim.Workload { return lk })
+		sys.Start()
+		target := sys.TotalOps() + 20000 // warm free lists and map buckets
+		cond := func() bool { return sys.TotalOps() >= target }
+		sys.Kernel.RunUntil(cond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			target += 100
+			sys.Kernel.RunUntil(cond)
+		}
+		b.StopTimer()
+		b.ReportMetric(100, "simops/op")
+	}
+	for _, p := range []bashsim.Protocol{bashsim.Snooping, bashsim.Directory, bashsim.BASH} {
+		b.Run(p.String(), func(b *testing.B) { run(b, p, false) })
+		b.Run(p.String()+"-norecycle", func(b *testing.B) { run(b, p, true) })
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated
 // lock-acquire transactions per wall second on a 16-node BASH system.
 func BenchmarkSimulatorThroughput(b *testing.B) {

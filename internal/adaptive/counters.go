@@ -16,13 +16,23 @@ type UtilizationCounter struct {
 // NewUtilizationCounter returns a counter for a threshold in (0, 100).
 // limit bounds the magnitude (saturation); 0 selects a generous default.
 func NewUtilizationCounter(thresholdPercent int, limit int64) *UtilizationCounter {
+	u := &UtilizationCounter{}
+	u.Reinit(thresholdPercent, limit)
+	return u
+}
+
+// Reinit re-parameterizes the counter in place, exactly as if freshly
+// constructed (pooled-lifecycle support: no allocation on Reset).
+func (u *UtilizationCounter) Reinit(thresholdPercent int, limit int64) {
 	if thresholdPercent <= 0 || thresholdPercent >= 100 {
 		panic("adaptive: threshold must be in (0,100)")
 	}
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	return &UtilizationCounter{threshold: thresholdPercent, limit: limit}
+	u.threshold = thresholdPercent
+	u.limit = limit
+	u.value = 0
 }
 
 // Threshold returns the target utilization in percent.
@@ -86,10 +96,20 @@ type PolicyCounter struct {
 // NewPolicyCounter returns a counter of the given bit width (1..16),
 // starting at 0 (always broadcast — the snooping-optimist initial state).
 func NewPolicyCounter(bits uint) *PolicyCounter {
+	p := &PolicyCounter{}
+	p.Reinit(bits)
+	return p
+}
+
+// Reinit re-parameterizes the counter in place, exactly as if freshly
+// constructed (pooled-lifecycle support: no allocation on Reset).
+func (p *PolicyCounter) Reinit(bits uint) {
 	if bits == 0 || bits > 16 {
 		panic("adaptive: policy counter width must be 1..16")
 	}
-	return &PolicyCounter{max: 1<<bits - 1, bits: bits}
+	p.value = 0
+	p.max = 1<<bits - 1
+	p.bits = bits
 }
 
 // Bits returns the counter width.

@@ -16,10 +16,18 @@ type LFSR struct {
 // NewLFSR returns an LFSR seeded with the given non-zero value (a zero seed
 // is replaced with 1, since the all-zero state is a fixed point).
 func NewLFSR(seed uint16) *LFSR {
+	l := &LFSR{}
+	l.Reseed(seed)
+	return l
+}
+
+// Reseed restarts the register from the given seed, exactly as if freshly
+// constructed (a zero seed is again replaced with 1).
+func (l *LFSR) Reseed(seed uint16) {
 	if seed == 0 {
 		seed = 1
 	}
-	return &LFSR{state: seed}
+	l.state = seed
 }
 
 // Next advances the register one step and returns the new state.

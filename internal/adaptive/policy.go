@@ -78,6 +78,8 @@ type Adaptive struct {
 	lastBusy      float64
 	switchUnicast bool // Switch-mode state
 	stopped       bool
+	kernel        *sim.Kernel
+	tickFn        func() // recurring sampler, bound once per kernel
 
 	// Samples counts sampling events (stats/diagnostics).
 	Samples uint64
@@ -100,16 +102,17 @@ func New(cfg Config, src UtilizationSource) *Adaptive {
 
 // Reset re-parameterizes the mechanism for a new run — possibly with a
 // different threshold, interval, width or seed — and returns every counter
-// to its initial state, exactly as if freshly constructed with cfg. The
+// to its initial state in place, exactly as if freshly constructed with cfg
+// but without allocating (retain-on-Reset, pooled-lifecycle support). The
 // utilization source binding is structural and survives (the underlying
 // channel is reset in place by the network). Call Start afterwards to
 // re-arm the sampler on the (reset) kernel.
 func (a *Adaptive) Reset(cfg Config) {
 	cfg = cfg.withDefaults()
 	a.cfg = cfg
-	a.util = NewUtilizationCounter(cfg.ThresholdPercent, 0)
-	a.policy = NewPolicyCounter(cfg.PolicyBits)
-	a.lfsr = NewLFSR(cfg.Seed)
+	a.util.Reinit(cfg.ThresholdPercent, 0)
+	a.policy.Reinit(cfg.PolicyBits)
+	a.lfsr.Reseed(cfg.Seed)
 	a.lastBusy = 0
 	a.switchUnicast = false
 	a.stopped = false
@@ -118,17 +121,21 @@ func (a *Adaptive) Reset(cfg Config) {
 	a.Unicasts = 0
 }
 
-// Start schedules the recurring sampling event on the kernel.
+// Start schedules the recurring sampling event on the kernel. The tick
+// closure is created once per Adaptive and reused across Resets, so
+// re-arming a pooled system's samplers costs no allocation.
 func (a *Adaptive) Start(k *sim.Kernel) {
-	var tick func()
-	tick = func() {
-		if a.stopped {
-			return
+	if a.kernel != k {
+		a.kernel = k
+		a.tickFn = func() {
+			if a.stopped {
+				return
+			}
+			a.Sample()
+			a.kernel.Schedule(a.cfg.Interval, a.tickFn)
 		}
-		a.Sample()
-		k.Schedule(a.cfg.Interval, tick)
 	}
-	k.Schedule(a.cfg.Interval, tick)
+	k.Schedule(a.cfg.Interval, a.tickFn)
 }
 
 // Stop halts the recurring sampler (quiesce support).

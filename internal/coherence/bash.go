@@ -150,16 +150,15 @@ func (b *BashCache) issueWB(l *line, t *txn) {
 }
 
 func (b *BashCache) send(l *line, t *txn, targets network.Mask) {
-	pkt := &Packet{
-		Kind:      t.kind,
-		Addr:      l.addr,
-		Requestor: b.env.Self,
-		Sender:    b.env.Self,
-		TxnID:     t.id,
-		HasData:   t.hasData,
-		Targets:   targets,
-	}
-	b.env.Net.SendOrdered(b.env.Self, targets, t.kind.Size(), pkt)
+	pkt := b.env.newPacket()
+	pkt.Kind = t.kind
+	pkt.Addr = l.addr
+	pkt.Requestor = b.env.Self
+	pkt.Sender = b.env.Self
+	pkt.TxnID = t.id
+	pkt.HasData = t.hasData
+	pkt.Targets = targets
+	b.env.sendOrdered(targets, t.kind.Size(), pkt)
 }
 
 // OnOrdered observes one totally ordered request instance.
@@ -370,8 +369,17 @@ type BashMem struct {
 	tbl      *Table
 	dir      *dirState
 	retryCap int
-	retries  map[uint64]bool // outstanding retried transactions by TxnID
+	retries  map[retryKey]bool // outstanding retried transactions
 	stats    BashMemStats
+}
+
+// retryKey identifies an outstanding retried transaction. TxnIDs are
+// requestor-scoped (every cache counts from 1), so the requestor must be
+// part of the key — keying by TxnID alone made concurrent transactions from
+// different nodes share one retry-buffer slot, undercounting nacks.
+type retryKey struct {
+	req network.NodeID
+	txn uint64
 }
 
 // NewBashMem builds a BASH memory controller. retryBuffer <= 0 selects
@@ -396,12 +404,15 @@ func NewBashMem(env Env, retryBuffer int) *BashMem {
 	} {
 		t.Declare(d.s, d.e)
 	}
+	if env.Recycler == nil {
+		env.Recycler = NewRecycler()
+	}
 	return &BashMem{
 		env:      env,
 		tbl:      t,
-		dir:      newDirState(),
+		dir:      newDirState(env.Recycler),
 		retryCap: retryBuffer,
-		retries:  make(map[uint64]bool),
+		retries:  make(map[retryKey]bool),
 	}
 }
 
@@ -409,8 +420,9 @@ func NewBashMem(env Env, retryBuffer int) *BashMem {
 func (m *BashMem) Table() *Table { return m.tbl }
 
 // Reset clears the home-side block table, outstanding-retry set, statistics
-// and coverage for a new run. The retry capacity is structural (systems
-// pool by it) and is retained.
+// and coverage for a new run, draining live directory entries into the free
+// list. The retry capacity is structural (systems pool by it) and is
+// retained.
 func (m *BashMem) Reset() {
 	m.dir.reset()
 	clear(m.retries)
@@ -453,7 +465,8 @@ func (m *BashMem) process(seq uint64, pkt *Packet) {
 			ev = EvMemPutMStale
 		}
 		m.tbl.Fire(e.state, ev)
-		e.waiting = append(e.waiting, func() { m.process(seq, pkt) })
+		m.env.Recycler.Retain(pkt)
+		e.waiting = append(e.waiting, memWait{seq: seq, pkt: pkt})
 		return
 	}
 	if pkt.Kind == PutM {
@@ -476,7 +489,7 @@ func (m *BashMem) process(seq uint64, pkt *Packet) {
 		return
 	}
 	m.stats.Sufficient++
-	delete(m.retries, pkt.TxnID)
+	delete(m.retries, retryKey{pkt.Requestor, pkt.TxnID})
 	req := pkt.Requestor
 	switch pkt.Kind {
 	case GetS:
@@ -525,49 +538,55 @@ func (m *BashMem) retry(e *dirEntry, pkt *Packet) {
 			targets.Set(e.owner)
 		}
 	}
-	if !m.retries[pkt.TxnID] && len(m.retries) >= m.retryCap {
+	if rk := (retryKey{pkt.Requestor, pkt.TxnID}); !m.retries[rk] && len(m.retries) >= m.retryCap {
 		// No buffer for the retry: nack; the requestor reissues as a
 		// broadcast (deadlock avoidance).
 		m.stats.Nacks++
-		nack := &Packet{
-			Kind: Nack, Addr: pkt.Addr, Requestor: pkt.Requestor,
-			Sender: m.env.Self, TxnID: pkt.TxnID,
-		}
-		m.env.Net.SendUnordered(m.env.Self, pkt.Requestor, Nack.Size(), nack)
+		nack := m.env.newPacket()
+		nack.Kind = Nack
+		nack.Addr = pkt.Addr
+		nack.Requestor = pkt.Requestor
+		nack.Sender = m.env.Self
+		nack.TxnID = pkt.TxnID
+		m.env.sendUnordered(pkt.Requestor, Nack.Size(), nack)
 		return
 	}
-	m.retries[pkt.TxnID] = true
+	m.retries[retryKey{pkt.Requestor, pkt.TxnID}] = true
 	m.stats.Retries++
-	rp := *pkt
+	rp := m.env.newPacket()
+	*rp = *pkt // wire fields; the refcount is overwritten at send below
 	rp.Retry = gen
 	rp.Sender = m.env.Self
 	rp.Targets = targets
 	// Directory access before the retry leaves the controller, giving the
 	// paper's property that an insufficient unicast costs the same as a
 	// directory-forwarded request (255 ns uncontended).
-	m.env.Kernel.Schedule(sim.DRAMAccess, func() {
-		m.env.Net.SendOrdered(m.env.Self, targets, rp.Kind.Size(), &rp)
-	})
+	m.env.sendOrderedAfter(sim.DRAMAccess, targets, rp.Kind.Size(), rp)
 }
 
 func (m *BashMem) sendData(to network.NodeID, req *Packet, seq uint64, value uint64) {
-	resp := &Packet{
-		Kind: Data, Addr: req.Addr, Requestor: to, Sender: m.env.Self,
-		TxnID: req.TxnID, EffSeq: seq, Value: value, FromMemory: true,
-	}
-	m.env.Kernel.Schedule(sim.DRAMAccess, func() {
-		m.env.Net.SendUnordered(m.env.Self, to, Data.Size(), resp)
-	})
+	resp := m.env.newPacket()
+	resp.Kind = Data
+	resp.Addr = req.Addr
+	resp.Requestor = to
+	resp.Sender = m.env.Self
+	resp.TxnID = req.TxnID
+	resp.EffSeq = seq
+	resp.Value = value
+	resp.FromMemory = true
+	m.env.sendUnorderedAfter(sim.DRAMAccess, to, Data.Size(), resp)
 }
 
 func (m *BashMem) sendAck(to network.NodeID, req *Packet, seq uint64) {
-	resp := &Packet{
-		Kind: Ack, Addr: req.Addr, Requestor: to, Sender: m.env.Self,
-		TxnID: req.TxnID, EffSeq: seq, FromMemory: true,
-	}
-	m.env.Kernel.Schedule(sim.DRAMAccess, func() {
-		m.env.Net.SendUnordered(m.env.Self, to, Ack.Size(), resp)
-	})
+	resp := m.env.newPacket()
+	resp.Kind = Ack
+	resp.Addr = req.Addr
+	resp.Requestor = to
+	resp.Sender = m.env.Self
+	resp.TxnID = req.TxnID
+	resp.EffSeq = seq
+	resp.FromMemory = true
+	m.env.sendUnorderedAfter(sim.DRAMAccess, to, Ack.Size(), resp)
 }
 
 // OnUnordered receives writeback data.
@@ -585,10 +604,15 @@ func (m *BashMem) OnUnordered(pkt *Packet) {
 	}
 	e.completeWB(pkt.Value)
 	m.env.progress()
+	// Replay deferred same-block instances in arrival order (see the
+	// snooping controller for the in-place truncation argument).
 	waiting := e.waiting
-	e.waiting = nil
-	for _, fn := range waiting {
-		fn()
+	e.waiting = e.waiting[:0]
+	for i := range waiting {
+		w := waiting[i]
+		waiting[i] = memWait{}
+		m.process(w.seq, w.pkt)
+		m.env.Recycler.Release(w.pkt)
 	}
 }
 

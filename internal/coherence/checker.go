@@ -43,11 +43,32 @@ func NewChecker() *Checker {
 // Register adds a cache controller to the SWMR scan set.
 func (c *Checker) Register(cc CacheController) { c.caches = append(c.caches, cc) }
 
+// checkerRetainBlocks bounds how many per-block history slices Reset keeps
+// warm. Unlike the other free lists, history capacity is not pinned by a
+// structural high-water mark — it scales with run length times the union of
+// address sets across pooled runs — so past this bound Reset releases
+// everything to the garbage collector instead.
+const checkerRetainBlocks = 4096
+
 // Reset clears the commit history, violations and counters for a new run,
 // restoring the panic-on-violation default. The registered cache set is
-// structural and survives (the controllers themselves are reused).
+// structural and survives (the controllers themselves are reused). The
+// per-block history slices keep their grown capacity — the retain-on-Reset
+// idiom — up to checkerRetainBlocks blocks; a checker that has touched more
+// drops the whole history rather than retaining unbounded memory across
+// pooled runs with disjoint address sets.
 func (c *Checker) Reset() {
-	clear(c.hist)
+	if len(c.hist) > checkerRetainBlocks {
+		clear(c.hist)
+	} else {
+		for a, h := range c.hist {
+			c.hist[a] = h[:0]
+		}
+	}
+	// Violations must be detached, not truncated: tester Reports alias this
+	// slice after the System returns to the pool, and appending over a
+	// truncated backing array would corrupt (and race with) their contents.
+	// Passing runs have no violations, so there is nothing to retain anyway.
 	c.Violations = nil
 	c.Panic = true
 	c.WriteCommits = 0

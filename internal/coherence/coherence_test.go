@@ -85,7 +85,7 @@ func TestComplexityRow(t *testing.T) {
 }
 
 func TestDirEntryLifecycle(t *testing.T) {
-	d := newDirState()
+	d := newDirState(NewRecycler())
 	e := d.entry(7)
 	if e.state != MemOwner || e.ownerOf() != MemoryOwner {
 		t.Fatal("default entry not memory-owned")

@@ -83,6 +83,14 @@ type ctrlCore struct {
 	pending pendingStates
 	// hitLatency is the L2 hit service time (breaks same-instant recursion).
 	hitLatency sim.Time
+
+	// deferCap is the deferral capacity fresh line records are born with
+	// (the node count: the common-case bound on same-block deferrals).
+	deferCap int
+
+	// pinnedFn is the eviction-pinning predicate, bound once so missFetch
+	// does not allocate a closure per demand miss.
+	pinnedFn func(Addr) bool
 }
 
 // pendingStates selects the transient entered for each kind of demand miss:
@@ -94,23 +102,49 @@ type pendingStates struct {
 }
 
 func (c *ctrlCore) init(env Env, ops protoOps, tbl *Table, arrayCfg cache.Config) {
+	if env.Recycler == nil {
+		env.Recycler = NewRecycler()
+	}
 	c.env = env
 	c.ops = ops
 	c.tbl = tbl
 	c.array = cache.New(arrayCfg)
-	c.lines = make(map[Addr]*line)
+	// Pre-size the line map toward its hard bound (array residency plus
+	// in-flight work) so steady-state churn never grows its buckets; the
+	// hint is capped to keep huge default geometries lazy.
+	c.lines = make(map[Addr]*line, min(arrayCfg.Lines(), 1024))
 	c.pended = make(map[Addr][]pendedOp)
 	c.latHist = stats.NewLatencyHistogram()
 	c.hitLatency = 1
+	c.deferCap = 8
+	if env.Net != nil && env.Net.Nodes() > c.deferCap {
+		c.deferCap = env.Net.Nodes()
+	}
+	c.pinnedFn = c.isPinned
 }
 
 // Reset returns the controller to its freshly constructed state for a new
 // run, retaining every allocation the previous run grew: the line and
 // pended maps keep their buckets, the cache array keeps its materialized
-// sets, the histogram keeps its buckets, and the transition table keeps its
-// declarations (coverage is cleared). The environment — kernel, network,
-// identity, checker, progress hook — is structural and survives unchanged.
+// sets, the histogram keeps its buckets, the transition table keeps its
+// declarations (coverage is cleared), and live line/txn records drain into
+// the free lists rather than being freed, so the warmed capacity carries
+// into the next run. Packets still parked on deferred lists are dropped for
+// the garbage collector, never recycled — the same packet may be parked at
+// several nodes. The environment — kernel, network, identity, checker,
+// progress hook — is structural and survives unchanged.
 func (c *ctrlCore) Reset() {
+	rec := c.env.Recycler
+	for _, l := range c.lines {
+		if l.txn != nil {
+			rec.putTxn(l.txn)
+			l.txn = nil
+		}
+		rec.putLine(l)
+	}
+	for _, q := range c.pended {
+		rec.putPendQueue(q)
+	}
 	clear(c.lines)
 	clear(c.pended)
 	c.array.Reset()
@@ -149,17 +183,33 @@ func (c *ctrlCore) ValueOf(a Addr) uint64 {
 func (c *ctrlCore) line(addr Addr) *line {
 	l := c.lines[addr]
 	if l == nil {
-		l = &line{addr: addr, state: Invalid}
+		l = c.env.Recycler.getLine(addr, c.deferCap)
 		c.lines[addr] = l
 	}
 	return l
 }
 
-// release drops a line record if it holds nothing.
+// release drops a line record if it holds nothing, recycling it. It is
+// idempotent: a line can reach here twice (a deferred replay may release
+// inside the loop, and replayDeferred releases once more at the end), so
+// only the call that actually removes the record from the map recycles it —
+// a double push onto the free list would hand one record to two blocks.
 func (c *ctrlCore) release(l *line) {
 	if l.state == Invalid && l.txn == nil && len(l.deferred) == 0 {
-		delete(c.lines, l.addr)
+		if cur, ok := c.lines[l.addr]; ok && cur == l {
+			delete(c.lines, l.addr)
+			c.env.Recycler.putLine(l)
+		}
 	}
+}
+
+// isPinned reports whether a resident block cannot be evicted because it
+// has in-flight work (the demand-insertion pinning predicate).
+func (c *ctrlCore) isPinned(a Addr) bool {
+	if vl := c.lines[a]; vl != nil {
+		return vl.txn != nil || len(vl.deferred) > 0
+	}
+	return false
 }
 
 // token mints a unique store value for a transaction.
@@ -195,7 +245,11 @@ func (c *ctrlCore) Access(op Op, done func()) {
 		// A writeback for this very block is still in flight; the demand
 		// must wait for it to retire (the demand itself is never
 		// concurrent: the processor is blocking).
-		c.pended[op.Addr] = append(c.pended[op.Addr], pendedOp{op: op, done: done})
+		q, ok := c.pended[op.Addr]
+		if !ok {
+			q = c.env.Recycler.getPendQueue()
+		}
+		c.pended[op.Addr] = append(q, pendedOp{op: op, done: done})
 		return
 	}
 	switch l.state {
@@ -222,14 +276,13 @@ func (c *ctrlCore) hit(l *line, op Op, done func()) {
 
 func (c *ctrlCore) newTxn(kind Kind, addr Addr, hasData bool, done func()) *txn {
 	c.nextTxn++
-	t := &txn{
-		id:      c.nextTxn,
-		kind:    kind,
-		addr:    addr,
-		hasData: hasData,
-		start:   c.env.Kernel.Now(),
-		done:    done,
-	}
+	t := c.env.Recycler.getTxn()
+	t.id = c.nextTxn
+	t.kind = kind
+	t.addr = addr
+	t.hasData = hasData
+	t.start = c.env.Kernel.Now()
+	t.done = done
 	t.token = c.token(t.id)
 	return t
 }
@@ -238,13 +291,7 @@ func (c *ctrlCore) newTxn(kind Kind, addr Addr, hasData bool, done func()) *txn 
 // (possibly starting a victim writeback) and issue GetS/GetM.
 func (c *ctrlCore) missFetch(l *line, op Op, done func()) {
 	c.stats.Misses++
-	pinned := func(a Addr) bool {
-		if vl := c.lines[a]; vl != nil {
-			return vl.txn != nil || len(vl.deferred) > 0
-		}
-		return false
-	}
-	victim, evicted, ok := c.array.Insert(l.addr, pinned)
+	victim, evicted, ok := c.array.Insert(l.addr, c.pinnedFn)
 	if !ok {
 		// Every way is pinned by in-flight work; wait for this block's set
 		// to free up by pending on our own (rare) condition: retry after
@@ -353,6 +400,7 @@ func (c *ctrlCore) completeDemand(l *line, final State, effSeq uint64, observedO
 	}
 	done := t.done
 	l.txn = nil
+	c.env.Recycler.putTxn(t)
 	c.env.progress()
 	c.replayDeferred(l, effSeq)
 	if done != nil {
@@ -366,36 +414,46 @@ func (c *ctrlCore) completeWB(l *line) {
 	if l.txn == nil || !l.txn.isWB {
 		panic("coherence: completeWB without WB txn")
 	}
+	t := l.txn
 	l.txn = nil
+	c.env.Recycler.putTxn(t)
 	l.state = Invalid
 	c.env.progress()
-	pend := c.pended[l.addr]
+	pend, had := c.pended[l.addr]
 	delete(c.pended, l.addr)
 	c.release(l)
 	for _, p := range pend {
 		c.Access(p.op, p.done)
 	}
+	if had {
+		c.env.Recycler.putPendQueue(pend)
+	}
 }
 
-// defer_ parks a foreign instance until the outstanding transaction resolves.
+// defer_ parks a foreign instance until the outstanding transaction
+// resolves, retaining the packet past its delivery.
 func (c *ctrlCore) defer_(l *line, seq uint64, pkt *Packet) {
+	c.env.Recycler.Retain(pkt)
 	l.deferred = append(l.deferred, deferredMsg{seq: seq, pkt: pkt})
 }
 
 // replayDeferred applies parked instances: those ordered before the
 // effective instance are subsumed by it and dropped; later ones apply to the
-// post-transaction state in order.
+// post-transaction state in order. Every parked packet's retained reference
+// is released here (a replayed instance that re-defers retains again).
 func (c *ctrlCore) replayDeferred(l *line, effSeq uint64) {
 	if len(l.deferred) == 0 {
 		return
 	}
 	defs := l.deferred
-	l.deferred = nil
-	for _, d := range defs {
-		if d.seq <= effSeq {
-			continue
+	l.deferred = l.deferred[:0]
+	for i := range defs {
+		d := defs[i]
+		defs[i] = deferredMsg{}
+		if d.seq > effSeq {
+			c.ops.foreign(l, d.seq, d.pkt)
 		}
-		c.ops.foreign(l, d.seq, d.pkt)
+		c.env.Recycler.Release(d.pkt)
 	}
 	c.release(l)
 }
@@ -404,32 +462,25 @@ func (c *ctrlCore) replayDeferred(l *line, effSeq uint64) {
 // (25 ns) to read the array, then sends a 72-byte Data on the response
 // network.
 func (c *ctrlCore) respondData(to network.NodeID, addr Addr, value uint64, effSeq, txnID uint64) {
-	pkt := &Packet{
-		Kind:      Data,
-		Addr:      addr,
-		Requestor: to,
-		Sender:    c.env.Self,
-		TxnID:     txnID,
-		EffSeq:    effSeq,
-		Value:     value,
-	}
-	c.env.Kernel.Schedule(sim.CacheAccess, func() {
-		c.env.Net.SendUnordered(c.env.Self, to, Data.Size(), pkt)
-	})
+	pkt := c.env.newPacket()
+	pkt.Kind = Data
+	pkt.Addr = addr
+	pkt.Requestor = to
+	pkt.Sender = c.env.Self
+	pkt.TxnID = txnID
+	pkt.EffSeq = effSeq
+	pkt.Value = value
+	c.env.sendUnorderedAfter(sim.CacheAccess, to, Data.Size(), pkt)
 }
 
 // respondWBData sends writeback data to the home memory controller, tagged
 // with the writeback's position in the total order (its marker sequence).
 func (c *ctrlCore) respondWBData(l *line, seq uint64) {
-	home := c.env.HomeOf(l.addr)
-	pkt := &Packet{
-		Kind:   DataWB,
-		Addr:   l.addr,
-		Sender: c.env.Self,
-		Value:  l.value,
-		EffSeq: seq,
-	}
-	c.env.Kernel.Schedule(sim.CacheAccess, func() {
-		c.env.Net.SendUnordered(c.env.Self, home, DataWB.Size(), pkt)
-	})
+	pkt := c.env.newPacket()
+	pkt.Kind = DataWB
+	pkt.Addr = l.addr
+	pkt.Sender = c.env.Self
+	pkt.Value = l.value
+	pkt.EffSeq = seq
+	c.env.sendUnorderedAfter(sim.CacheAccess, c.env.HomeOf(l.addr), DataWB.Size(), pkt)
 }

@@ -93,15 +93,14 @@ func (d *DirCache) issueWB(l *line, t *txn) {
 }
 
 func (d *DirCache) sendRequest(l *line, t *txn) {
-	pkt := &Packet{
-		Kind:      t.kind,
-		Addr:      l.addr,
-		Requestor: d.env.Self,
-		Sender:    d.env.Self,
-		TxnID:     t.id,
-		HasData:   t.hasData,
-	}
-	d.env.Net.SendUnordered(d.env.Self, d.env.HomeOf(l.addr), t.kind.Size(), pkt)
+	pkt := d.env.newPacket()
+	pkt.Kind = t.kind
+	pkt.Addr = l.addr
+	pkt.Requestor = d.env.Self
+	pkt.Sender = d.env.Self
+	pkt.TxnID = t.id
+	pkt.HasData = t.hasData
+	d.env.sendUnordered(d.env.HomeOf(l.addr), t.kind.Size(), pkt)
 }
 
 // OnOrdered receives forwarded requests, invalidations, and markers.
@@ -342,6 +341,24 @@ type DirMem struct {
 	dir *dirState
 }
 
+// dirApplyTask defers one request's directory apply behind the DRAM access
+// latency (sim.Task implementation, free-listed on the shared Recycler so
+// every home's pending applies draw from one warmed pool).
+type dirApplyTask struct {
+	m   *DirMem
+	pkt *Packet
+}
+
+// Run applies the carried request and releases its retained reference. The
+// task recycles itself first, so applies that schedule further work can
+// reuse it immediately.
+func (t *dirApplyTask) Run() {
+	m, pkt := t.m, t.pkt
+	m.env.Recycler.putApplyTask(t)
+	m.apply(pkt)
+	m.env.Recycler.Release(pkt)
+}
+
 // NewDirMem builds a directory controller for one node's memory slice.
 func NewDirMem(env Env) *DirMem {
 	t := NewTable("directory-memory")
@@ -359,13 +376,17 @@ func NewDirMem(env Env) *DirMem {
 	} {
 		t.Declare(d.s, d.e)
 	}
-	return &DirMem{env: env, tbl: t, dir: newDirState()}
+	if env.Recycler == nil {
+		env.Recycler = NewRecycler()
+	}
+	return &DirMem{env: env, tbl: t, dir: newDirState(env.Recycler)}
 }
 
 // Table returns the transition table.
 func (m *DirMem) Table() *Table { return m.tbl }
 
-// Reset clears the directory's block table and coverage for a new run.
+// Reset clears the directory's block table and coverage for a new run,
+// draining live directory entries into the free list.
 func (m *DirMem) Reset() {
 	m.dir.reset()
 	m.tbl.ResetCoverage()
@@ -395,7 +416,9 @@ func (m *DirMem) OnUnordered(pkt *Packet) {
 	}
 	// Directory access: 80 ns DRAM directory lookup before acting. Applies
 	// are scheduled with a fixed delay, so they retire in arrival order.
-	m.env.Kernel.Schedule(sim.DRAMAccess, func() { m.apply(pkt) })
+	// The packet outlives its delivery; retain it for the apply.
+	m.env.Recycler.Retain(pkt)
+	m.env.Kernel.ScheduleTask(sim.DRAMAccess, m.env.Recycler.getApplyTask(m, pkt))
 }
 
 func (m *DirMem) apply(pkt *Packet) {
@@ -413,7 +436,8 @@ func (m *DirMem) apply(pkt *Packet) {
 			ev = EvMemPutMStale
 		}
 		m.tbl.Fire(e.state, ev)
-		e.waiting = append(e.waiting, func() { m.apply(pkt) })
+		m.env.Recycler.Retain(pkt)
+		e.waiting = append(e.waiting, memWait{pkt: pkt})
 		return
 	}
 	req := pkt.Requestor
@@ -422,15 +446,9 @@ func (m *DirMem) apply(pkt *Packet) {
 		m.tbl.Fire(e.state, EvMemGetS)
 		if e.state == MemOwner {
 			m.sendData(req, pkt, e.value)
-			m.emit(&Packet{
-				Kind: Marker, Addr: pkt.Addr, Requestor: req, Sender: m.env.Self,
-				TxnID: pkt.TxnID, Owner: MemoryOwner, NeedsData: true,
-			}, network.MaskOf(req))
+			m.emit(Marker, pkt, MemoryOwner, true, network.MaskOf(req))
 		} else {
-			m.emit(&Packet{
-				Kind: FwdGetS, Addr: pkt.Addr, Requestor: req, Sender: m.env.Self,
-				TxnID: pkt.TxnID, Owner: e.owner, NeedsData: true,
-			}, network.MaskOf(e.owner, req))
+			m.emit(FwdGetS, pkt, e.owner, true, network.MaskOf(e.owner, req))
 		}
 		e.addSharer(req)
 	case GetM:
@@ -440,10 +458,7 @@ func (m *DirMem) apply(pkt *Packet) {
 			needData := !(pkt.HasData && e.sharers.Has(req))
 			targets := e.sharers
 			targets.Set(req)
-			m.emit(&Packet{
-				Kind: Inval, Addr: pkt.Addr, Requestor: req, Sender: m.env.Self,
-				TxnID: pkt.TxnID, Owner: MemoryOwner, NeedsData: needData,
-			}, targets)
+			m.emit(Inval, pkt, MemoryOwner, needData, targets)
 			if needData {
 				m.sendData(req, pkt, e.value)
 			}
@@ -453,51 +468,53 @@ func (m *DirMem) apply(pkt *Packet) {
 			// requestor's copy of the multicast is its marker.
 			targets := e.sharers
 			targets.Set(req)
-			m.emit(&Packet{
-				Kind: Inval, Addr: pkt.Addr, Requestor: req, Sender: m.env.Self,
-				TxnID: pkt.TxnID, Owner: MemoryOwner, NeedsData: false,
-			}, targets)
+			m.emit(Inval, pkt, MemoryOwner, false, targets)
 			e.setCacheOwner(req)
 		default:
 			targets := e.sharers
 			targets.Set(req)
 			targets.Set(e.owner)
-			m.emit(&Packet{
-				Kind: FwdGetM, Addr: pkt.Addr, Requestor: req, Sender: m.env.Self,
-				TxnID: pkt.TxnID, Owner: e.owner, NeedsData: true,
-			}, targets)
+			m.emit(FwdGetM, pkt, e.owner, true, targets)
 			e.setCacheOwner(req)
 		}
 	case PutM:
 		if e.state == CacheOwner && e.owner == pkt.Requestor {
 			m.tbl.Fire(e.state, EvMemPutMOwner)
 			e.acceptWB(pkt.Requestor)
-			m.emit(&Packet{
-				Kind: WBMarker, Addr: pkt.Addr, Requestor: pkt.Requestor,
-				Sender: m.env.Self, TxnID: pkt.TxnID,
-			}, network.MaskOf(pkt.Requestor))
+			m.emit(WBMarker, pkt, 0, false, network.MaskOf(pkt.Requestor))
 		} else {
 			m.tbl.Fire(e.state, EvMemPutMStale)
-			m.emit(&Packet{
-				Kind: WBStale, Addr: pkt.Addr, Requestor: pkt.Requestor,
-				Sender: m.env.Self, TxnID: pkt.TxnID,
-			}, network.MaskOf(pkt.Requestor))
+			m.emit(WBStale, pkt, 0, false, network.MaskOf(pkt.Requestor))
 		}
 	default:
 		panic(fmt.Sprintf("directory: unexpected request %s", pkt.Kind))
 	}
 }
 
-func (m *DirMem) emit(pkt *Packet, targets network.Mask) {
-	m.env.Net.SendOrdered(m.env.Self, targets, pkt.Kind.Size(), pkt)
+// emit sends one ordered directory message derived from the request req:
+// the marker/forward/invalidation multicasts and the writeback resolutions.
+func (m *DirMem) emit(kind Kind, req *Packet, owner network.NodeID, needsData bool, targets network.Mask) {
+	pkt := m.env.newPacket()
+	pkt.Kind = kind
+	pkt.Addr = req.Addr
+	pkt.Requestor = req.Requestor
+	pkt.Sender = m.env.Self
+	pkt.TxnID = req.TxnID
+	pkt.Owner = owner
+	pkt.NeedsData = needsData
+	m.env.sendOrdered(targets, kind.Size(), pkt)
 }
 
 func (m *DirMem) sendData(to network.NodeID, req *Packet, value uint64) {
-	resp := &Packet{
-		Kind: Data, Addr: req.Addr, Requestor: to, Sender: m.env.Self,
-		TxnID: req.TxnID, Value: value, FromMemory: true,
-	}
-	m.env.Net.SendUnordered(m.env.Self, to, Data.Size(), resp)
+	resp := m.env.newPacket()
+	resp.Kind = Data
+	resp.Addr = req.Addr
+	resp.Requestor = to
+	resp.Sender = m.env.Self
+	resp.TxnID = req.TxnID
+	resp.Value = value
+	resp.FromMemory = true
+	m.env.sendUnordered(to, Data.Size(), resp)
 }
 
 func (m *DirMem) dataWB(pkt *Packet) {
@@ -511,10 +528,15 @@ func (m *DirMem) dataWB(pkt *Packet) {
 	}
 	e.completeWB(pkt.Value)
 	m.env.progress()
+	// Replay deferred same-block requests in arrival order (see the
+	// snooping controller for the in-place truncation argument).
 	waiting := e.waiting
-	e.waiting = nil
-	for _, fn := range waiting {
-		fn()
+	e.waiting = e.waiting[:0]
+	for i := range waiting {
+		w := waiting[i]
+		waiting[i] = memWait{}
+		m.apply(w.pkt)
+		m.env.Recycler.Release(w.pkt)
 	}
 }
 

@@ -2,6 +2,14 @@ package coherence
 
 import "repro/internal/network"
 
+// memWait is one unit of same-block work parked while a writeback is in
+// flight (state == MemWB): the ordered sequence (zero for the directory
+// protocol's unordered requests) and the retained request packet.
+type memWait struct {
+	seq uint64
+	pkt *Packet
+}
+
 // dirEntry is the per-block state a memory controller keeps for blocks it is
 // home for. Snooping uses only the owner field ("one bit of state ... to
 // indicate if it is the owner", strengthened to an identity so stale
@@ -17,26 +25,38 @@ type dirEntry struct {
 	wbFrom network.NodeID
 
 	// waiting holds same-block work deferred while state == MemWB.
-	waiting []func()
+	waiting []memWait
 }
 
 // dirState is the home-side block table. Entries default to "memory owns,
-// no sharers" (all memory is initially clean at memory).
+// no sharers" (all memory is initially clean at memory). Entries recycle
+// through the system's shared Recycler so a pooled System's warmed
+// directory capacity survives reuse.
 type dirState struct {
 	blocks map[Addr]*dirEntry
+	rec    *Recycler
 }
 
-func newDirState() *dirState { return &dirState{blocks: make(map[Addr]*dirEntry)} }
+func newDirState(rec *Recycler) *dirState {
+	return &dirState{blocks: make(map[Addr]*dirEntry), rec: rec}
+}
 
-// reset drops every entry (all memory back to clean-at-memory), keeping the
-// map's bucket storage for reuse.
-func (d *dirState) reset() { clear(d.blocks) }
+// reset returns every block to clean-at-memory, keeping the map's bucket
+// storage and draining the live entries into the recycler (waiting-slice
+// capacity retained, parked packets dropped to the GC) so the next run
+// materializes its working set without allocating.
+func (d *dirState) reset() {
+	for _, e := range d.blocks {
+		d.rec.putDirEntry(e)
+	}
+	clear(d.blocks)
+}
 
 // entry returns the entry for addr, materializing the default.
 func (d *dirState) entry(addr Addr) *dirEntry {
 	e := d.blocks[addr]
 	if e == nil {
-		e = &dirEntry{state: MemOwner, owner: MemoryOwner}
+		e = d.rec.getDirEntry()
 		d.blocks[addr] = e
 	}
 	return e

@@ -18,12 +18,48 @@ type Env struct {
 	Checker *Checker
 	// Progress, when non-nil, feeds the forward-progress watchdog.
 	Progress func()
+	// Recycler recycles protocol packets and the controllers' per-block
+	// records; shared by every controller of a system, with the delivery
+	// plumbing releasing the per-delivery packet reference (see Recycler).
+	// Controller constructors default a nil recycler so directly built
+	// controllers work, but then each controller recycles privately —
+	// core.System wires one shared instance.
+	Recycler *Recycler
 }
 
 func (e *Env) progress() {
 	if e.Progress != nil {
 		e.Progress()
 	}
+}
+
+// newPacket draws a zeroed packet from the pool.
+func (e *Env) newPacket() *Packet { return e.Recycler.Get() }
+
+// sendOrdered transmits pkt on the totally ordered network, setting its
+// reference count to the delivery fan-out.
+func (e *Env) sendOrdered(targets network.Mask, size int, pkt *Packet) {
+	pkt.refs = int32(targets.Count())
+	e.Net.SendOrdered(e.Self, targets, size, pkt)
+}
+
+// sendOrderedAfter is sendOrdered behind a fixed service delay (DRAM or
+// cache access time), without a per-call closure.
+func (e *Env) sendOrderedAfter(delay sim.Time, targets network.Mask, size int, pkt *Packet) {
+	pkt.refs = int32(targets.Count())
+	e.Net.SendOrderedDelayed(delay, e.Self, targets, size, pkt)
+}
+
+// sendUnordered transmits pkt point-to-point (one delivery reference).
+func (e *Env) sendUnordered(to network.NodeID, size int, pkt *Packet) {
+	pkt.refs = 1
+	e.Net.SendUnordered(e.Self, to, size, pkt)
+}
+
+// sendUnorderedAfter is sendUnordered behind a fixed service delay.
+func (e *Env) sendUnorderedAfter(delay sim.Time, to network.NodeID, size int, pkt *Packet) {
+	pkt.refs = 1
+	e.Net.SendUnorderedDelayed(delay, e.Self, to, size, pkt)
 }
 
 // Op is one processor memory operation presented to the cache controller.

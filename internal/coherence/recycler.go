@@ -1,0 +1,245 @@
+package coherence
+
+import "fmt"
+
+// Recycler bundles the free lists of a system's simulation hot path: the
+// protocol Packets every message carries, and the line / transaction /
+// pended-queue / directory-entry records the controllers materialize and
+// drop as blocks move through the machine. One Recycler is shared by every
+// controller of a System (core wires it through Env), which matters for
+// convergence: the system-wide population of live records is pinned by the
+// protocol itself — one owner per block, one outstanding demand per
+// processor — so the shared lists reach their high-water marks within a few
+// hundred operations, while per-controller lists would each have to random-
+// walk to their own maxima before allocation stopped.
+//
+// Packet lifecycle contract:
+//
+//   - The sender obtains a Packet with Get and hands it to the network via
+//     the Env send helpers, which set the reference count to the number of
+//     deliveries (one per target node of an ordered multicast, one for an
+//     unordered unicast).
+//   - The delivery plumbing (core.Node) holds one reference for the duration
+//     of each Deliver* call and releases it when the node's controllers have
+//     returned. Everything a controller, the checker, the predictor or the
+//     statistics read synchronously during delivery is therefore covered.
+//   - A controller that needs the packet after its handler returns — a
+//     deferred foreign instance, a MemWB waiting list, a directory apply
+//     scheduled behind the DRAM latency — must Retain it and Release it when
+//     that retained use ends.
+//   - Release with no outstanding reference panics (a double release is a
+//     protocol-lifecycle bug, surfaced loudly); the release that drops the
+//     last reference zeroes the Packet and returns it to the free list.
+//
+// Reset-time orphans are deliberate: when a System is Reset mid-flight, any
+// packet still scheduled, deferred or waiting is dropped with the kernel's
+// event queue and garbage-collected — never returned to the free list, since
+// the same packet may be parked at several nodes. The free lists themselves
+// survive Reset, which is what keeps a warmed pooled System allocation-free.
+//
+// SetRecycle(false) is the escape hatch: reference counting (and its
+// double-release check) stays on, but every get allocates and nothing is
+// recycled, so a recycled run can be byte-compared against a fresh-
+// allocation run. Behaviour is identical either way; the determinism tests
+// assert it.
+type Recycler struct {
+	free      []*Packet
+	noRecycle bool
+
+	lines   []*line
+	txns    []*txn
+	pends   [][]pendedOp
+	entries []*dirEntry
+	applies []*dirApplyTask
+
+	// live counts packets handed out and not yet fully released. After a
+	// drained run (System.Quiesce) every packet has been released, so a
+	// non-zero live count there is a leak; the lifecycle tests assert zero.
+	live int
+
+	// Gets and Reuses count packet allocations served in total and from the
+	// free list (diagnostics and tests).
+	Gets, Reuses uint64
+}
+
+// NewRecycler returns an empty recycler with recycling enabled.
+func NewRecycler() *Recycler { return &Recycler{} }
+
+// SetRecycle toggles free-list reuse; see the type comment. It also rebases
+// the live-packet counter, since callers flip it only at run boundaries
+// (core.System wiring), where any still-referenced packet is an orphan of
+// the previous run.
+func (p *Recycler) SetRecycle(on bool) {
+	p.noRecycle = !on
+	p.live = 0
+}
+
+// Recycling reports whether free-list reuse is enabled.
+func (p *Recycler) Recycling() bool { return !p.noRecycle }
+
+// Get returns a zeroed Packet, from the free list when possible.
+func (p *Recycler) Get() *Packet {
+	p.Gets++
+	p.live++
+	if n := len(p.free); n > 0 && !p.noRecycle {
+		pkt := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.Reuses++
+		return pkt
+	}
+	return &Packet{}
+}
+
+// Retain adds a reference for a consumer that will hold the packet beyond
+// the current delivery (deferral, waiting lists, scheduled applies).
+func (p *Recycler) Retain(pkt *Packet) { pkt.refs++ }
+
+// Release drops one reference. The last release zeroes and recycles the
+// packet; a release past zero panics descriptively.
+func (p *Recycler) Release(pkt *Packet) {
+	pkt.refs--
+	if pkt.refs < 0 {
+		panic(fmt.Sprintf("coherence: packet double release: %s (refs %d)", pkt, pkt.refs))
+	}
+	if pkt.refs > 0 {
+		return
+	}
+	p.live--
+	if p.noRecycle {
+		return
+	}
+	*pkt = Packet{}
+	p.free = append(p.free, pkt)
+}
+
+// Live reports packets handed out and not yet fully released. Zero after a
+// drained run; packets orphaned by a mid-flight Reset are excluded by the
+// SetRecycle rebase.
+func (p *Recycler) Live() int { return p.live }
+
+// FreeLen reports the current packet free-list depth (tests/diagnostics).
+func (p *Recycler) FreeLen() int { return len(p.free) }
+
+// getLine materializes a line record for addr. Fresh records are born with
+// deferral capacity so a record's deferred slice almost never grows after
+// creation (deferCap is the system's node count, the common-case bound on
+// concurrent same-block deferrals).
+func (p *Recycler) getLine(addr Addr, deferCap int) *line {
+	if n := len(p.lines); n > 0 && !p.noRecycle {
+		l := p.lines[n-1]
+		p.lines[n-1] = nil
+		p.lines = p.lines[:n-1]
+		l.addr = addr
+		l.state = Invalid
+		return l
+	}
+	l := &line{addr: addr, state: Invalid}
+	if !p.noRecycle {
+		l.deferred = make([]deferredMsg, 0, deferCap)
+	}
+	return l
+}
+
+// putLine zeroes a line record (keeping its deferred-slice capacity) and
+// returns it to the free list. The caller must have removed it from its
+// line map and recycled/dropped its transaction.
+func (p *Recycler) putLine(l *line) {
+	if p.noRecycle {
+		return
+	}
+	deferred := l.deferred
+	clear(deferred) // release parked packet references to the GC
+	*l = line{deferred: deferred[:0]}
+	p.lines = append(p.lines, l)
+}
+
+func (p *Recycler) getTxn() *txn {
+	if n := len(p.txns); n > 0 && !p.noRecycle {
+		t := p.txns[n-1]
+		p.txns[n-1] = nil
+		p.txns = p.txns[:n-1]
+		return t
+	}
+	return &txn{}
+}
+
+// putTxn zeroes a completed transaction and returns it to the free list.
+func (p *Recycler) putTxn(t *txn) {
+	if p.noRecycle {
+		return
+	}
+	*t = txn{}
+	p.txns = append(p.txns, t)
+}
+
+// getPendQueue returns an empty pended-op slice with retained capacity, or
+// nil (append allocates one).
+func (p *Recycler) getPendQueue() []pendedOp {
+	if n := len(p.pends); n > 0 && !p.noRecycle {
+		q := p.pends[n-1]
+		p.pends[n-1] = nil
+		p.pends = p.pends[:n-1]
+		return q
+	}
+	return nil
+}
+
+func (p *Recycler) putPendQueue(q []pendedOp) {
+	if q == nil || p.noRecycle {
+		return
+	}
+	clear(q) // release op/done references
+	p.pends = append(p.pends, q[:0])
+}
+
+// getDirEntry materializes a home-side block entry (memory-owned default).
+func (p *Recycler) getDirEntry() *dirEntry {
+	if n := len(p.entries); n > 0 && !p.noRecycle {
+		e := p.entries[n-1]
+		p.entries[n-1] = nil
+		p.entries = p.entries[:n-1]
+		e.state = MemOwner
+		e.owner = MemoryOwner
+		return e
+	}
+	e := &dirEntry{state: MemOwner, owner: MemoryOwner}
+	if !p.noRecycle {
+		e.waiting = make([]memWait, 0, 4)
+	}
+	return e
+}
+
+// getApplyTask materializes a directory-apply task for one request.
+func (p *Recycler) getApplyTask(m *DirMem, pkt *Packet) *dirApplyTask {
+	if n := len(p.applies); n > 0 && !p.noRecycle {
+		t := p.applies[n-1]
+		p.applies[n-1] = nil
+		p.applies = p.applies[:n-1]
+		t.m = m
+		t.pkt = pkt
+		return t
+	}
+	return &dirApplyTask{m: m, pkt: pkt}
+}
+
+func (p *Recycler) putApplyTask(t *dirApplyTask) {
+	if p.noRecycle {
+		return
+	}
+	t.m = nil
+	t.pkt = nil
+	p.applies = append(p.applies, t)
+}
+
+// putDirEntry zeroes an entry (keeping its waiting-slice capacity, dropping
+// parked packets to the GC) and returns it to the free list.
+func (p *Recycler) putDirEntry(e *dirEntry) {
+	if p.noRecycle {
+		return
+	}
+	waiting := e.waiting
+	clear(waiting)
+	*e = dirEntry{waiting: waiting[:0]}
+	p.entries = append(p.entries, e)
+}

@@ -107,15 +107,14 @@ func mustWBOrigin(st State) State {
 }
 
 func (s *SnoopCache) broadcastReq(l *line, t *txn) {
-	pkt := &Packet{
-		Kind:      t.kind,
-		Addr:      l.addr,
-		Requestor: s.env.Self,
-		Sender:    s.env.Self,
-		TxnID:     t.id,
-		HasData:   t.hasData,
-	}
-	s.env.Net.SendOrdered(s.env.Self, s.env.Net.FullMask(), t.kind.Size(), pkt)
+	pkt := s.env.newPacket()
+	pkt.Kind = t.kind
+	pkt.Addr = l.addr
+	pkt.Requestor = s.env.Self
+	pkt.Sender = s.env.Self
+	pkt.TxnID = t.id
+	pkt.HasData = t.hasData
+	s.env.sendOrdered(s.env.Net.FullMask(), t.kind.Size(), pkt)
 }
 
 // OnOrdered snoops one totally ordered request.
@@ -301,13 +300,17 @@ func NewSnoopMem(env Env) *SnoopMem {
 	} {
 		t.Declare(d.s, d.e)
 	}
-	return &SnoopMem{env: env, tbl: t, dir: newDirState()}
+	if env.Recycler == nil {
+		env.Recycler = NewRecycler()
+	}
+	return &SnoopMem{env: env, tbl: t, dir: newDirState(env.Recycler)}
 }
 
 // Table returns the transition table.
 func (m *SnoopMem) Table() *Table { return m.tbl }
 
-// Reset clears the home-side block table and coverage for a new run.
+// Reset clears the home-side block table and coverage for a new run,
+// draining live directory entries into the free list.
 func (m *SnoopMem) Reset() {
 	m.dir.reset()
 	m.tbl.ResetCoverage()
@@ -348,7 +351,8 @@ func (m *SnoopMem) process(seq uint64, pkt *Packet) {
 			ev = EvMemPutMStale
 		}
 		m.tbl.Fire(e.state, ev)
-		e.waiting = append(e.waiting, func() { m.process(seq, pkt) })
+		m.env.Recycler.Retain(pkt)
+		e.waiting = append(e.waiting, memWait{seq: seq, pkt: pkt})
 		return
 	}
 	switch pkt.Kind {
@@ -384,19 +388,16 @@ func (m *SnoopMem) process(seq uint64, pkt *Packet) {
 }
 
 func (m *SnoopMem) sendData(req *Packet, seq uint64, value uint64) {
-	resp := &Packet{
-		Kind:       Data,
-		Addr:       req.Addr,
-		Requestor:  req.Requestor,
-		Sender:     m.env.Self,
-		TxnID:      req.TxnID,
-		EffSeq:     seq,
-		Value:      value,
-		FromMemory: true,
-	}
-	m.env.Kernel.Schedule(sim.DRAMAccess, func() {
-		m.env.Net.SendUnordered(m.env.Self, req.Requestor, Data.Size(), resp)
-	})
+	resp := m.env.newPacket()
+	resp.Kind = Data
+	resp.Addr = req.Addr
+	resp.Requestor = req.Requestor
+	resp.Sender = m.env.Self
+	resp.TxnID = req.TxnID
+	resp.EffSeq = seq
+	resp.Value = value
+	resp.FromMemory = true
+	m.env.sendUnorderedAfter(sim.DRAMAccess, req.Requestor, Data.Size(), resp)
 }
 
 // OnUnordered receives writeback data.
@@ -414,10 +415,17 @@ func (m *SnoopMem) OnUnordered(pkt *Packet) {
 	}
 	e.completeWB(pkt.Value)
 	m.env.progress()
+	// Replay the deferred same-block work in arrival order. The waiting
+	// slice is truncated in place (capacity retained); an entry that
+	// re-parks — the replayed work re-enters MemWB — appends behind the
+	// read cursor, never overtaking it.
 	waiting := e.waiting
-	e.waiting = nil
-	for _, fn := range waiting {
-		fn()
+	e.waiting = e.waiting[:0]
+	for i := range waiting {
+		w := waiting[i]
+		waiting[i] = memWait{}
+		m.process(w.seq, w.pkt)
+		m.env.Recycler.Release(w.pkt)
 	}
 }
 

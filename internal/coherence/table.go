@@ -5,17 +5,41 @@ import (
 	"sort"
 )
 
+// Token is a state or event enum usable in a transition table: it renders
+// as a string for reports and panics, and exposes a small dense index for
+// the allocation-free hot-path dispatch (State, MemState and Event all
+// implement it).
+type Token interface {
+	fmt.Stringer
+	Index() int
+}
+
 // Table records the legal (state, event) transitions of a controller, both
 // to dispatch uniformly and to regenerate the paper's Table 1 complexity
 // counts (states, events, transitions per controller). Transitions are
 // registered statically at controller construction, so the counts do not
 // depend on coverage.
+//
+// Fire is on the simulation hot path (every protocol event fires exactly
+// one transition), so coverage is counted in a flat slice indexed through
+// an integer-keyed map — no string is built or allocated per Fire. The
+// string views used by reports are derived from declarations on demand.
 type Table struct {
-	name        string
-	states      map[string]bool
-	events      map[string]bool
+	name   string
+	states map[string]bool
+	events map[string]bool
+
+	// transitions holds the declared keys ("S/E"); slotByIdx maps the packed
+	// (state, event) index to a slot in counts, and keyBySlot translates a
+	// slot back to its declared key for the coverage reports.
 	transitions map[string]bool
-	hits        map[string]uint64 // coverage: fired transitions
+	slotByIdx   map[uint32]int
+	keyBySlot   []string
+	counts      []uint64
+
+	// mergedHits accumulates coverage folded in from other tables via Merge
+	// (union tables for Table 1 never Fire themselves).
+	mergedHits map[string]uint64
 }
 
 // NewTable returns an empty transition table.
@@ -25,7 +49,8 @@ func NewTable(name string) *Table {
 		states:      make(map[string]bool),
 		events:      make(map[string]bool),
 		transitions: make(map[string]bool),
-		hits:        make(map[string]uint64),
+		slotByIdx:   make(map[uint32]int),
+		mergedHits:  make(map[string]uint64),
 	}
 }
 
@@ -34,32 +59,59 @@ func (t *Table) Name() string { return t.name }
 
 func key(state, event string) string { return state + "/" + event }
 
+// idxOf packs a (state, event) pair into the hot-path map key.
+func idxOf(state, event Token) uint32 {
+	return uint32(state.Index())<<8 | uint32(event.Index())
+}
+
 // Declare registers a legal transition.
-func (t *Table) Declare(state, event fmt.Stringer) {
+func (t *Table) Declare(state, event Token) {
 	s, e := state.String(), event.String()
 	t.states[s] = true
 	t.events[e] = true
-	t.transitions[key(s, e)] = true
+	k := key(s, e)
+	if t.transitions[k] {
+		return
+	}
+	t.transitions[k] = true
+	t.slotByIdx[idxOf(state, event)] = len(t.counts)
+	t.keyBySlot = append(t.keyBySlot, k)
+	t.counts = append(t.counts, 0)
 }
 
 // Fire records that a declared transition executed; it panics on an
 // undeclared transition, which is how protocol bugs surface as loud,
-// attributable failures in tests.
-func (t *Table) Fire(state, event fmt.Stringer) {
-	s, e := state.String(), event.String()
-	k := key(s, e)
-	if !t.transitions[k] {
-		panic(fmt.Sprintf("%s: illegal transition %s + %s", t.name, s, e))
+// attributable failures in tests. Fire performs no allocation: small-enum
+// interface conversion, an integer map lookup and a slice increment.
+func (t *Table) Fire(state, event Token) {
+	slot, ok := t.slotByIdx[idxOf(state, event)]
+	if !ok {
+		panic(fmt.Sprintf("%s: illegal transition %s + %s", t.name, state, event))
 	}
-	t.hits[k]++
+	t.counts[slot]++
 }
 
 // ResetCoverage clears the fired-transition counts while keeping every
 // declaration, returning the table to its just-constructed coverage state.
 // Declarations are structural (registered once at controller construction)
-// and survive reuse; coverage is per-run.
+// and survive reuse; coverage is per-run. Nothing is allocated or freed.
 func (t *Table) ResetCoverage() {
-	clear(t.hits)
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	clear(t.mergedHits)
+}
+
+// hitCount returns the fired count for a declared key, including coverage
+// merged in from other tables.
+func (t *Table) hitCount(k string) uint64 {
+	n := t.mergedHits[k]
+	for slot, sk := range t.keyBySlot {
+		if sk == k {
+			return n + t.counts[slot]
+		}
+	}
+	return n
 }
 
 // States returns the number of distinct states.
@@ -73,14 +125,23 @@ func (t *Table) Transitions() int { return len(t.transitions) }
 
 // Coverage returns fired/declared transition counts.
 func (t *Table) Coverage() (fired, declared int) {
-	return len(t.hits), len(t.transitions)
+	seen := make(map[string]bool, len(t.keyBySlot))
+	for slot, k := range t.keyBySlot {
+		if t.counts[slot] > 0 {
+			seen[k] = true
+		}
+	}
+	for k := range t.mergedHits {
+		seen[k] = true
+	}
+	return len(seen), len(t.transitions)
 }
 
 // Uncovered lists declared transitions that never fired, sorted.
 func (t *Table) Uncovered() []string {
 	var out []string
 	for k := range t.transitions {
-		if t.hits[k] == 0 {
+		if t.hitCount(k) == 0 {
 			out = append(out, k)
 		}
 	}
@@ -88,8 +149,10 @@ func (t *Table) Uncovered() []string {
 	return out
 }
 
-// Merge folds another table's declarations and hits into t (used to total a
-// protocol's cache and memory controllers, as Table 1 does).
+// Merge folds another table's declarations and coverage into t (used to
+// total a protocol's cache and memory controllers, as Table 1 does). Merged
+// transitions are counted and reported but cannot themselves be Fired on t;
+// union tables exist for accounting only.
 func (t *Table) Merge(o *Table) {
 	for s := range o.states {
 		t.states[s] = true
@@ -100,8 +163,13 @@ func (t *Table) Merge(o *Table) {
 	for k := range o.transitions {
 		t.transitions[k] = true
 	}
-	for k, n := range o.hits {
-		t.hits[k] += n
+	for slot, k := range o.keyBySlot {
+		if n := o.counts[slot]; n > 0 {
+			t.mergedHits[k] += n
+		}
+	}
+	for k, n := range o.mergedHits {
+		t.mergedHits[k] += n
 	}
 }
 

@@ -106,6 +106,11 @@ type Packet struct {
 	// the directory state against the set of nodes that received the request
 	// to decide sufficiency.
 	Targets network.Mask
+
+	// refs is the Recycler reference count: the number of pending
+	// deliveries plus retained uses. Managed by the Env send helpers and
+	// Recycler.Retain/Release; zero means the packet is reclaimable.
+	refs int32
 }
 
 func (p *Packet) String() string {
@@ -159,6 +164,9 @@ func (s State) String() string {
 	}
 	return fmt.Sprintf("State(%d)", uint8(s))
 }
+
+// Index returns the dense transition-table index of the state.
+func (s State) Index() int { return int(s) }
 
 // IsStable reports whether s is one of the four MOSI stable states.
 func (s State) IsStable() bool { return s <= Modified }
@@ -231,6 +239,9 @@ func (e Event) String() string {
 	return fmt.Sprintf("Event(%d)", uint8(e))
 }
 
+// Index returns the dense transition-table index of the event.
+func (e Event) Index() int { return int(e) }
+
 // MemState enumerates per-block memory/directory controller states.
 type MemState uint8
 
@@ -252,3 +263,9 @@ func (s MemState) String() string {
 	}
 	return fmt.Sprintf("MemState(%d)", uint8(s))
 }
+
+// Index returns the dense transition-table index of the memory state,
+// offset past the cache-state range so a merged table never aliases the two
+// (cache and memory controllers keep separate tables, but the offset makes
+// the index space globally unambiguous).
+func (s MemState) Index() int { return int(numStates) + int(s) }

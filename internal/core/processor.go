@@ -16,12 +16,22 @@ type Workload interface {
 // Processor is the paper's blocking processor model: it interleaves think
 // time with blocking requests to the unified L2, at most one outstanding
 // demand miss at a time.
+//
+// The fetch-execute loop runs on two closures bound once at construction
+// (issueFn, doneFn) with the pending operation carried in a field — the
+// processor is blocking, so at most one operation is in flight and the
+// field is never overwritten early. A billion-op run therefore allocates
+// nothing in this loop.
 type Processor struct {
 	sys     *System
 	node    *Node
 	gen     Workload
 	rng     *sim.RNG
 	stopped bool
+
+	pendingOp coherence.Op
+	issueFn   func()
+	doneFn    func()
 
 	// Completed counts finished memory operations.
 	Completed uint64
@@ -32,7 +42,10 @@ type Processor struct {
 // NewProcessor builds a processor for a node.
 func NewProcessor(sys *System, node *Node, gen Workload) *Processor {
 	seed := sys.cfg.Seed*1000003 + uint64(node.ID)*7919 + 17
-	return &Processor{sys: sys, node: node, gen: gen, rng: sim.NewRNG(seed)}
+	p := &Processor{sys: sys, node: node, gen: gen, rng: sim.NewRNG(seed)}
+	p.issueFn = p.issue
+	p.doneFn = p.opDone
+	return p
 }
 
 // Start begins the fetch-execute loop.
@@ -47,19 +60,23 @@ func (p *Processor) next() {
 	}
 	think, op := p.gen.Next(p.rng, p.node.ID)
 	p.ThinkTime += think
-	issue := func() {
-		if p.stopped {
-			return
-		}
-		p.node.Cache.Access(op, func() {
-			p.Completed++
-			p.sys.totalOps++
-			p.next()
-		})
-	}
+	p.pendingOp = op
 	if think > 0 {
-		p.sys.Kernel.Schedule(think, issue)
+		p.sys.Kernel.Schedule(think, p.issueFn)
 	} else {
-		issue()
+		p.issue()
 	}
+}
+
+func (p *Processor) issue() {
+	if p.stopped {
+		return
+	}
+	p.node.Cache.Access(p.pendingOp, p.doneFn)
+}
+
+func (p *Processor) opDone() {
+	p.Completed++
+	p.sys.totalOps++
+	p.next()
 }

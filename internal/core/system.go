@@ -80,6 +80,13 @@ type Config struct {
 	Seed uint64
 	// JitterNs adds uniform random delay to message traversals (testing).
 	JitterNs int
+	// NoRecycle disables the hot-path free lists (packets, network
+	// messages, line/txn records, directory entries): every record is
+	// allocated fresh and dropped to the garbage collector. Results are
+	// byte-identical either way — the determinism tests assert it — so the
+	// switch exists for benchmarking the free lists and for fault
+	// isolation. It is per-run state: Reset may flip it freely.
+	NoRecycle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -139,15 +146,22 @@ type Node struct {
 }
 
 // DeliverOrdered implements network.Handler: both the cache and the memory
-// slice snoop the totally ordered network.
+// slice snoop the totally ordered network. The node holds the packet's
+// per-delivery reference for the duration of the call and releases it when
+// both controllers have returned; a controller that parks the packet
+// (deferral, MemWB waiting, a delayed directory apply) retains its own
+// reference first.
 func (n *Node) DeliverOrdered(m *network.Message) {
 	n.sys.recordOrdered(n.ID, m)
-	n.sys.traffic.record(m.Payload.(*coherence.Packet).Kind, m.Size)
+	pkt := m.Payload.(*coherence.Packet)
+	n.sys.traffic.record(pkt.Kind, m.Size)
 	n.Cache.OnOrdered(m)
 	n.Mem.OnOrdered(m)
+	n.sys.packets.Release(pkt)
 }
 
-// DeliverUnordered implements network.Handler, routing by message kind.
+// DeliverUnordered implements network.Handler, routing by message kind and
+// releasing the delivery's packet reference afterwards.
 func (n *Node) DeliverUnordered(m *network.Message) {
 	n.sys.recordUnordered(n.ID, m)
 	pkt := m.Payload.(*coherence.Packet)
@@ -160,6 +174,7 @@ func (n *Node) DeliverUnordered(m *network.Message) {
 	default:
 		panic(fmt.Sprintf("core: unroutable %s", pkt.Kind))
 	}
+	n.sys.packets.Release(pkt)
 }
 
 // System is a complete simulated machine.
@@ -172,8 +187,13 @@ type System struct {
 	cfg      Config
 	trace    *Trace
 	traffic  *TrafficStats
-	totalOps uint64 // running sum of Processor.Completed (hot-path cache)
+	packets  *coherence.Recycler // shared packet + record free lists
+	totalOps uint64              // running sum of Processor.Completed (hot-path cache)
 }
+
+// Recycler exposes the system's shared free lists (tests and diagnostics:
+// after Quiesce, Live() reports leaked packets — zero in a correct run).
+func (s *System) Recycler() *coherence.Recycler { return s.packets }
 
 // NewSystem builds and wires a machine; processors are attached with
 // AttachWorkload and started by Run/Measure.
@@ -200,8 +220,15 @@ func build(cfg Config) *System {
 		BroadcastCost: cfg.BroadcastCost,
 		JitterNs:      cfg.JitterNs,
 		JitterSeed:    cfg.Seed,
+		Recycle:       !cfg.NoRecycle,
 	})
-	s := &System{Kernel: k, Net: net, cfg: cfg, traffic: newTrafficStats()}
+	s := &System{
+		Kernel:  k,
+		Net:     net,
+		cfg:     cfg,
+		traffic: newTrafficStats(),
+		packets: coherence.NewRecycler(),
+	}
 	if cfg.EnableChecker {
 		s.Checker = coherence.NewChecker()
 	}
@@ -214,11 +241,12 @@ func build(cfg Config) *System {
 	for i := 0; i < cfg.Nodes; i++ {
 		id := network.NodeID(i)
 		env := coherence.Env{
-			Kernel:  k,
-			Net:     net,
-			Self:    id,
-			HomeOf:  homeOf,
-			Checker: s.Checker,
+			Kernel:   k,
+			Net:      net,
+			Self:     id,
+			HomeOf:   homeOf,
+			Checker:  s.Checker,
+			Recycler: s.packets,
 		}
 		if s.Watchdog != nil {
 			env.Progress = s.Watchdog.Progress
@@ -279,7 +307,11 @@ func (s *System) wire(cfg Config) {
 		BroadcastCost: cfg.BroadcastCost,
 		JitterNs:      cfg.JitterNs,
 		JitterSeed:    cfg.Seed,
+		Recycle:       !cfg.NoRecycle,
 	})
+	// The recycle switch is applied before the controllers Reset, so their
+	// free lists drain (or not) consistently with the new run's setting.
+	s.packets.SetRecycle(!cfg.NoRecycle)
 	if s.Watchdog != nil {
 		s.Watchdog.Reset(cfg.WatchdogInterval)
 	}

@@ -351,7 +351,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if !kinds[tj.job.Kind] {
 			continue
 		}
-		c.queue = append(c.queue[:qi:qi], c.queue[qi+1:]...)
+		// In-place removal: shifting within the existing backing array
+		// avoids reallocating and copying the whole queue on every grant.
+		c.queue = append(c.queue[:qi], c.queue[qi+1:]...)
+		clearTail := c.queue[:len(c.queue)+1]
+		clearTail[len(clearTail)-1] = nil // release the shifted-out tail slot
 		tj.state = jobLeased
 		tj.worker = req.Worker
 		tj.deadline = now.Add(c.opt.leaseTTL())

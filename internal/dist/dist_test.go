@@ -89,6 +89,29 @@ func TestDistSweepByteIdentical(t *testing.T) {
 	}
 }
 
+// TestDistSweepRecycledMatchesNoRecycle: the hot-path free lists (packet,
+// message, line/txn and directory-entry recycling — enabled by default on
+// every worker) change nothing: a sweep fanned across two real HTTP workers
+// running fully recycled simulations reproduces, byte for byte, an
+// in-process sweep that allocates every record fresh (Options.NoRecycle).
+// Not skipped in -short so the CI race job exercises the recycled path
+// under the race detector across real worker goroutines.
+func TestDistSweepRecycledMatchesNoRecycle(t *testing.T) {
+	experiments.ResetMemo()
+	want := tsvOf(t, "fig1", experiments.Options{NoRecycle: true, NoReuse: true})
+
+	cache := t.TempDir()
+	coord, _ := cluster(t, cache, 2, 2*time.Second)
+	experiments.ResetMemo()
+	got := tsvOf(t, "fig1", experiments.Options{Backend: coord, CacheDir: cache})
+	if got != want {
+		t.Errorf("recycled two-worker TSV differs from fresh-allocation in-process TSV:\n--- fresh ---\n%s\n--- recycled/dist ---\n%s", want, got)
+	}
+	if st := coord.Stats(); st.Completed != fig1Cells {
+		t.Errorf("coordinator completed %d jobs, want %d", st.Completed, fig1Cells)
+	}
+}
+
 // TestDistResumeAfterInterruption: killing a sweep mid-flight loses nothing
 // that was already published — the re-run serves published cells from the
 // shared store and only simulates the remainder, and the total simulation

@@ -83,6 +83,39 @@ func TestPoolingDeterminism(t *testing.T) {
 	}
 }
 
+// TestRecyclingDeterminism: a sweep with the hot-path free lists enabled
+// (the default) produces byte-identical TSV to a NoRecycle run that
+// allocates every packet and record fresh — serially and with a parallel
+// worker pool, with pooling both on and off. This is the end-to-end
+// guarantee behind the zero-allocation hot path: recycling never changes a
+// result.
+func TestRecyclingDeterminism(t *testing.T) {
+	seeds := []uint64{11, 23}
+
+	ResetMemo()
+	fresh := tsvOf(t, "fig1", Options{Seeds: seeds, Parallel: 1, NoRecycle: true, NoReuse: true})
+
+	ResetMemo()
+	recycledSerial := tsvOf(t, "fig1", Options{Seeds: seeds, Parallel: 1})
+	if fresh != recycledSerial {
+		t.Errorf("recycled serial TSV differs from fresh-allocation TSV:\n--- fresh ---\n%s\n--- recycled ---\n%s",
+			fresh, recycledSerial)
+	}
+
+	ResetMemo()
+	recycledParallel := tsvOf(t, "fig1", Options{Seeds: seeds, Parallel: 8})
+	if fresh != recycledParallel {
+		t.Errorf("recycled parallel TSV differs from fresh-allocation TSV")
+	}
+
+	// NoRecycle composed with pooled Systems (reuse on, free lists off).
+	ResetMemo()
+	pooledNoRecycle := tsvOf(t, "fig1", Options{Seeds: seeds, Parallel: 1, NoRecycle: true})
+	if fresh != pooledNoRecycle {
+		t.Errorf("pooled NoRecycle TSV differs from fresh-allocation TSV")
+	}
+}
+
 // TestSweepProgress: the progress callback sees every cell of a sweep.
 func TestSweepProgress(t *testing.T) {
 	ResetMemo()

@@ -162,6 +162,13 @@ type Options struct {
 	// either way (the determinism tests assert it); the switch exists for
 	// benchmarking and fault isolation.
 	NoReuse bool
+	// NoRecycle disables the simulator's hot-path free lists (packets,
+	// network messages, line/txn records, directory entries) for every
+	// cell: records are allocated fresh and garbage-collected instead of
+	// recycled. Results are byte-identical either way (the determinism
+	// tests assert it); the switch exists for benchmarking the free lists
+	// and for fault isolation. Orthogonal to NoReuse.
+	NoRecycle bool
 	// Backend, when non-nil, executes simulation cells as serializable jobs
 	// through the given runner.Backend (runner.LocalBackend for the
 	// in-process executor path, a dist.Coordinator for worker processes on
@@ -234,7 +241,9 @@ type runConfig struct {
 // cellFormat versions the persistent cell store's key space: bump it when a
 // cell's semantics change (simulation model, metrics definition, runConfig
 // fields), orphaning stale entries instead of replaying them.
-const cellFormat = 1
+// (v2: BASH retry-buffer slots keyed by requestor+txn, fixing cross-node
+// TxnID collisions that undercounted nacks.)
+const cellFormat = 2
 
 // defaultWatchdogInterval is the per-cell forward-progress watchdog default
 // (simulated ns) applied when neither Options nor the cell specify one.
@@ -331,6 +340,7 @@ func runOne(o Options, rc runConfig) core.Metrics {
 		BroadcastCost:    rc.broadcastCost,
 		Seed:             rc.seed,
 		WatchdogInterval: wd,
+		NoRecycle:        o.NoRecycle,
 	}
 	cfg.Adaptive.ThresholdPercent = rc.threshold
 	cfg.Adaptive.Interval = rc.interval

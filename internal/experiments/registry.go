@@ -41,11 +41,12 @@ var registry = map[string]Runner{
 		}
 		return out
 	},
-	"fig12":      func(o Options) []Renderable { return one(Fig12(o)) },
-	"stability":  func(o Options) []Renderable { return one(Stability(o)) },
-	"ablation":   func(o Options) []Renderable { return one(Ablation(o)) },
-	"predictive": func(o Options) []Renderable { return one(Predictive(o)) },
-	"migratory":  func(o Options) []Renderable { return one(Migratory(o)) },
+	"fig12":             func(o Options) []Renderable { return one(Fig12(o)) },
+	"stability":         func(o Options) []Renderable { return one(Stability(o)) },
+	"ablation":          func(o Options) []Renderable { return one(Ablation(o)) },
+	"predictive":        func(o Options) []Renderable { return one(Predictive(o)) },
+	"migratory":         func(o Options) []Renderable { return one(Migratory(o)) },
+	"producer-consumer": func(o Options) []Renderable { return one(ProducerConsumer(o)) },
 }
 
 // IDs lists the registered experiment ids in order.

@@ -107,6 +107,19 @@ func Migratory(o Options) *Figure {
 	return f
 }
 
+// ProducerConsumer is the producer-consumer bandwidth sweep from the
+// destination-set-prediction follow-up work: every block has one stable
+// writer, so the last-owner predictor's mask is almost always right — the
+// counterpoint to Migratory, whose owner moves every episode.
+func ProducerConsumer(o Options) *Figure {
+	f := macroSweep(o, "ProducerConsumer", 1)
+	f.ID = "producer-consumer"
+	f.Notes = append(f.Notes,
+		"expected: a stable per-block writer; the owner predictor's best case",
+		"(see the predictive experiment for the hit-rate comparison)")
+	return f
+}
+
 // Fig12 reproduces Figure 12: per-workload bars at 1600 MB/s with 4x
 // broadcast cost, normalized to BASH.
 func Fig12(o Options) *TableResult {

@@ -17,12 +17,18 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/sim"
 )
 
 // Message is a delivery handed to a node. Payload carries the
 // protocol-level content; the network treats it as opaque.
+//
+// With Config.Recycle enabled the network reclaims the Message as soon as
+// its last delivery handler returns: handlers must not hold a *Message (or
+// read it) after DeliverOrdered/DeliverUnordered returns. Payload lifetime
+// is the payload owner's concern (see coherence.Recycler).
 type Message struct {
 	From      NodeID
 	Targets   Mask   // ordered-network deliveries only
@@ -31,6 +37,10 @@ type Message struct {
 	Size      int    // bytes
 	Broadcast bool   // true if sent to all nodes (cost multiplier applies)
 	Payload   any
+
+	// remaining counts undelivered copies; the network recycles the Message
+	// when it reaches zero (Config.Recycle only).
+	remaining int32
 }
 
 // Handler receives deliveries addressed to a node.
@@ -60,6 +70,11 @@ type Config struct {
 	JitterNs int
 	// JitterSeed seeds the jitter generator.
 	JitterSeed uint64
+	// Recycle lets the network reclaim Message records after their last
+	// delivery handler returns, eliminating the per-delivery allocation in
+	// steady state. Handlers must then not retain a *Message beyond the
+	// Deliver* call. Delivery timing and ordering are identical either way.
+	Recycle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,9 +108,129 @@ type Network struct {
 
 	jitter *sim.RNG
 
+	// msgFree and taskFree recycle Message records and internal scheduling
+	// tasks. Tasks are purely network-internal and always recycled; Messages
+	// are recycled only under Config.Recycle (handlers might retain them
+	// otherwise). Reset drains nothing: the warmed free lists are the point.
+	msgFree  []*Message
+	taskFree []*netTask
+
 	// OrderedSent counts ordered-network messages by broadcast/multicast.
 	OrderedSent   uint64
 	UnorderedSent uint64
+}
+
+// netTask is the one free-listed scheduling unit behind every network event:
+// sequencer stamping, fan-out arrival, channel-grant handoff, and delayed
+// sends. A single struct with a kind tag keeps the free list monomorphic.
+type netTask struct {
+	n       *Network
+	kind    uint8
+	from    NodeID
+	dst     NodeID
+	targets Mask
+	size    int
+	cost    float64
+	delay   sim.Time
+	m       *Message
+	payload any
+}
+
+// netTask kinds.
+const (
+	taskStamp      uint8 = iota // ordered: assign seq, fan deliveries out
+	taskOrdArrive               // ordered: seize the inbound channel
+	taskOrdHandoff              // ordered: hand the message to the node
+	taskUnArrive                // unordered: seize the inbound channel
+	taskUnHandoff               // unordered: hand the message to the node
+	taskSendOrd                 // delayed SendOrdered
+	taskSendUn                  // delayed SendUnordered
+)
+
+func (n *Network) getTask() *netTask {
+	if len(n.taskFree) == 0 {
+		return &netTask{n: n}
+	}
+	t := n.taskFree[len(n.taskFree)-1]
+	n.taskFree = n.taskFree[:len(n.taskFree)-1]
+	return t
+}
+
+func (n *Network) putTask(t *netTask) {
+	net := t.n
+	*t = netTask{n: net}
+	net.taskFree = append(net.taskFree, t)
+}
+
+func (n *Network) getMessage() *Message {
+	if len(n.msgFree) == 0 || !n.cfg.Recycle {
+		return &Message{}
+	}
+	m := n.msgFree[len(n.msgFree)-1]
+	n.msgFree = n.msgFree[:len(n.msgFree)-1]
+	return m
+}
+
+// releaseMessage counts down one delivery and reclaims the Message when the
+// last handler has returned (Config.Recycle only).
+func (n *Network) releaseMessage(m *Message) {
+	m.remaining--
+	if m.remaining > 0 || !n.cfg.Recycle {
+		return
+	}
+	*m = Message{}
+	n.msgFree = append(n.msgFree, m)
+}
+
+// Run dispatches one network task. Tasks recycle themselves after copying
+// the fields they need, so a task fired from the kernel can immediately be
+// reused by whatever it schedules next.
+func (t *netTask) Run() {
+	n := t.n
+	switch t.kind {
+	case taskStamp:
+		from, targets, size, cost, payload := t.from, t.targets, t.size, t.cost, t.payload
+		n.putTask(t)
+		n.stampAndFanOut(from, targets, size, cost, payload)
+	case taskOrdArrive:
+		dst, m, cost := t.dst, t.m, t.cost
+		n.putTask(t)
+		grant := n.in[dst].Seize(n.kernel.Now(), m.Size, cost)
+		h := n.getTask()
+		h.kind, h.dst, h.m = taskOrdHandoff, dst, m
+		n.kernel.AtTask(grant, h)
+	case taskOrdHandoff:
+		dst, m := t.dst, t.m
+		n.putTask(t)
+		if last := n.lastSeqDelivered[dst]; m.Seq <= last {
+			panic(fmt.Sprintf("network: total order violated at node %d: seq %d after %d", dst, m.Seq, last))
+		}
+		n.lastSeqDelivered[dst] = m.Seq
+		n.handlers[dst].DeliverOrdered(m)
+		n.releaseMessage(m)
+	case taskUnArrive:
+		dst, m := t.dst, t.m
+		n.putTask(t)
+		grant := n.in[dst].Seize(n.kernel.Now(), m.Size, 1)
+		h := n.getTask()
+		h.kind, h.dst, h.m = taskUnHandoff, dst, m
+		n.kernel.AtTask(grant, h)
+	case taskUnHandoff:
+		dst, m := t.dst, t.m
+		n.putTask(t)
+		n.handlers[dst].DeliverUnordered(m)
+		n.releaseMessage(m)
+	case taskSendOrd:
+		from, targets, size, payload := t.from, t.targets, t.size, t.payload
+		n.putTask(t)
+		n.SendOrdered(from, targets, size, payload)
+	case taskSendUn:
+		from, dst, size, payload := t.from, t.dst, t.size, t.payload
+		n.putTask(t)
+		n.SendUnordered(from, dst, size, payload)
+	default:
+		panic(fmt.Sprintf("network: unknown task kind %d", t.kind))
+	}
 }
 
 // New builds the interconnect. Handlers must be registered with SetHandler
@@ -191,9 +326,8 @@ func (n *Network) SendOrdered(from NodeID, targets Mask, size int, payload any) 
 		panic("network: ordered send with empty target mask")
 	}
 	n.OrderedSent++
-	bcast := targets.Equal(n.full)
 	cost := 1.0
-	if bcast {
+	if targets.Equal(n.full) {
 		cost = n.cfg.BroadcastCost
 	}
 	start := n.out[from].Seize(n.kernel.Now(), size, cost) + n.jitterDelay()
@@ -205,21 +339,43 @@ func (n *Network) SendOrdered(from NodeID, targets Mask, size int, payload any) 
 	// ordered interconnect; deliveries fan out from there. Jitter is applied
 	// before sequencing (and clamped to per-sender FIFO order) so the total
 	// order is never violated and sender emission order is preserved.
-	n.kernel.At(start, func() {
-		n.seq++
-		m := &Message{
-			From:      from,
-			Targets:   targets,
-			Seq:       n.seq,
-			Size:      size,
-			Broadcast: bcast,
-			Payload:   payload,
+	st := n.getTask()
+	st.kind, st.from, st.targets, st.size, st.cost, st.payload = taskStamp, from, targets, size, cost, payload
+	n.kernel.AtTask(start, st)
+}
+
+// stampAndFanOut assigns the global sequence number and schedules one
+// arrival per target.
+func (n *Network) stampAndFanOut(from NodeID, targets Mask, size int, cost float64, payload any) {
+	n.seq++
+	m := n.getMessage()
+	m.From = from
+	m.Targets = targets
+	m.Seq = n.seq
+	m.Size = size
+	m.Broadcast = targets.Equal(n.full)
+	m.Payload = payload
+	m.remaining = int32(targets.Count())
+	arrive := n.kernel.Now() + n.cfg.Traversal
+	for wi, w := range targets.w {
+		for w != 0 {
+			dst := NodeID(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			a := n.getTask()
+			a.kind, a.dst, a.m, a.cost = taskOrdArrive, dst, m, cost
+			n.kernel.AtTask(arrive, a)
 		}
-		arrive := n.kernel.Now() + n.cfg.Traversal
-		targets.ForEach(func(dst NodeID) {
-			n.kernel.At(arrive, func() { n.deliverOrdered(dst, m, cost) })
-		})
-	})
+	}
+}
+
+// SendOrderedDelayed is SendOrdered after delay simulated nanoseconds: the
+// outbound channel is seized (and jitter drawn) when the delay elapses,
+// exactly as if the caller had scheduled the send with a closure — minus the
+// closure.
+func (n *Network) SendOrderedDelayed(delay sim.Time, from NodeID, targets Mask, size int, payload any) {
+	t := n.getTask()
+	t.kind, t.from, t.targets, t.size, t.payload = taskSendOrd, from, targets, size, payload
+	n.kernel.ScheduleTask(delay, t)
 }
 
 // SendUnordered transmits a point-to-point message (data, ack, nack, or a
@@ -227,22 +383,22 @@ func (n *Network) SendOrdered(from NodeID, targets Mask, size int, payload any) 
 func (n *Network) SendUnordered(from, to NodeID, size int, payload any) {
 	n.UnorderedSent++
 	start := n.out[from].Seize(n.kernel.Now(), size, 1)
-	n.kernel.At(start+n.cfg.Traversal+n.jitterDelay(), func() {
-		grant := n.in[to].Seize(n.kernel.Now(), size, 1)
-		m := &Message{From: from, To: to, Size: size, Payload: payload}
-		n.kernel.At(grant, func() { n.handlers[to].DeliverUnordered(m) })
-	})
+	m := n.getMessage()
+	m.From = from
+	m.To = to
+	m.Size = size
+	m.Payload = payload
+	m.remaining = 1
+	a := n.getTask()
+	a.kind, a.dst, a.m = taskUnArrive, to, m
+	n.kernel.AtTask(start+n.cfg.Traversal+n.jitterDelay(), a)
 }
 
-func (n *Network) deliverOrdered(dst NodeID, m *Message, cost float64) {
-	grant := n.in[dst].Seize(n.kernel.Now(), m.Size, cost)
-	n.kernel.At(grant, func() {
-		if last := n.lastSeqDelivered[dst]; m.Seq <= last {
-			panic(fmt.Sprintf("network: total order violated at node %d: seq %d after %d", dst, m.Seq, last))
-		}
-		n.lastSeqDelivered[dst] = m.Seq
-		n.handlers[dst].DeliverOrdered(m)
-	})
+// SendUnorderedDelayed is SendUnordered after delay simulated nanoseconds.
+func (n *Network) SendUnorderedDelayed(delay sim.Time, from, to NodeID, size int, payload any) {
+	t := n.getTask()
+	t.kind, t.from, t.dst, t.size, t.payload = taskSendUn, from, to, size, payload
+	n.kernel.ScheduleTask(delay, t)
 }
 
 // AvgUtilization returns the mean inbound-channel utilization across nodes

@@ -23,11 +23,22 @@ const (
 	CacheAccess Time = 25
 )
 
-// event is a scheduled callback.
+// Task is a pre-allocated schedulable unit of work. Hot paths that would
+// otherwise allocate a fresh closure per event (network deliveries, delayed
+// protocol sends) implement Task on a free-listed struct and schedule it
+// with ScheduleTask/AtTask, so steady-state event traffic performs zero heap
+// allocations.
+type Task interface {
+	Run()
+}
+
+// event is a scheduled callback: either a closure or a Task (exactly one is
+// set).
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: schedule order
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+	task Task
 }
 
 // Kernel is a deterministic discrete-event scheduler. Events scheduled for
@@ -60,6 +71,7 @@ func NewKernel() *Kernel {
 func (k *Kernel) Reset() {
 	for i := range k.events {
 		k.events[i].fn = nil // release closure references
+		k.events[i].task = nil
 	}
 	k.events = k.events[:0]
 	k.now = 0
@@ -92,6 +104,26 @@ func (k *Kernel) At(t Time, fn func()) {
 	}
 	k.seq++
 	k.events = append(k.events, event{at: t, seq: k.seq, fn: fn})
+	k.siftUp(len(k.events) - 1)
+}
+
+// ScheduleTask runs task after delay simulated nanoseconds. It is the
+// allocation-free counterpart of Schedule: the task object is supplied by
+// the caller (typically from a free-list), so nothing is allocated here.
+func (k *Kernel) ScheduleTask(delay Time, task Task) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.AtTask(k.now+delay, task)
+}
+
+// AtTask runs task at the absolute time t, which must not be in the past.
+func (k *Kernel) AtTask(t Time, task Task) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
+	}
+	k.seq++
+	k.events = append(k.events, event{at: t, seq: k.seq, task: task})
 	k.siftUp(len(k.events) - 1)
 }
 
@@ -153,13 +185,18 @@ func (k *Kernel) Step() bool {
 	e := k.events[0]
 	k.events[0] = k.events[n-1]
 	k.events[n-1].fn = nil // release closure reference
+	k.events[n-1].task = nil
 	k.events = k.events[:n-1]
 	if n > 1 {
 		k.siftDown()
 	}
 	k.now = e.at
 	k.fired++
-	e.fn()
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.task.Run()
+	}
 	return true
 }
 

@@ -15,6 +15,7 @@ type Watchdog struct {
 	tripped  bool
 	onTrip   func(sinceWork Time)
 	stopped  bool
+	checkFn  func() // check, bound once so rescheduling never allocates
 }
 
 // NewWatchdog arms a watchdog on k. onTrip is invoked (once) when no progress
@@ -25,6 +26,7 @@ func NewWatchdog(k *Kernel, interval Time, onTrip func(sinceWork Time)) *Watchdo
 		panic("sim: watchdog interval must be positive")
 	}
 	w := &Watchdog{kernel: k, interval: interval, onTrip: onTrip, last: k.Now()}
+	w.checkFn = w.check
 	w.schedule()
 	return w
 }
@@ -60,7 +62,7 @@ func (w *Watchdog) Tripped() bool { return w.tripped }
 func (w *Watchdog) Stop() { w.stopped = true }
 
 func (w *Watchdog) schedule() {
-	w.kernel.Schedule(w.interval, w.check)
+	w.kernel.Schedule(w.interval, w.checkFn)
 }
 
 func (w *Watchdog) check() {

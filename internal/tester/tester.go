@@ -213,7 +213,7 @@ func applyDefaultLabel(cfgs []Config, opt *runner.Options) {
 
 // reportFormat versions the persistent report cache; bump it when the
 // tester's semantics or the Report layout change, orphaning stale entries.
-const reportFormat = 1
+const reportFormat = 2
 
 // cacheKey renders a (defaulted) config as the persistent store's content
 // address; every field that influences the trial appears, plus the binary

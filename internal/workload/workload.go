@@ -189,12 +189,77 @@ func (w *Migratory) Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence
 	return rng.ExpTime(float64(w.MeanThink)), coherence.Op{Addr: addr}
 }
 
+// ProducerConsumer is the producer-consumer microbenchmark from the
+// destination-set-prediction follow-up work: each block has one fixed
+// producer that periodically writes it (filling a buffer slot, publishing a
+// result) and a population of consumers that read it. Ownership therefore
+// ping-pongs between one stable writer and transient readers — the past
+// reliably predicts the future — which makes the pattern the owner
+// predictor's best case: after one observation the predicted owner is right
+// almost every time, unlike Migratory, whose owner changes on every episode.
+// It is the paper-adjacent counterpoint the ROADMAP calls for: prediction
+// shines exactly where adaptive broadcasting alone cannot help, because the
+// needed third party (the producer) is never the home node.
+type ProducerConsumer struct {
+	// Name labels the workload in reports.
+	Name string
+	// Blocks sizes the buffer pool.
+	Blocks int
+	// Producers is the number of distinct producer roles; block i is
+	// produced by role i%Producers, and a node with self%Producers == role
+	// acts as that role's producer. With Producers equal to the node count
+	// every block has exactly one producing node.
+	Producers int
+	// MeanThink is the mean think time between steps in cycles
+	// (exponentially distributed).
+	MeanThink sim.Time
+	// ProduceFraction is the probability a producer step writes (the rest
+	// of its steps consume other roles' blocks, like everyone else).
+	ProduceFraction float64
+}
+
+// NewProducerConsumer returns the microbenchmark with its standard shape.
+func NewProducerConsumer() *ProducerConsumer {
+	return &ProducerConsumer{
+		Name: "ProducerConsumer", Blocks: 512, Producers: 16,
+		MeanThink: 250, ProduceFraction: 0.5,
+	}
+}
+
+// WarmBlocks lists the buffer pool so consumption hits dirty remote copies
+// from the first access. Preheating owner i%nodes matches the producer
+// assignment whenever Producers == nodes.
+func (w *ProducerConsumer) WarmBlocks() []coherence.Addr {
+	out := make([]coherence.Addr, w.Blocks)
+	for i := range out {
+		out[i] = producerBase + coherence.Addr(i)
+	}
+	return out
+}
+
+// producerOf returns the producing role of a block.
+func (w *ProducerConsumer) producerOf(i int) int { return i % w.Producers }
+
+// Next implements core.Workload: pick a block; its producer (re)writes it
+// with probability ProduceFraction, every other node — and the producer's
+// remaining steps — reads it.
+func (w *ProducerConsumer) Next(rng *sim.RNG, self network.NodeID) (sim.Time, coherence.Op) {
+	think := rng.ExpTime(float64(w.MeanThink))
+	i := rng.Intn(w.Blocks)
+	addr := producerBase + coherence.Addr(i)
+	if w.producerOf(i) == int(self)%w.Producers && rng.Float64() < w.ProduceFraction {
+		return think, coherence.Op{Store: true, Addr: addr}
+	}
+	return think, coherence.Op{Addr: addr}
+}
+
 // Address-space layout: locks at the bottom, the shared pool above them,
 // the migratory pool between, then per-node private regions. Block
 // addresses are abstract line numbers.
 const (
 	sharedBase    coherence.Addr = 1 << 24
 	migratoryBase coherence.Addr = 1 << 26
+	producerBase  coherence.Addr = 1 << 27
 	privateStride coherence.Addr = 1 << 20
 )
 
@@ -269,13 +334,15 @@ func ByName(name string) Generator {
 		return BarnesHut()
 	case "migratory", "Migratory":
 		return NewMigratory()
+	case "producer-consumer", "ProducerConsumer":
+		return NewProducerConsumer()
 	}
 	return nil
 }
 
 // Names lists the registered named workloads: the five Table 2 macro
-// workloads in the paper's figure order, then the migratory-sharing
-// microbenchmark.
+// workloads in the paper's figure order, then the sharing-pattern
+// microbenchmarks from the destination-set-prediction follow-ups.
 func Names() []string {
-	return []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb", "Migratory"}
+	return []string{"Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb", "Migratory", "ProducerConsumer"}
 }
