@@ -123,15 +123,27 @@ type (
 	// RunnerJob is one remotely executable unit of work: a registered
 	// executor kind, a content-address key, and an opaque serialized spec.
 	RunnerJob = runner.Job
-	// DistOptions tunes the coordinator's lease-based job protocol.
+	// DistOptions tunes the coordinator's lease-based job protocol:
+	// LeaseTTL and MaxLeaseExpiries bound dead-worker recovery, LeaseBatch
+	// sets how many jobs one lease grants (with result-reply refills and
+	// adaptive shrink near queue exhaustion), Secret authenticates every
+	// request with a constant-time shared-secret check, and CoExecute runs
+	// loopback worker slots on the coordinator itself so a lone
+	// coordinator still makes progress.
 	DistOptions = dist.CoordinatorOptions
 	// DistCoordinator owns the job queue and lease table, serves the wire
 	// protocol over HTTP, and implements Backend.
 	DistCoordinator = dist.Coordinator
-	// DistWorkerOptions configures one worker process.
+	// DistWorkerOptions configures one worker process (Secret must match
+	// the coordinator's; MaxBatch caps accepted batch sizes).
 	DistWorkerOptions = dist.WorkerOptions
-	// DistStats are a coordinator's lifetime dispatch counters.
+	// DistStats are a coordinator's lifetime dispatch counters, including
+	// lease/refill round-trip counts and expired-lease reassignments.
 	DistStats = dist.Stats
+	// DistAuthError is the terminal error a worker returns when the
+	// coordinator rejects its shared secret (HTTP 401): unlike connection
+	// errors, it is not retried.
+	DistAuthError = dist.AuthError
 )
 
 // NewLocalBackend returns the in-process Backend: jobs run through their
@@ -150,6 +162,9 @@ func RunDistWorker(ctx context.Context, o DistWorkerOptions) error { return dist
 // RegisterDistExecutors registers this process's executors for both
 // distributed job kinds — experiment cells and tester trials — publishing
 // results into the cell store under cacheDir (empty disables persistence).
+// Worker processes call it at startup; a coordinator using
+// DistOptions.CoExecute must call it too, since its loopback worker
+// executes through the same registry.
 func RegisterDistExecutors(cacheDir string) {
 	experiments.RegisterCellExecutor(experiments.Options{CacheDir: cacheDir})
 	tester.RegisterTrialExecutor(cacheDir)

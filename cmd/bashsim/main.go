@@ -10,10 +10,14 @@
 //	bashsim -run -protocol bash -nodes 64 -bandwidth 800   # one ad-hoc run
 //
 // Distributed mode fans sweep cells across worker processes (same binary,
-// any machine) through the lease-based job protocol of internal/dist:
+// any machine) through the lease-based job protocol of internal/dist.
+// Leases carry batches of cells (-lease-batch), the protocol optionally
+// authenticates with a shared secret (-dist-secret on both roles), and the
+// coordinator's own idle cores execute jobs too (-co-execute, default one
+// slot per CPU), so a lone coordinator makes progress without any workers:
 //
-//	bashsim -worker http://coord:8497 &   # on each worker machine
-//	bashsim -exp all -serve :8497         # coordinator: dispatches cells
+//	bashsim -worker http://coord:8497 -dist-secret s3 &  # on each worker machine
+//	bashsim -exp all -serve :8497 -dist-secret s3        # coordinator: dispatches cells
 //
 // Cell-store hygiene:
 //
@@ -62,9 +66,14 @@ func main() {
 		noReuse  = flag.Bool("no-reuse", false, "disable System pooling (fresh construction per cell)")
 		watchdog = flag.Duration("watchdog", 0, "per-cell forward-progress watchdog interval in simulated time (0 = 500ms default)")
 
-		serve    = flag.String("serve", "", "coordinate a distributed run: serve the job protocol on this address (e.g. :8497) and dispatch sweep cells to workers")
-		worker   = flag.String("worker", "", "run as a distributed worker against this coordinator URL (e.g. http://host:8497)")
-		leaseTTL = flag.Duration("lease-ttl", 0, "distributed job lease TTL before reassignment (0 = 15s default)")
+		serve      = flag.String("serve", "", "coordinate a distributed run: serve the job protocol on this address (e.g. :8497) and dispatch sweep cells to workers")
+		worker     = flag.String("worker", "", "run as a distributed worker against this coordinator URL (e.g. http://host:8497)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "distributed job lease TTL before reassignment (0 = 15s default)")
+		leaseBatch = flag.Int("lease-batch", 4, "max jobs granted per distributed lease (1 = one cell per round-trip)")
+		workerPoll = flag.Duration("poll", 0, "with -worker: idle re-poll interval when the coordinator has no work (0 = 500ms default)")
+		distSecret = flag.String("dist-secret", "", "shared secret authenticating the distributed job protocol (both -serve and -worker; empty = unauthenticated)")
+		coExecute  = flag.Int("co-execute", runtime.NumCPU(), "in-process worker slots the coordinator runs alongside dispatching (0 = dispatch only)")
+		distStatus = flag.String("dist-status", "", "with -serve: write the coordinator's final /dist/status JSON to this file")
 
 		cacheGC     = flag.Bool("cache-gc", false, "evict stale-format and aged cell-store entries, print a report, and exit")
 		cacheMaxAge = flag.Duration("cache-max-age", 30*24*time.Hour, "with -cache-gc: evict entries older than this (0 = stale formats only)")
@@ -91,7 +100,7 @@ func main() {
 		return
 	}
 	if *worker != "" {
-		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel)
+		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll)
 		return
 	}
 	if *single {
@@ -130,7 +139,12 @@ func main() {
 
 	var coord *dist.Coordinator
 	if *serve != "" {
-		coord = serveCoordinator(*serve, *leaseTTL)
+		coord = serveCoordinator(*serve, dist.CoordinatorOptions{
+			LeaseTTL:   *leaseTTL,
+			LeaseBatch: *leaseBatch,
+			Secret:     *distSecret,
+			CoExecute:  *coExecute,
+		}, opts)
 		opts.Backend = coord
 	}
 	if *progress {
@@ -195,15 +209,28 @@ func main() {
 	}
 	if coord != nil {
 		st := coord.Stats()
-		fmt.Fprintf(os.Stderr, "dist: %d jobs dispatched, %d completed, %d leases reassigned, %d failed\n",
-			st.Dispatched, st.Completed, st.Reassigned, st.Failed)
+		fmt.Fprintf(os.Stderr, "dist: %d jobs dispatched over %d leases + %d refills, %d completed, %d leases reassigned, %d failed\n",
+			st.Dispatched, st.Leases, st.Refills, st.Completed, st.Reassigned, st.Failed)
+		if *distStatus != "" {
+			if err := writeDistStatus(coord, *distStatus); err != nil {
+				fmt.Fprintf(os.Stderr, "bashsim: -dist-status: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 
 // serveCoordinator starts the distributed job protocol on addr and returns
-// the coordinator backend.
-func serveCoordinator(addr string, leaseTTL time.Duration) *dist.Coordinator {
-	coord := dist.NewCoordinator(dist.CoordinatorOptions{LeaseTTL: leaseTTL})
+// the coordinator backend. With co-execution enabled it also registers this
+// process's executors, so the coordinator's idle cores lease jobs through
+// the same protocol path as external workers — a lone `bashsim -serve`
+// still makes progress.
+func serveCoordinator(addr string, copt dist.CoordinatorOptions, opts experiments.Options) *dist.Coordinator {
+	if copt.CoExecute > 0 {
+		experiments.RegisterCellExecutor(experiments.Options{CacheDir: opts.CacheDir, NoReuse: opts.NoReuse})
+		tester.RegisterTrialExecutor(opts.CacheDir)
+	}
+	coord := dist.NewCoordinator(copt)
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bashsim: -serve %s: %v\n", addr, err)
@@ -215,11 +242,26 @@ func serveCoordinator(addr string, leaseTTL time.Duration) *dist.Coordinator {
 	return coord
 }
 
+// writeDistStatus persists the coordinator's final /dist/status JSON — the
+// CI smoke uploads it so per-commit lease and reassignment counts are
+// inspectable.
+func writeDistStatus(coord *dist.Coordinator, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := coord.WriteStatus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runWorker executes distributed jobs until interrupted. The worker
 // registers both executors — experiment cells and tester trials — and
 // publishes results into its cell store, which coordinators sharing the
 // directory (or just this worker, across restarts) serve as cache hits.
-func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int) {
+func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration) {
 	dir := cacheDir
 	if noCache {
 		dir = ""
@@ -239,6 +281,8 @@ func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int) {
 	if err := dist.RunWorker(ctx, dist.WorkerOptions{
 		Coordinator: coordinator,
 		Slots:       slots,
+		Secret:      secret,
+		Poll:        poll,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -114,12 +114,29 @@
 // by whatever implements Backend. NewLocalBackend routes them through the
 // in-process pool; NewDistCoordinator fans them across worker processes
 // started with RunDistWorker — `bashsim -serve ADDR` and `bashsim -worker
-// URL` from the command line. The coordinator leases one job per worker
-// slot, workers heartbeat while simulating, and an expired lease (worker
-// crashed, hung, or partitioned) requeues the job for another worker, a
-// bounded number of times. Worker-side panics surface coordinator-side as
+// URL` from the command line. The coordinator leases a batch of up to
+// DistOptions.LeaseBatch jobs per worker slot (grants shrink to the pending
+// jobs' fair share across live workers near queue exhaustion, so a sweep's
+// tail rebalances instead of queueing behind one straggler); workers
+// heartbeat every held lease while simulating and stream each result back
+// the moment it completes, with the reply refilling their batch — a
+// saturated worker needs one lease round-trip per sweep. An expired lease
+// (worker crashed, hung, or partitioned) requeues that job — and only that
+// job; streamed results stay completed — for another worker, a bounded
+// number of times. Worker-side panics surface coordinator-side as
 // *RunnerPanicError with the job's label and the remote stack, exactly like
 // in-process pool panics.
+//
+// DistOptions.Secret (the -dist-secret flag, on both roles) authenticates
+// the protocol: every request must carry the shared secret in the
+// X-Bashsim-Secret header (compared in constant time), mismatches are
+// rejected with 401, and a rejected worker exits with a descriptive
+// *dist.AuthError instead of retrying. DistOptions.CoExecute (the
+// -co-execute flag, default one slot per CPU on the CLI) runs that many
+// in-process loopback worker slots on the coordinator for the duration of
+// every batch — same wire protocol, auth included — so a lone coordinator
+// makes progress with no external workers; register executors first
+// (RegisterDistExecutors), exactly as a worker process would.
 //
 // Three properties make the fleet exact and restartable:
 //
@@ -139,7 +156,8 @@
 // Coordinator and workers must run the same binary: cache keys embed the
 // binary fingerprint, so mismatched builds never exchange stale results
 // (they simply miss). The protocol (JSON over HTTP, gob payloads) trusts
-// its network — run it on a private cluster.
+// its network unless a shared secret is configured — run it on a private
+// cluster or set one.
 //
 // Cell-store hygiene: `bashsim -cache-gc` evicts entries whose on-disk
 // format is stale or whose age exceeds -cache-max-age (CellStoreGC from

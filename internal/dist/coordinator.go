@@ -1,8 +1,12 @@
 package dist
 
 import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -22,6 +26,27 @@ type CoordinatorOptions struct {
 	// after expired leases before it fails the batch (a job cannot
 	// ping-pong forever between dying workers). Zero selects 3.
 	MaxLeaseExpiries int
+	// LeaseBatch is the maximum number of jobs granted per lease (and
+	// therefore the depth of each worker slot's local queue, sustained by
+	// result-reply refills). Zero or one grants single jobs, the
+	// pre-batching protocol. Grants shrink adaptively near queue
+	// exhaustion — at most ceil(pending / live workers) — so the tail of a
+	// sweep rebalances across the fleet instead of piling onto one
+	// straggler.
+	LeaseBatch int
+	// Secret, when non-empty, is the shared secret every request must
+	// carry in the X-Bashsim-Secret header (compared in constant time).
+	// Requests without it are rejected with 401 and never touch the queue.
+	Secret string
+	// CoExecute, when positive, runs that many in-process loopback worker
+	// slots for the duration of every Run: the coordinator leases jobs to
+	// itself through the same protocol path (auth included) whenever it
+	// has idle cores, so a lone coordinator still makes progress with no
+	// external workers at all. The process must have the jobs' executors
+	// registered (e.g. experiments.RegisterCellExecutor), exactly like a
+	// worker process; kinds with no registered executor are never leased
+	// to the loopback worker.
+	CoExecute int
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -36,6 +61,13 @@ func (o CoordinatorOptions) maxExpiries() int {
 		return o.MaxLeaseExpiries
 	}
 	return defaultMaxLeaseExpiries
+}
+
+func (o CoordinatorOptions) leaseBatch() int {
+	if o.LeaseBatch < 1 {
+		return 1
+	}
+	return o.LeaseBatch
 }
 
 // jobState is the lifecycle of one tracked job.
@@ -99,42 +131,67 @@ func (b *batch) notifyProgress(done int) {
 // time; concurrent Run calls serialize, which matches how the experiment
 // harness issues sweeps.
 type Coordinator struct {
-	opt   CoordinatorOptions
-	runMu sync.Mutex // serializes Run invocations
+	opt     CoordinatorOptions
+	handler http.Handler // built once: HTTP servers and the loopback share it
+	runMu   sync.Mutex   // serializes Run invocations
 
 	mu      sync.Mutex
 	nextID  int64
 	queue   []*trackedJob         // pending jobs, FIFO
+	pending int                   // jobPending entries in queue (O(1) grant sizing)
 	leased  map[int64]*trackedJob // in-flight jobs by id
 	batch   *batch                // active batch, nil when idle
 	workers map[string]time.Time  // worker name -> last contact
 
-	dispatched, completed, failed, reassigned atomic.Uint64
+	leases, refills, dispatched, completed, failed, reassigned atomic.Uint64
 }
 
 // NewCoordinator returns an idle coordinator.
 func NewCoordinator(opt CoordinatorOptions) *Coordinator {
-	return &Coordinator{
+	c := &Coordinator{
 		opt:     opt,
 		leased:  map[int64]*trackedJob{},
 		workers: map[string]time.Time{},
 	}
-}
-
-// Handler returns the HTTP handler serving the job protocol; mount it on
-// any server (the bashsim CLI serves it directly, tests use httptest).
-func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /dist/lease", c.handleLease)
 	mux.HandleFunc("POST /dist/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /dist/result", c.handleResult)
 	mux.HandleFunc("GET /dist/status", c.handleStatus)
-	return mux
+	c.handler = c.authenticate(mux)
+	return c
+}
+
+// Handler returns the HTTP handler serving the job protocol; mount it on
+// any server (the bashsim CLI serves it directly, tests use httptest). When
+// Options.Secret is set, every request — status included — must carry it in
+// the X-Bashsim-Secret header or is rejected with 401.
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// authenticate wraps the protocol mux in the shared-secret check. Secrets
+// are compared in constant time over their SHA-256 digests, so neither
+// length nor prefix of the configured secret leaks through timing.
+func (c *Coordinator) authenticate(next http.Handler) http.Handler {
+	if c.opt.Secret == "" {
+		return next
+	}
+	want := sha256.Sum256([]byte(c.opt.Secret))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := sha256.Sum256([]byte(r.Header.Get(secretHeader)))
+		if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+			http.Error(w, "unauthorized: bad or missing "+secretHeader+" header (shared secret mismatch)",
+				http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Stats returns lifetime dispatch counters.
 func (c *Coordinator) Stats() Stats {
 	return Stats{
+		Leases:     c.leases.Load(),
+		Refills:    c.refills.Load(),
 		Dispatched: c.dispatched.Load(),
 		Completed:  c.completed.Load(),
 		Failed:     c.failed.Load(),
@@ -166,7 +223,9 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 // drain them, and folds results in job-index order. Error semantics mirror
 // runner.Map: the lowest-indexed failed job wins, worker panics surface as
 // *runner.PanicError with the job's label and remote stack, and on
-// cancellation the partial results are still returned.
+// cancellation the partial results are still returned. With
+// Options.CoExecute > 0, loopback worker slots run in-process for the
+// duration of the call, so the batch drains even with no external workers.
 func (c *Coordinator) Run(jobs []runner.Job, opt runner.Options) ([][]byte, error) {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
@@ -192,8 +251,12 @@ func (c *Coordinator) Run(jobs []runner.Job, opt runner.Options) ([][]byte, erro
 		b.jobs[i] = tj
 		c.queue = append(c.queue, tj)
 	}
+	c.pending += len(jobs)
 	c.batch = b
 	c.mu.Unlock()
+
+	stopCoExec := c.startCoExecution(ctx)
+	defer stopCoExec()
 
 	// Expired leases are also reclaimed lazily on every lease request, but
 	// if every worker died there are no more requests — the ticker
@@ -244,6 +307,37 @@ wait:
 	return b.results, nil
 }
 
+// startCoExecution launches the in-process loopback worker for this Run (a
+// no-op closure when CoExecute is 0 or no executors are registered). The
+// loopback worker speaks the full wire protocol against the coordinator's
+// own handler — auth, batched leases, heartbeats, streamed results — so
+// every hardening test that covers external workers covers it too.
+func (c *Coordinator) startCoExecution(ctx context.Context) (stop func()) {
+	if c.opt.CoExecute <= 0 || len(runner.Kinds()) == 0 {
+		return func() {}
+	}
+	loopCtx, cancel := context.WithCancel(ctx)
+	go func() {
+		// Errors other than cancellation (e.g. a future kindless start)
+		// only disable co-execution; external workers still drain the run.
+		RunWorker(loopCtx, WorkerOptions{
+			Coordinator: "http://loopback",
+			Name:        "coordinator",
+			Slots:       c.opt.CoExecute,
+			Secret:      c.opt.Secret,
+			Poll:        50 * time.Millisecond,
+			Client:      &http.Client{Transport: loopbackTransport{h: c.handler}},
+		})
+	}()
+	// Cancel without joining: executors are synchronous simulations, so a
+	// slot mid-job cannot be interrupted — waiting for it would hold a
+	// canceled (or even a completed) Run hostage for up to one full cell.
+	// Canceled slots stop heartbeating at once (their leases expire and
+	// reassign), finish the cell they are on, post nothing, and exit; a
+	// straggler's late duplicate is dropped like any other.
+	return cancel
+}
+
 // abandon drops a canceled batch: pending jobs leave the queue, leased jobs
 // are forgotten (a late result is ignored), and the batch stops accepting
 // completions.
@@ -255,6 +349,7 @@ func (c *Coordinator) abandon(b *batch) {
 	for _, tj := range c.queue {
 		if tj.state == jobPending && c.inBatchLocked(b, tj) {
 			tj.state = jobDone
+			c.pending--
 			continue
 		}
 		keep = append(keep, tj)
@@ -298,6 +393,7 @@ func (c *Coordinator) reclaimExpiredLocked(now time.Time) (prog *batch, done int
 		c.reassigned.Add(1)
 		tj.state = jobPending
 		c.queue = append(c.queue, tj)
+		c.pending++
 	}
 	return prog, done
 }
@@ -326,29 +422,16 @@ func (c *Coordinator) finishLocked(b *batch, tj *trackedJob, result []byte, err 
 	return b.completed
 }
 
-func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	var req leaseRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	// A worker advertising no kinds can execute nothing: grant it nothing
-	// rather than jobs it would terminally fail (one misconfigured worker
-	// must not abort a healthy fleet's batch).
-	kinds := map[string]bool{}
-	for _, k := range req.Kinds {
-		kinds[k] = true
-	}
-	now := time.Now()
-
-	c.mu.Lock()
-	c.workers[req.Worker] = now
-	prog, done := c.reclaimExpiredLocked(now)
-	var grant *trackedJob
-	for qi, tj := range c.queue {
-		if tj.state != jobPending {
-			continue
-		}
-		if !kinds[tj.job.Kind] {
+// grantLocked dequeues up to max pending jobs matching the worker's kinds
+// and leases them to it. A worker advertising no kinds can execute nothing:
+// grant it nothing rather than jobs it would terminally fail (one
+// misconfigured worker must not abort a healthy fleet's batch).
+func (c *Coordinator) grantLocked(now time.Time, worker string, kinds map[string]bool, max int) []*trackedJob {
+	var grants []*trackedJob
+	for qi := 0; qi < len(c.queue) && len(grants) < max; {
+		tj := c.queue[qi]
+		if tj.state != jobPending || !kinds[tj.job.Kind] {
+			qi++
 			continue
 		}
 		// In-place removal: shifting within the existing backing array
@@ -357,27 +440,95 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		clearTail := c.queue[:len(c.queue)+1]
 		clearTail[len(clearTail)-1] = nil // release the shifted-out tail slot
 		tj.state = jobLeased
-		tj.worker = req.Worker
+		tj.worker = worker
 		tj.deadline = now.Add(c.opt.leaseTTL())
 		c.leased[tj.id] = tj
-		grant = tj
-		break
+		c.pending--
+		grants = append(grants, tj)
 	}
+	c.dispatched.Add(uint64(len(grants)))
+	return grants
+}
+
+// leaseSizeLocked is the adaptive grant bound for one lease: the configured
+// LeaseBatch, capped by the worker's own request and — near queue
+// exhaustion — by the pending jobs' fair share across live workers, so the
+// last cells of a sweep spread over the fleet instead of queueing behind
+// one straggler's batch.
+func (c *Coordinator) leaseSizeLocked(now time.Time, reqMax int) int {
+	max := c.opt.leaseBatch()
+	if reqMax > 0 && reqMax < max {
+		max = reqMax
+	}
+	live := c.liveWorkersLocked(now)
+	if live < 1 {
+		live = 1
+	}
+	if fair := (c.pending + live - 1) / live; fair < max {
+		max = fair
+	}
+	if max < 1 {
+		max = 1
+	}
+	return max
+}
+
+// progressLocked snapshots the active batch's done/total (zeros when idle).
+func (c *Coordinator) progressLocked() (done, total int) {
+	if b := c.batch; b != nil {
+		return b.completed, len(b.jobs)
+	}
+	return 0, 0
+}
+
+func kindSet(kinds []string) map[string]bool {
+	set := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return set
+}
+
+func leasedJobs(grants []*trackedJob) []leasedJob {
+	jobs := make([]leasedJob, len(grants))
+	for i, tj := range grants {
+		jobs[i] = leasedJob{
+			JobID: tj.id,
+			Kind:  tj.job.Kind,
+			Key:   tj.job.Key,
+			Label: tj.job.Label,
+			Spec:  tj.job.Spec,
+		}
+	}
+	return jobs
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	kinds := kindSet(req.Kinds)
+	now := time.Now()
+
+	c.mu.Lock()
+	c.workers[req.Worker] = now
+	prog, done := c.reclaimExpiredLocked(now)
+	grants := c.grantLocked(now, req.Worker, kinds, c.leaseSizeLocked(now, req.Max))
+	pdone, ptotal := c.progressLocked()
 	c.mu.Unlock()
 	prog.notifyProgress(done)
 
-	if grant == nil {
+	if len(grants) == 0 {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	c.dispatched.Add(1)
+	c.leases.Add(1)
 	writeJSON(w, leaseResponse{
-		JobID:       grant.id,
-		Kind:        grant.job.Kind,
-		Key:         grant.job.Key,
-		Label:       grant.job.Label,
-		Spec:        grant.job.Spec,
+		Jobs:        leasedJobs(grants),
 		LeaseMillis: c.opt.leaseTTL().Milliseconds(),
+		Done:        pdone,
+		Total:       ptotal,
 	})
 }
 
@@ -394,9 +545,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 			tj.deadline = now.Add(c.opt.leaseTTL())
 		}
 	}
-	active := c.batch != nil
+	resp := heartbeatResponse{Active: c.batch != nil}
+	resp.Done, resp.Total = c.progressLocked()
 	c.mu.Unlock()
-	writeJSON(w, heartbeatResponse{Active: active})
+	writeJSON(w, resp)
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -404,8 +556,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	now := time.Now()
 	c.mu.Lock()
-	c.workers[req.Worker] = time.Now()
+	c.workers[req.Worker] = now
 	tj, ok := c.leased[req.JobID]
 	if ok {
 		delete(c.leased, req.JobID)
@@ -430,25 +583,63 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			done = c.finishLocked(b, tj, req.Result, nil)
 		}
 	}
+	// Refill: the result post doubles as a lease request, so a saturated
+	// worker streams results and receives replacement jobs on the same
+	// round-trips, never revisiting /dist/lease until the queue drains.
+	var grants []*trackedJob
+	if req.Refill > 0 {
+		// leaseSizeLocked caps at req.Refill (the reqMax bound), so the
+		// grant never exceeds what the worker asked to absorb.
+		grants = c.grantLocked(now, req.Worker, kindSet(req.Kinds), c.leaseSizeLocked(now, req.Refill))
+	}
+	pdone, ptotal := c.progressLocked()
 	c.mu.Unlock()
 	b.notifyProgress(done)
 	// A result for an unknown job (lease expired and completed elsewhere,
 	// or batch canceled) is acknowledged and dropped: results are
 	// content-addressed, so duplicates are interchangeable.
-	w.WriteHeader(http.StatusOK)
+	resp := resultResponse{Done: pdone, Total: ptotal}
+	if len(grants) > 0 {
+		c.refills.Add(uint64(len(grants)))
+		resp.Jobs = leasedJobs(grants)
+		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
+	}
+	writeJSON(w, resp)
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.statusSnapshot())
+}
+
+func (c *Coordinator) statusSnapshot() statusResponse {
 	now := time.Now()
+	st := c.Stats()
 	c.mu.Lock()
-	st := statusResponse{Workers: c.liveWorkersLocked(now)}
+	resp := statusResponse{
+		Workers:    c.liveWorkersLocked(now),
+		Leases:     st.Leases,
+		Refills:    st.Refills,
+		Dispatched: st.Dispatched,
+		Completed:  st.Completed,
+		Failed:     st.Failed,
+		Reassigned: st.Reassigned,
+	}
 	if b := c.batch; b != nil {
-		st.Active = true
-		st.Done = b.completed
-		st.Total = len(b.jobs)
+		resp.Active = true
+		resp.Done = b.completed
+		resp.Total = len(b.jobs)
 	}
 	c.mu.Unlock()
-	writeJSON(w, st)
+	return resp
+}
+
+// WriteStatus writes the coordinator's current /dist/status JSON — the
+// exact bytes a GET would return — to w. The CLI uses it to persist the
+// final status snapshot as a CI artifact without an extra HTTP round-trip.
+func (c *Coordinator) WriteStatus(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.statusSnapshot())
 }
 
 // maxBody bounds request bodies; specs are small (a cell config is well

@@ -112,6 +112,58 @@ func TestDistSweepRecycledMatchesNoRecycle(t *testing.T) {
 	}
 }
 
+// TestDistSweepHardenedByteIdentical: the full hardened path — shared-
+// secret auth, batched leases with result-reply refills, and coordinator
+// co-execution racing two real HTTP workers — still reproduces the serial
+// in-process TSV byte for byte, and batching collapses the protocol's
+// round-trips: at least 4x fewer leases than cells.
+func TestDistSweepHardenedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-scale sweep twice")
+	}
+	experiments.ResetMemo()
+	want := tsvOf(t, "fig1", experiments.Options{})
+
+	cache := t.TempDir()
+	experiments.RegisterCellExecutor(experiments.Options{CacheDir: cache})
+	coord := dist.NewCoordinator(dist.CoordinatorOptions{
+		LeaseTTL:   2 * time.Second,
+		LeaseBatch: 4,
+		Secret:     "hardened-sweep",
+		CoExecute:  1,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < 2; i++ {
+		go dist.RunWorker(ctx, dist.WorkerOptions{
+			Coordinator: srv.URL,
+			Name:        fmt.Sprintf("worker-%d", i),
+			Poll:        10 * time.Millisecond,
+			Secret:      "hardened-sweep",
+		})
+	}
+
+	experiments.ResetMemo()
+	got := tsvOf(t, "fig1", experiments.Options{Backend: coord, CacheDir: cache})
+	if got != want {
+		t.Errorf("hardened distributed TSV differs from in-process TSV:\n--- in-process ---\n%s\n--- distributed ---\n%s", want, got)
+	}
+	st := coord.Stats()
+	if st.Completed != fig1Cells {
+		t.Errorf("coordinator completed %d jobs, want %d", st.Completed, fig1Cells)
+	}
+	// 3 slots (2 workers + 1 co-execution) each lease once; refills carry
+	// the rest of the sweep on result replies.
+	if st.Leases == 0 || st.Leases*4 > st.Completed {
+		t.Errorf("Leases = %d for %d cells, want >= 4x fewer leases than cells", st.Leases, st.Completed)
+	}
+	if st.Refills == 0 {
+		t.Error("Refills = 0: result replies never refilled a batch")
+	}
+}
+
 // TestDistResumeAfterInterruption: killing a sweep mid-flight loses nothing
 // that was already published — the re-run serves published cells from the
 // shared store and only simulates the remainder, and the total simulation

@@ -1,0 +1,58 @@
+package dist
+
+// Loopback transport: co-execution's bridge between the coordinator's own
+// HTTP handler and an in-process worker. The worker's requests never touch
+// a socket, but they traverse the full protocol path — routing, the shared-
+// secret check, JSON decoding, lease bookkeeping — so the loopback worker
+// behaves exactly like a remote one, auth failures included.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// loopbackTransport serves every round-trip directly from an http.Handler.
+type loopbackTransport struct {
+	h http.Handler
+}
+
+func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: http.Header{}, code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(&rec.body),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is the minimal in-memory http.ResponseWriter the
+// loopback needs (httptest.ResponseRecorder without the test-only surface,
+// so the shipped binary does not depend on net/http/httptest).
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(p)
+}

@@ -7,19 +7,28 @@
 //
 // Protocol (all endpoints under one HTTP mux, see Coordinator.Handler):
 //
-//	POST /dist/lease     {worker, kinds}        -> one job + lease TTL, or 204
-//	POST /dist/heartbeat {worker, job_ids}      -> extends the jobs' leases
-//	POST /dist/result    {worker, job_id, ...}  -> completes (or fails) a job
-//	GET  /dist/status                           -> batch progress + live workers
+//	POST /dist/lease     {worker, kinds, max}    -> a batch of jobs + lease TTL, or 204
+//	POST /dist/heartbeat {worker, job_ids}       -> extends the jobs' leases; replies with sweep progress
+//	POST /dist/result    {worker, job_id, ...}   -> completes (or fails) one job; reply may refill the batch
+//	GET  /dist/status                            -> batch progress, live workers, lifetime counters
 //
-// A worker leases one job at a time per slot, heartbeats while executing,
-// and posts the gob-encoded result. A lease that expires — worker crashed,
-// hung, or partitioned — puts the job back in the queue for another worker
-// (bounded by MaxLeaseExpiries, so a job cannot ping-pong forever between
-// dying workers). Worker-side panics are captured with their stack and
-// surface on the coordinator as *runner.PanicError, mirroring the
-// in-process pool. Results are folded in job-index order once the batch
-// drains, so which worker produced which cell never influences output.
+// A worker leases a batch of up to CoordinatorOptions.LeaseBatch jobs per
+// slot (adaptive: grants shrink to ceil(pending/liveWorkers) near queue
+// exhaustion, so the tail of a sweep spreads across the fleet instead of
+// piling onto one straggler), heartbeats every in-flight job while
+// executing, and streams each job's gob-encoded result back the moment it
+// completes — one slow cell never holds the rest of its batch's results
+// hostage. A result post doubles as a lease request: its reply can carry
+// refill jobs, so a saturated worker needs no further /dist/lease
+// round-trips for the life of a sweep. Each job's lease is individual: a
+// lease that expires — worker crashed, hung, or partitioned — puts that job
+// (and only that job; results already streamed back stay completed) back in
+// the queue for another worker, bounded by MaxLeaseExpiries so a job cannot
+// ping-pong forever between dying workers. Worker-side panics are captured
+// with their stack and surface on the coordinator as *runner.PanicError,
+// mirroring the in-process pool. Results are folded in job-index order once
+// the batch drains, so which worker produced which cell never influences
+// output.
 //
 // Determinism and placement-independence lean on the content-addressed cell
 // store (internal/cellstore): every job carries its store Key, workers
@@ -28,10 +37,14 @@
 // already-published cells from the store instead of re-simulating, and it
 // does not matter which worker (or how many) executed what.
 //
-// The protocol trusts its network: coordinator and workers are assumed to
-// run the same binary (cache keys embed the binary fingerprint, so
-// mismatched builds waste work but never corrupt results) on a private
-// cluster; there is no authentication.
+// Coordinator and workers are assumed to run the same binary (cache keys
+// embed the binary fingerprint, so mismatched builds waste work but never
+// corrupt results). The protocol optionally authenticates with a shared
+// secret (CoordinatorOptions.Secret / WorkerOptions.Secret, carried in the
+// X-Bashsim-Secret header, compared in constant time): requests without the
+// right secret get 401 and a worker that receives one exits with a
+// descriptive error instead of retrying. Without a secret the protocol
+// trusts its network; run it on a private cluster.
 package dist
 
 import "time"
@@ -40,64 +53,109 @@ import "time"
 // encoding/json; specs and results are gob payloads produced by the
 // registered executors and their callers.
 
-// leaseRequest asks for one job executable by any of the worker's kinds.
+// secretHeader carries the optional shared secret on every request.
+const secretHeader = "X-Bashsim-Secret"
+
+// leaseRequest asks for a batch of jobs executable by any of the worker's
+// kinds. Max, when positive, caps the batch below the coordinator's
+// configured LeaseBatch (a worker with bounded queue memory); zero accepts
+// the coordinator's default.
 type leaseRequest struct {
 	Worker string   `json:"worker"`
 	Kinds  []string `json:"kinds"`
+	Max    int      `json:"max,omitempty"`
 }
 
-// leaseResponse grants one job. JobID is never zero; a 204 response (no
-// body) means no work is available right now.
+// leasedJob is one granted job inside a lease or refill reply.
+type leasedJob struct {
+	JobID int64  `json:"job_id"`
+	Kind  string `json:"kind"`
+	Key   string `json:"key"`
+	Label string `json:"label"`
+	Spec  []byte `json:"spec"`
+}
+
+// leaseResponse grants a batch of jobs (each with its own lease, all
+// expiring LeaseMillis from the grant). A 204 response (no body) means no
+// work is available right now. Done/Total report sweep-wide progress so
+// worker logs can show fleet state.
 type leaseResponse struct {
-	JobID       int64  `json:"job_id"`
-	Kind        string `json:"kind"`
-	Key         string `json:"key"`
-	Label       string `json:"label"`
-	Spec        []byte `json:"spec"`
-	LeaseMillis int64  `json:"lease_millis"`
+	Jobs        []leasedJob `json:"jobs"`
+	LeaseMillis int64       `json:"lease_millis"`
+	Done        int         `json:"done"`
+	Total       int         `json:"total"`
 }
 
-// heartbeatRequest extends the leases of the worker's in-flight jobs.
+// heartbeatRequest extends the leases of the worker's in-flight jobs —
+// every job it holds, queued or executing.
 type heartbeatRequest struct {
 	Worker string  `json:"worker"`
 	JobIDs []int64 `json:"job_ids"`
 }
 
 // heartbeatResponse tells the worker whether a batch is active (an idle
-// worker may poll more slowly when not).
+// worker may poll more slowly when not) and how far the sweep has
+// progressed, so worker logs show fleet-wide progress between their own
+// completions.
 type heartbeatResponse struct {
 	Active bool `json:"active"`
+	Done   int  `json:"done"`
+	Total  int  `json:"total"`
 }
 
 // resultRequest completes one leased job. Exactly one of Result, Error, or
 // Panic is meaningful: Result carries the serialized value on success,
 // Error a worker-side failure message, and Panic (with Stack) a captured
-// executor panic.
+// executor panic. Refill, when positive, asks the coordinator to grant up
+// to that many replacement jobs (matching Kinds) in the reply — a result
+// post doubles as a lease request, keeping a saturated worker off the
+// /dist/lease endpoint entirely.
 type resultRequest struct {
-	Worker string `json:"worker"`
-	JobID  int64  `json:"job_id"`
-	Result []byte `json:"result,omitempty"`
-	Error  string `json:"error,omitempty"`
-	Panic  string `json:"panic,omitempty"`
-	Stack  []byte `json:"stack,omitempty"`
+	Worker string   `json:"worker"`
+	JobID  int64    `json:"job_id"`
+	Result []byte   `json:"result,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	Panic  string   `json:"panic,omitempty"`
+	Stack  []byte   `json:"stack,omitempty"`
+	Kinds  []string `json:"kinds,omitempty"`
+	Refill int      `json:"refill,omitempty"`
 }
 
-// statusResponse reports batch progress for dashboards and the CLI's
-// aggregated progress line.
+// resultResponse acknowledges a result and, when the worker asked for a
+// refill and pending work matched, grants replacement jobs.
+type resultResponse struct {
+	Jobs        []leasedJob `json:"jobs,omitempty"`
+	LeaseMillis int64       `json:"lease_millis,omitempty"`
+	Done        int         `json:"done"`
+	Total       int         `json:"total"`
+}
+
+// statusResponse reports batch progress and the coordinator's lifetime
+// counters, for dashboards, the CLI's aggregated progress line, and the CI
+// smoke's per-commit artifact (lease and reassignment counts).
 type statusResponse struct {
-	Active  bool `json:"active"`
-	Done    int  `json:"done"`
-	Total   int  `json:"total"`
-	Workers int  `json:"workers"`
+	Active     bool   `json:"active"`
+	Done       int    `json:"done"`
+	Total      int    `json:"total"`
+	Workers    int    `json:"workers"`
+	Leases     uint64 `json:"leases"`
+	Refills    uint64 `json:"refills"`
+	Dispatched uint64 `json:"dispatched"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Reassigned uint64 `json:"reassigned"`
 }
 
 // Stats are the coordinator's lifetime counters.
 type Stats struct {
-	// Dispatched counts granted leases (re-dispatch after an expiry counts
-	// again); Completed counts successful results, Failed jobs that ended
-	// in an error or exhausted their lease budget, and Reassigned leases
-	// that expired and were requeued.
-	Dispatched, Completed, Failed, Reassigned uint64
+	// Leases counts non-empty /dist/lease grants and Refills jobs granted
+	// piggybacked on result replies; Dispatched counts every job handed out
+	// either way (re-dispatch after an expiry counts again). With batching,
+	// Leases stays far below Dispatched: the CI smoke asserts the ratio.
+	// Completed counts successful results, Failed jobs that ended in an
+	// error or exhausted their lease budget, and Reassigned leases that
+	// expired and were requeued.
+	Leases, Refills, Dispatched, Completed, Failed, Reassigned uint64
 }
 
 // workerTTL is how long after its last contact a worker still counts as

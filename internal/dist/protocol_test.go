@@ -346,7 +346,7 @@ func TestBareWorkerLeasesNothing(t *testing.T) {
 		}
 		var lease leaseResponse
 		if st := postJSON(t, srv.URL+"/dist/lease", leaseRequest{Worker: "bare"}, &lease); st == http.StatusOK {
-			t.Fatalf("kindless worker was granted job %d (%s)", lease.JobID, lease.Label)
+			t.Fatalf("kindless worker was granted %d job(s) (first: %+v)", len(lease.Jobs), lease.Jobs[0])
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -379,7 +379,7 @@ func TestStatusReportsProgressAndWorkers(t *testing.T) {
 	if n := coord.Workers(); n != 1 {
 		t.Errorf("Workers = %d after heartbeat, want 1", n)
 	}
-	done, total, workers, active, err := Status(nil, nil, srv.URL)
+	done, total, workers, active, err := Status(nil, nil, srv.URL, "")
 	if err != nil {
 		t.Fatalf("Status: %v", err)
 	}

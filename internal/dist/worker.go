@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"repro/internal/runner"
@@ -30,11 +32,20 @@ type WorkerOptions struct {
 	// Poll is the idle re-poll interval when the coordinator has no work.
 	// Zero selects 500ms.
 	Poll time.Duration
-	// Client overrides the HTTP client (tests shorten timeouts).
+	// Client overrides the HTTP client (tests shorten timeouts; the
+	// coordinator's co-execution loop substitutes a loopback transport).
 	Client *http.Client
 	// Log, when non-nil, receives one line per lifecycle event (lease,
-	// completion, failure); nil is silent.
+	// completion, failure, fleet progress); nil is silent.
 	Log func(format string, args ...any)
+	// Secret is the shared secret sent in the X-Bashsim-Secret header of
+	// every request. It must match the coordinator's; a 401 is fatal (see
+	// AuthError) — retrying cannot fix wrong credentials.
+	Secret string
+	// MaxBatch, when positive, caps how many jobs this worker accepts per
+	// lease below the coordinator's LeaseBatch (bounded queue memory);
+	// zero accepts the coordinator's default.
+	MaxBatch int
 }
 
 func (o WorkerOptions) name() string {
@@ -79,17 +90,34 @@ func (o WorkerOptions) logf(format string, args ...any) {
 	}
 }
 
+// AuthError reports that the coordinator rejected this worker's shared
+// secret (HTTP 401). It is terminal: unlike a connection error, retrying
+// with the same credentials can never succeed, so RunWorker returns it
+// instead of degrading to idle polling.
+type AuthError struct {
+	Coordinator string
+}
+
+func (e *AuthError) Error() string {
+	return fmt.Sprintf("dist: coordinator %s rejected this worker's credentials (HTTP 401): shared secret mismatch — start the worker with the coordinator's -dist-secret", e.Coordinator)
+}
+
 // RunWorker leases and executes jobs until ctx is canceled, then returns
-// ctx's error. Each slot loops independently: lease one job, heartbeat at a
-// third of the lease TTL while the registered executor runs, post the
-// result (or the captured panic). Connection errors — coordinator not up
-// yet, restarting, partitioned — degrade to idle polling, so workers may be
-// started before the coordinator and survive coordinator restarts.
+// ctx's error. Each slot loops independently: lease a batch of jobs,
+// heartbeat every in-flight job at a third of the lease TTL, execute the
+// batch in order, and stream each job's result back the moment it completes
+// — the result reply refills the batch, so a saturated slot stays off the
+// lease endpoint entirely. Connection errors — coordinator not up yet,
+// restarting, partitioned — degrade to idle polling, so workers may be
+// started before the coordinator and survive coordinator restarts. A 401,
+// by contrast, is fatal: RunWorker returns an *AuthError immediately
+// (wrong credentials do not fix themselves).
 //
-// A worker killed mid-job simply stops heartbeating: the coordinator
-// reassigns the job when the lease expires, and any cells the dead worker
-// already published remain in the shared store, so nothing completed is
-// ever re-simulated.
+// A worker killed mid-batch simply stops heartbeating: the coordinator
+// reassigns the unfinished jobs of the batch when their leases expire —
+// results already streamed back stay completed — and any cells the dead
+// worker already published remain in the shared store, so nothing completed
+// is ever re-simulated.
 //
 // A worker with nothing to advertise — no Kinds configured and no
 // executors registered — refuses to start: the coordinator grants such a
@@ -99,15 +127,21 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 		return fmt.Errorf("dist: worker has no job kinds: register executors (e.g. experiments.RegisterCellExecutor) or set WorkerOptions.Kinds before starting")
 	}
 	w := &worker{opt: o, name: o.name()}
-	done := make(chan struct{})
+	slotCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make(chan error, o.slots())
 	for i := 0; i < o.slots(); i++ {
-		go func() {
-			w.loop(ctx)
-			done <- struct{}{}
-		}()
+		go func() { errs <- w.loop(slotCtx) }()
 	}
+	var fatal error
 	for i := 0; i < o.slots(); i++ {
-		<-done
+		if err := <-errs; err != nil && fatal == nil {
+			fatal = err
+			cancel() // one slot's fatal error (401) stops the others
+		}
+	}
+	if fatal != nil {
+		return fatal
 	}
 	return ctx.Err()
 }
@@ -115,94 +149,242 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 type worker struct {
 	opt  WorkerOptions
 	name string
+
+	// progressMu guards the last fleet progress seen across slots, so the
+	// log shows each (done, total) step once no matter which slot's reply
+	// carried it.
+	progressMu          sync.Mutex
+	lastDone, lastTotal int
 }
 
-func (w *worker) loop(ctx context.Context) {
+// noteProgress logs sweep-wide progress carried on lease, heartbeat, and
+// result replies, deduplicated across slots and strictly increasing.
+func (w *worker) noteProgress(done, total int) {
+	if total == 0 || w.opt.Log == nil {
+		return
+	}
+	w.progressMu.Lock()
+	defer w.progressMu.Unlock()
+	if total == w.lastTotal && done <= w.lastDone {
+		return
+	}
+	w.lastDone, w.lastTotal = done, total
+	w.opt.logf("worker %s: sweep %d/%d cells done fleet-wide", w.name, done, total)
+}
+
+// resetProgress forgets the last sweep's counts once a slot goes idle, so
+// the next sweep — which may have the same total — logs from its start
+// instead of being swallowed by the strictly-increasing guard.
+func (w *worker) resetProgress() {
+	w.progressMu.Lock()
+	w.lastDone, w.lastTotal = 0, 0
+	w.progressMu.Unlock()
+}
+
+// loop is one slot: lease a batch, execute it (streaming results and
+// refilling), repeat. It returns nil on cancellation and the error on a
+// fatal condition (auth rejection).
+func (w *worker) loop(ctx context.Context) error {
 	for {
 		lease, err := w.lease(ctx)
 		if err != nil {
+			var ae *AuthError
+			if errors.As(err, &ae) {
+				w.opt.logf("worker %s: %v", w.name, err)
+				return err
+			}
 			if ctx.Err() != nil {
-				return
+				return nil
 			}
 			w.opt.logf("worker %s: lease: %v (will retry)", w.name, err)
 			lease = nil
 		}
-		if lease == nil {
+		if lease == nil || len(lease.Jobs) == 0 {
+			// Idle: the sweep (if any) finished or has no work for us.
+			// Forget its progress so the next sweep's lines are not
+			// suppressed by the strictly-increasing guard when the totals
+			// happen to match. Another slot mid-batch may re-log one line
+			// after this; better one duplicate than a silent sweep.
+			w.resetProgress()
 			select {
 			case <-ctx.Done():
-				return
+				return nil
 			case <-time.After(w.opt.poll()):
 			}
 			continue
 		}
-		w.execute(ctx, lease)
+		if err := w.executeBatch(ctx, lease); err != nil {
+			return err
+		}
 		if ctx.Err() != nil {
-			return
+			return nil
 		}
 	}
 }
 
-// lease asks for one job; nil means no work available.
+// lease asks for a batch of jobs; (nil, nil) means no work available.
 func (w *worker) lease(ctx context.Context) (*leaseResponse, error) {
 	var resp leaseResponse
-	status, err := w.post(ctx, "/dist/lease", leaseRequest{Worker: w.name, Kinds: w.opt.kinds()}, &resp)
+	status, err := w.post(ctx, "/dist/lease", leaseRequest{Worker: w.name, Kinds: w.opt.kinds(), Max: w.opt.MaxBatch}, &resp)
 	if err != nil {
 		return nil, err
 	}
-	if status == http.StatusNoContent {
+	switch status {
+	case http.StatusNoContent:
 		return nil, nil
-	}
-	if status != http.StatusOK {
+	case http.StatusOK:
+		w.noteProgress(resp.Done, resp.Total)
+		return &resp, nil
+	case http.StatusUnauthorized:
+		return nil, &AuthError{Coordinator: w.opt.Coordinator}
+	default:
 		return nil, fmt.Errorf("lease: HTTP %d", status)
 	}
-	return &resp, nil
 }
 
-// execute runs one leased job with heartbeats and posts its outcome.
-func (w *worker) execute(ctx context.Context, lease *leaseResponse) {
-	w.opt.logf("worker %s: job %d (%s)", w.name, lease.JobID, lease.Label)
+// inflight is the set of job IDs a slot currently holds leases for —
+// executing or queued — shared with its heartbeat goroutine.
+type inflight struct {
+	mu  sync.Mutex
+	ids []int64
+}
 
-	// Heartbeat at a third of the TTL while the executor runs, so one
-	// missed beat (GC pause, transient network loss) never costs the lease.
+func (f *inflight) add(jobs []leasedJob) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, j := range jobs {
+		f.ids = append(f.ids, j.JobID)
+	}
+}
+
+func (f *inflight) remove(id int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, have := range f.ids {
+		if have == id {
+			f.ids = append(f.ids[:i], f.ids[i+1:]...)
+			return
+		}
+	}
+}
+
+func (f *inflight) snapshot() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.ids...)
+}
+
+// executeBatch runs one leased batch in order with heartbeats covering
+// every held job, streaming each result back as it completes and appending
+// any refill jobs the replies carry. It returns only fatal errors (auth).
+func (w *worker) executeBatch(ctx context.Context, lease *leaseResponse) error {
+	held := &inflight{}
+	held.add(lease.Jobs)
+	queue := append([]leasedJob(nil), lease.Jobs...)
+
+	// Heartbeat at a third of the TTL while the batch runs, so one missed
+	// beat (GC pause, transient network loss) never costs a lease. Every
+	// held job is covered, queued ones included: a slow cell in front of
+	// them must not let their leases lapse.
 	hbCtx, stopHB := context.WithCancel(ctx)
 	hbDone := make(chan struct{})
-	go func() {
-		defer close(hbDone)
-		interval := time.Duration(lease.LeaseMillis) * time.Millisecond / 3
-		if interval <= 0 {
-			interval = time.Second
-		}
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-hbCtx.Done():
-				return
-			case <-t.C:
-				var hb heartbeatResponse
-				w.post(hbCtx, "/dist/heartbeat", heartbeatRequest{Worker: w.name, JobIDs: []int64{lease.JobID}}, &hb)
-			}
-		}
+	go w.heartbeat(hbCtx, hbDone, held, lease.LeaseMillis)
+	defer func() {
+		stopHB()
+		<-hbDone
 	}()
 
-	res := w.runJob(lease)
-	stopHB()
-	<-hbDone
-	if ctx.Err() != nil {
-		// Killed mid-job: do not post — the lease will expire and the job
-		// will be reassigned, exactly as if the process had died.
-		return
+	for len(queue) > 0 {
+		job := queue[0]
+		queue = queue[1:]
+		w.opt.logf("worker %s: job %d (%s)", w.name, job.JobID, job.Label)
+		res := w.runJob(job)
+		if ctx.Err() != nil {
+			// Killed mid-batch: do not post — the held leases will expire
+			// and the unfinished jobs (this one included) will be
+			// reassigned, exactly as if the process had died. Results
+			// already posted stay completed.
+			return nil
+		}
+		// Ask for one replacement job per completed job: the queue holds
+		// its granted depth while work remains and drains naturally as the
+		// coordinator runs out (near exhaustion it grants nothing, so tail
+		// jobs spread across whoever finishes first).
+		res.Kinds = w.opt.kinds()
+		res.Refill = 1
+		refill, err := w.postResult(ctx, job, res)
+		held.remove(job.JobID)
+		if err != nil {
+			var ae *AuthError
+			if errors.As(err, &ae) {
+				w.opt.logf("worker %s: %v", w.name, err)
+				return err
+			}
+			// Non-auth post failures were already logged (result lost);
+			// keep draining the rest of the batch.
+		}
+		if refill != nil {
+			w.noteProgress(refill.Done, refill.Total)
+			if len(refill.Jobs) > 0 {
+				held.add(refill.Jobs)
+				queue = append(queue, refill.Jobs...)
+			}
+		}
 	}
-	// Retry the result post a few times: losing a finished result to one
-	// dropped packet would waste a whole simulation.
-	for attempt := 0; ; attempt++ {
-		status, err := w.post(ctx, "/dist/result", res, nil)
-		if err == nil && status == http.StatusOK {
+	return nil
+}
+
+// heartbeat extends the slot's held leases at a third of the TTL until
+// stopped, logging fleet progress carried on the replies.
+func (w *worker) heartbeat(ctx context.Context, done chan<- struct{}, held *inflight, leaseMillis int64) {
+	defer close(done)
+	interval := time.Duration(leaseMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
 			return
+		case <-t.C:
+			ids := held.snapshot()
+			if len(ids) == 0 {
+				continue
+			}
+			var hb heartbeatResponse
+			if status, err := w.post(ctx, "/dist/heartbeat", heartbeatRequest{Worker: w.name, JobIDs: ids}, &hb); err == nil && status == http.StatusOK {
+				w.noteProgress(hb.Done, hb.Total)
+			}
+		}
+	}
+}
+
+// postResult streams one job's outcome, retrying a few times (losing a
+// finished result to one dropped packet would waste a whole simulation) and
+// returning any refill grant carried on the reply. A 401 returns *AuthError.
+func (w *worker) postResult(ctx context.Context, job leasedJob, res resultRequest) (*resultResponse, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Only the first attempt asks for a refill: a lost reply may
+			// have carried a grant this worker never saw (that orphaned
+			// job's lease expires and reassigns, like any lost lease
+			// reply), and re-asking on every retry would orphan another
+			// grant per attempt.
+			res.Refill = 0
+		}
+		var resp resultResponse
+		status, err := w.post(ctx, "/dist/result", res, &resp)
+		if err == nil && status == http.StatusOK {
+			return &resp, nil
+		}
+		if status == http.StatusUnauthorized {
+			return nil, &AuthError{Coordinator: w.opt.Coordinator}
 		}
 		if attempt >= 2 || ctx.Err() != nil {
-			w.opt.logf("worker %s: job %d result lost: status=%d err=%v", w.name, lease.JobID, status, err)
-			return
+			w.opt.logf("worker %s: job %d result lost: status=%d err=%v", w.name, job.JobID, status, err)
+			return nil, fmt.Errorf("result post failed: status=%d err=%v", status, err)
 		}
 		time.Sleep(w.opt.poll())
 	}
@@ -210,20 +392,20 @@ func (w *worker) execute(ctx context.Context, lease *leaseResponse) {
 
 // runJob executes the job's registered executor, capturing panics into the
 // result message (they surface coordinator-side as *runner.PanicError).
-func (w *worker) runJob(lease *leaseResponse) (res resultRequest) {
-	res = resultRequest{Worker: w.name, JobID: lease.JobID}
+func (w *worker) runJob(job leasedJob) (res resultRequest) {
+	res = resultRequest{Worker: w.name, JobID: job.JobID}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Panic = fmt.Sprint(r)
 			res.Stack = debug.Stack()
 		}
 	}()
-	fn := runner.ExecutorFor(lease.Kind)
+	fn := runner.ExecutorFor(job.Kind)
 	if fn == nil {
-		res.Error = fmt.Sprintf("no executor registered for job kind %q", lease.Kind)
+		res.Error = fmt.Sprintf("no executor registered for job kind %q", job.Kind)
 		return res
 	}
-	out, err := fn(lease.Spec)
+	out, err := fn(job.Spec)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -244,6 +426,9 @@ func (w *worker) post(ctx context.Context, path string, in, out any) (int, error
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.opt.Secret != "" {
+		req.Header.Set(secretHeader, w.opt.Secret)
+	}
 	resp, err := w.opt.client().Do(req)
 	if err != nil {
 		return 0, err
@@ -258,8 +443,9 @@ func (w *worker) post(ctx context.Context, path string, in, out any) (int, error
 }
 
 // Status fetches a coordinator's progress snapshot (the CLI's aggregated
-// progress line and the smoke tests use it).
-func Status(ctx context.Context, client *http.Client, coordinator string) (done, total, workers int, active bool, err error) {
+// progress line and the smoke tests use it). secret must match the
+// coordinator's -dist-secret; pass "" for an unauthenticated coordinator.
+func Status(ctx context.Context, client *http.Client, coordinator, secret string) (done, total, workers int, active bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -270,11 +456,17 @@ func Status(ctx context.Context, client *http.Client, coordinator string) (done,
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
+	if secret != "" {
+		req.Header.Set(secretHeader, secret)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return 0, 0, 0, false, &AuthError{Coordinator: coordinator}
+	}
 	var st statusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return 0, 0, 0, false, err

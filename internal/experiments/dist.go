@@ -71,12 +71,14 @@ func gobDecode(data []byte, v any) error {
 
 // RegisterCellExecutor makes this process able to execute CellKind jobs:
 // worker processes (and the in-process runner.LocalBackend) call it at
-// startup. The executor runs each decoded cell through the full memo /
-// store / simulate path with the given options, so a worker serves cells
-// already in its (shared) store without simulating and publishes fresh ones
-// into it — which is what lets an interrupted sweep resume with zero
-// re-simulation. Only CacheDir and NoReuse are consulted; everything else
-// that shapes a cell travels in the spec.
+// startup, and so does a coordinator that co-executes
+// (dist.CoordinatorOptions.CoExecute) — its loopback worker runs through
+// this same registry. The executor runs each decoded cell through the full
+// memo / store / simulate path with the given options, so a worker serves
+// cells already in its (shared) store without simulating and publishes
+// fresh ones into it — which is what lets an interrupted sweep resume with
+// zero re-simulation. Only CacheDir and NoReuse are consulted; everything
+// else that shapes a cell travels in the spec.
 func RegisterCellExecutor(o Options) {
 	runner.RegisterExecutor(CellKind, func(spec []byte) ([]byte, error) {
 		var cs cellSpec

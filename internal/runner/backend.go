@@ -11,9 +11,12 @@ package runner
 // Backend implementations must preserve Map's contract: results fold in
 // job-index order regardless of which worker completed them or when, the
 // lowest-indexed failure wins, and a panicking job surfaces as *PanicError
-// with its label. That is what lets the experiment harness produce
-// byte-identical artifacts whether a sweep ran on one goroutine or on a
-// fleet of machines.
+// with its label. The fold is per-job even when the transport moves jobs in
+// batches (internal/dist leases several jobs per round-trip and streams
+// their results back individually): batching is a transport detail that
+// must never surface in result order or error attribution. That is what
+// lets the experiment harness produce byte-identical artifacts whether a
+// sweep ran on one goroutine or on a fleet of machines.
 
 import (
 	"context"

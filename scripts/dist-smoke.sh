@@ -2,19 +2,42 @@
 # dist-smoke.sh: end-to-end distributed-sweep smoke test (the CI job).
 #
 # Builds bashsim once, runs a small sweep serially, then re-runs it through
-# a coordinator with two separate worker processes over the job protocol,
-# and asserts the TSVs are byte-identical. Then kills the workers and
-# re-runs the coordinator against the populated cell store: the sweep must
-# complete from published cells alone — zero workers, zero simulations —
-# and still match byte for byte.
+# the hardened distributed path — a shared-secret coordinator with batched
+# leases (-lease-batch 4) and one co-execution slot, plus two separate
+# single-slot worker processes over the job protocol — and asserts:
+#
+#   * a worker started with the WRONG secret exits non-zero with nothing
+#     published to its cell store;
+#   * the authed sweep's TSV is byte-identical to the serial one;
+#   * batching collapsed protocol round-trips: the coordinator's final
+#     /dist/status shows at least 4x fewer leases than completed cells.
+#
+# Then kills the workers and re-runs the coordinator against the populated
+# cell store: the sweep must complete from published cells alone — zero
+# workers, zero co-execution, zero simulations — and still match byte for
+# byte. The coordinator's final status JSON and the cell store's
+# manifest.json are copied to $DIST_SMOKE_ARTIFACTS (default
+# ./dist-smoke-artifacts) for CI to upload.
 #
 # The same binary must serve every role: cell cache keys embed the binary
 # fingerprint, so a rebuilt binary deliberately misses the old store.
 set -eu
 
 PORT="${DIST_SMOKE_PORT:-8497}"
+SECRET="dist-smoke-$$"
 WORK="$(mktemp -d)"
-trap 'kill $W1 $W2 2>/dev/null || true; rm -rf "$WORK"' EXIT
+ART="${DIST_SMOKE_ARTIFACTS:-dist-smoke-artifacts}"
+
+# Kill every background worker we spawned (the whole group, not just the
+# ones a happy path would reach) even when an assertion aborts the script
+# mid-way; before this trap, a failed `cmp` leaked two polling workers.
+PIDS=""
+cleanup() {
+    [ -z "$PIDS" ] || kill $PIDS 2>/dev/null || true
+    [ -z "$PIDS" ] || wait $PIDS 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
 
 echo "==> building bashsim"
 go build -o "$WORK/bashsim" ./cmd/bashsim
@@ -22,24 +45,68 @@ go build -o "$WORK/bashsim" ./cmd/bashsim
 echo "==> serial reference sweep"
 "$WORK/bashsim" -exp fig1 -parallel 1 -no-cache -out "$WORK/serial.tsv"
 
-echo "==> starting two workers"
-"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -cache-dir "$WORK/cache" >"$WORK/w1.log" 2>&1 &
+echo "==> starting two authed workers and one wrong-secret worker"
+"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -dist-secret "$SECRET" -parallel 1 \
+    -poll 50ms -cache-dir "$WORK/cache" >"$WORK/w1.log" 2>&1 &
 W1=$!
-"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -cache-dir "$WORK/cache" >"$WORK/w2.log" 2>&1 &
+"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -dist-secret "$SECRET" -parallel 1 \
+    -poll 50ms -cache-dir "$WORK/cache" >"$WORK/w2.log" 2>&1 &
 W2=$!
+"$WORK/bashsim" -worker "http://127.0.0.1:$PORT" -dist-secret "wrong-$SECRET" -parallel 1 \
+    -poll 50ms -cache-dir "$WORK/badcache" >"$WORK/bad.log" 2>&1 &
+BAD=$!
+PIDS="$W1 $W2 $BAD"
 
-echo "==> distributed sweep (coordinator + 2 workers)"
-"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$PORT" -cache-dir "$WORK/cache" \
-    -timeout 120s -out "$WORK/dist.tsv" 2>"$WORK/serve.log"
+echo "==> hardened distributed sweep (authed coordinator, -lease-batch 4, co-execution, 2 workers)"
+"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$PORT" -dist-secret "$SECRET" \
+    -lease-batch 4 -co-execute 1 -cache-dir "$WORK/cache" \
+    -dist-status "$WORK/status.json" -timeout 120s -out "$WORK/dist.tsv" 2>"$WORK/serve.log"
 grep '^dist:' "$WORK/serve.log" || true
 cmp "$WORK/serial.tsv" "$WORK/dist.tsv"
-echo "OK: distributed TSV is byte-identical to serial"
+echo "OK: hardened distributed TSV is byte-identical to serial"
+
+echo "==> wrong-secret worker must have been rejected"
+i=0
+while kill -0 "$BAD" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: wrong-secret worker still running after the sweep" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+BADRC=0
+wait "$BAD" || BADRC=$?
+if [ "$BADRC" -eq 0 ]; then
+    echo "FAIL: wrong-secret worker exited 0" >&2
+    exit 1
+fi
+grep -q '401' "$WORK/bad.log"
+if [ "$(find "$WORK/badcache" -type f | wc -l)" -ne 0 ]; then
+    echo "FAIL: wrong-secret worker published cells:" >&2
+    find "$WORK/badcache" -type f >&2
+    exit 1
+fi
+echo "OK: wrong-secret worker exited $BADRC with no cells published"
+
+echo "==> batching must collapse lease round-trips (>= 4x fewer leases than cells)"
+leases="$(sed -n 's/.*"leases": *\([0-9][0-9]*\).*/\1/p' "$WORK/status.json")"
+completed="$(sed -n 's/.*"completed": *\([0-9][0-9]*\).*/\1/p' "$WORK/status.json")"
+[ -n "$leases" ] && [ -n "$completed" ] && [ "$completed" -gt 0 ]
+if [ "$completed" -lt $((4 * leases)) ]; then
+    echo "FAIL: $leases leases for $completed cells (want >= 4x fewer)" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+fi
+echo "OK: $leases leases for $completed cells"
 
 echo "==> killing workers; resuming from the shared cell store"
 kill $W1 $W2
 wait $W1 2>/dev/null || true
 wait $W2 2>/dev/null || true
-"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$((PORT + 1))" -cache-dir "$WORK/cache" \
+PIDS=""
+"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$((PORT + 1))" -dist-secret "$SECRET" \
+    -co-execute 0 -cache-dir "$WORK/cache" \
     -timeout 60s -out "$WORK/resume.tsv" 2>"$WORK/resume.log"
 cmp "$WORK/serial.tsv" "$WORK/resume.tsv"
 grep -q ' 0 cells simulated' "$WORK/resume.log"
@@ -47,4 +114,9 @@ echo "OK: resume completed from the store with zero simulations and no workers"
 
 echo "==> cache-gc on the populated store"
 "$WORK/bashsim" -cache-gc -cache-dir "$WORK/cache"
+
+echo "==> exporting artifacts to $ART"
+mkdir -p "$ART"
+cp "$WORK/status.json" "$ART/dist-status.json"
+cp "$WORK/cache/manifest.json" "$ART/manifest.json"
 echo "dist smoke passed"
