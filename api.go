@@ -127,22 +127,28 @@ type (
 	// LeaseTTL and MaxLeaseExpiries bound dead-worker recovery, LeaseBatch
 	// sets how many jobs one lease grants (with result-reply refills and
 	// adaptive shrink near queue exhaustion), Secret authenticates every
-	// request with a constant-time shared-secret check, and CoExecute runs
+	// request with a constant-time shared-secret check, CoExecute runs
 	// loopback worker slots on the coordinator itself so a lone
-	// coordinator still makes progress.
+	// coordinator still makes progress, and Wire selects the transports
+	// served ("" offers both the binary framed protocol and HTTP/JSON;
+	// "http" disables the binary endpoint).
 	DistOptions = dist.CoordinatorOptions
 	// DistCoordinator owns the job queue and lease table, serves the wire
-	// protocol over HTTP, and implements Backend.
+	// protocol (binary frames over one persistent connection per worker,
+	// with an HTTP/JSON fallback), and implements Backend. Serve it with
+	// its Serve method so /dist/status reports socket-level byte counters.
 	DistCoordinator = dist.Coordinator
 	// DistWorkerOptions configures one worker process (Secret must match
-	// the coordinator's; MaxBatch caps accepted batch sizes).
+	// the coordinator's; MaxBatch caps accepted batch sizes; Wire forces
+	// "binary" or "http", defaulting to negotiation).
 	DistWorkerOptions = dist.WorkerOptions
 	// DistStats are a coordinator's lifetime dispatch counters, including
 	// lease/refill round-trip counts and expired-lease reassignments.
 	DistStats = dist.Stats
 	// DistAuthError is the terminal error a worker returns when the
-	// coordinator rejects its shared secret (HTTP 401): unlike connection
-	// errors, it is not retried.
+	// coordinator rejects its shared secret (HTTP 401, or an auth-failed
+	// ERROR frame on the binary wire): unlike connection errors, it is
+	// not retried.
 	DistAuthError = dist.AuthError
 )
 

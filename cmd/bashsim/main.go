@@ -34,7 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -74,6 +73,7 @@ func main() {
 		distSecret = flag.String("dist-secret", "", "shared secret authenticating the distributed job protocol (both -serve and -worker; empty = unauthenticated)")
 		coExecute  = flag.Int("co-execute", runtime.NumCPU(), "in-process worker slots the coordinator runs alongside dispatching (0 = dispatch only)")
 		distStatus = flag.String("dist-status", "", "with -serve: write the coordinator's final /dist/status JSON to this file")
+		distWire   = flag.String("wire", "", "distributed transport: auto (default: negotiate binary frames, fall back to JSON), binary, or http; with -serve, http disables the binary endpoint")
 
 		cacheGC     = flag.Bool("cache-gc", false, "evict stale-format and aged cell-store entries, print a report, and exit")
 		cacheMaxAge = flag.Duration("cache-max-age", 30*24*time.Hour, "with -cache-gc: evict entries older than this (0 = stale formats only)")
@@ -89,6 +89,12 @@ func main() {
 	)
 	flag.Parse()
 
+	switch *distWire {
+	case "", "auto", "binary", "http":
+	default:
+		fmt.Fprintf(os.Stderr, "bashsim: -wire %q: want auto, binary, or http\n", *distWire)
+		os.Exit(2)
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -100,7 +106,7 @@ func main() {
 		return
 	}
 	if *worker != "" {
-		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll)
+		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll, *distWire)
 		return
 	}
 	if *single {
@@ -144,6 +150,7 @@ func main() {
 			LeaseBatch: *leaseBatch,
 			Secret:     *distSecret,
 			CoExecute:  *coExecute,
+			Wire:       *distWire,
 		}, opts)
 		opts.Backend = coord
 	}
@@ -238,7 +245,9 @@ func serveCoordinator(addr string, copt dist.CoordinatorOptions, opts experiment
 	}
 	fmt.Fprintf(os.Stderr, "bashsim: coordinating on %s (workers: bashsim -worker http://%s)\n",
 		l.Addr(), l.Addr())
-	go http.Serve(l, coord.Handler())
+	// coord.Serve (not a bare http.Serve) so the socket-level byte counters
+	// in /dist/status cover every connection, HTTP and binary alike.
+	go coord.Serve(l)
 	return coord
 }
 
@@ -261,7 +270,7 @@ func writeDistStatus(coord *dist.Coordinator, path string) error {
 // registers both executors — experiment cells and tester trials — and
 // publishes results into its cell store, which coordinators sharing the
 // directory (or just this worker, across restarts) serve as cache hits.
-func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration) {
+func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration, wire string) {
 	dir := cacheDir
 	if noCache {
 		dir = ""
@@ -283,6 +292,7 @@ func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, s
 		Slots:       slots,
 		Secret:      secret,
 		Poll:        poll,
+		Wire:        wire,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

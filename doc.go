@@ -127,10 +127,27 @@
 // *RunnerPanicError with the job's label and the remote stack, exactly like
 // in-process pool panics.
 //
+// The protocol runs over one of two transports behind a common state
+// machine. By default a worker negotiates the binary framed wire: one
+// persistent TCP connection per worker (upgraded via POST /dist/wire),
+// every slot's actions multiplexed over it as CRC-checked frames whose
+// payloads compress against a per-connection dictionary — no per-action
+// connection setup, no JSON/base64 envelope, several times fewer
+// coordinator-side bytes per cell. A coordinator that does not speak it
+// (an older build, or DistOptions.Wire = "http") makes the worker fall
+// back to the original JSON-over-HTTP path; DistWorkerOptions.Wire (the
+// -wire flag) forces either transport. Dropped connections redial with
+// capped exponential backoff plus jitter, and leases lost in the gap
+// reassign through the normal TTL machinery. Serve the coordinator with
+// its Serve method and /dist/status reports socket-level byte and frame
+// counters for both transports.
+//
 // DistOptions.Secret (the -dist-secret flag, on both roles) authenticates
-// the protocol: every request must carry the shared secret in the
-// X-Bashsim-Secret header (compared in constant time), mismatches are
-// rejected with 401, and a rejected worker exits with a descriptive
+// the protocol: every HTTP request must carry the shared secret in the
+// X-Bashsim-Secret header, and every binary connection must open with a
+// HELLO frame carrying its SHA-256 digest (both compared in constant
+// time). Mismatches are rejected — 401, or a terminal auth-flagged ERROR
+// frame — and a rejected worker exits with a descriptive
 // *dist.AuthError instead of retrying. DistOptions.CoExecute (the
 // -co-execute flag, default one slot per CPU on the CLI) runs that many
 // in-process loopback worker slots on the coordinator for the duration of
@@ -155,9 +172,9 @@
 //
 // Coordinator and workers must run the same binary: cache keys embed the
 // binary fingerprint, so mismatched builds never exchange stale results
-// (they simply miss). The protocol (JSON over HTTP, gob payloads) trusts
-// its network unless a shared secret is configured — run it on a private
-// cluster or set one.
+// (they simply miss). The protocol (binary frames or JSON over HTTP, gob
+// payloads either way) trusts its network unless a shared secret is
+// configured — run it on a private cluster or set one.
 //
 // Cell-store hygiene: `bashsim -cache-gc` evicts entries whose on-disk
 // format is stale or whose age exceeds -cache-max-age (CellStoreGC from

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"reflect"
+	"testing"
+)
+
+func TestCodecRoundTrips(t *testing.T) {
+	digest := sha256.Sum256([]byte("secret"))
+
+	t.Run("hello", func(t *testing.T) {
+		b := appendHello(nil, "worker-7", digest[:])
+		worker, got, err := parseHello(b)
+		if err != nil || worker != "worker-7" || !reflect.DeepEqual(got, digest[:]) {
+			t.Fatalf("parseHello = %q, %x, %v", worker, got, err)
+		}
+	})
+
+	t.Run("welcome", func(t *testing.T) {
+		if err := parseWelcome(appendWelcome(nil)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("lease request", func(t *testing.T) {
+		want := leaseRequest{Worker: "w", Kinds: []string{"bashsim.cell", "other"}, Max: 4}
+		got, err := parseLeaseRequest(appendLeaseRequest(nil, want))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+	})
+
+	t.Run("grant", func(t *testing.T) {
+		want := leaseResponse{
+			Jobs: []leasedJob{
+				{JobID: 12, Kind: "bashsim.cell", Key: "abcd", Label: "cell 1", Spec: []byte{1, 2, 3}},
+				{JobID: 13, Kind: "bashsim.cell", Key: "ef01", Label: "cell 2"},
+			},
+			LeaseMillis: 15000, Done: 3, Total: 15,
+		}
+		got, err := parseGrant(appendGrant(nil, want))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+		// Empty grant ("no work right now") round-trips too.
+		empty, err := parseGrant(appendGrant(nil, leaseResponse{Done: 15, Total: 15}))
+		if err != nil || len(empty.Jobs) != 0 || empty.Done != 15 {
+			t.Fatalf("empty grant: %+v, %v", empty, err)
+		}
+	})
+
+	t.Run("heartbeat", func(t *testing.T) {
+		wantReq := heartbeatRequest{Worker: "w", JobIDs: []int64{3, 9, 27}}
+		gotReq, err := parseHeartbeatRequest(appendHeartbeatRequest(nil, wantReq))
+		if err != nil || !reflect.DeepEqual(gotReq, wantReq) {
+			t.Fatalf("request: got %+v, %v", gotReq, err)
+		}
+		wantResp := heartbeatResponse{Active: true, Done: 7, Total: 15}
+		gotResp, err := parseHeartbeatResponse(appendHeartbeatResponse(nil, wantResp))
+		if err != nil || gotResp != wantResp {
+			t.Fatalf("response: got %+v, %v", gotResp, err)
+		}
+	})
+
+	t.Run("result request", func(t *testing.T) {
+		want := resultRequest{
+			Worker: "w", JobID: 44, Refill: 1, Kinds: []string{"bashsim.cell"},
+			Result: []byte("gob bytes"),
+		}
+		got, err := parseResultRequest(appendResultRequest(nil, want))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+		panicky := resultRequest{Worker: "w", JobID: 45, Panic: "boom", Stack: []byte("stack...")}
+		got, err = parseResultRequest(appendResultRequest(nil, panicky))
+		if err != nil || !reflect.DeepEqual(got, panicky) {
+			t.Fatalf("panic result: got %+v, %v", got, err)
+		}
+	})
+}
+
+// TestCodecRejectsMalformed: strict parsing — truncation, overrun lengths,
+// and trailing bytes are all terminal errors.
+func TestCodecRejectsMalformed(t *testing.T) {
+	grant := appendGrant(nil, leaseResponse{
+		Jobs:        []leasedJob{{JobID: 1, Kind: "k", Key: "x", Label: "l", Spec: []byte{9}}},
+		LeaseMillis: 1000, Total: 1,
+	})
+	if _, err := parseGrant(grant[:len(grant)-2]); err == nil {
+		t.Error("truncated grant parsed")
+	}
+	if _, err := parseGrant(append(grant, 0)); err == nil {
+		t.Error("grant with trailing bytes parsed")
+	}
+	if _, _, err := parseHello([]byte{0xFF}); err == nil {
+		t.Error("garbage hello parsed")
+	}
+	if _, err := parseLeaseRequest([]byte{1, 'w', 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
+		t.Error("lease request with absurd kind count parsed")
+	}
+}
+
+// FuzzCodecParsers: every payload parser must be total — no panics, no
+// out-of-bounds — over arbitrary bytes.
+func FuzzCodecParsers(f *testing.F) {
+	f.Add(appendGrant(nil, leaseResponse{Jobs: []leasedJob{{JobID: 1, Kind: "k", Spec: []byte{1}}}, LeaseMillis: 5}))
+	f.Add(appendResultRequest(nil, resultRequest{Worker: "w", JobID: 2, Result: []byte("r")}))
+	f.Add(appendHello(nil, "w", make([]byte, sha256.Size)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parseHello(data)
+		parseWelcome(data)
+		parseLeaseRequest(data)
+		parseGrant(data)
+		parseHeartbeatRequest(data)
+		parseHeartbeatResponse(data)
+		parseResultRequest(data)
+	})
+}

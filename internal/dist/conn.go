@@ -1,0 +1,200 @@
+package dist
+
+// Coordinator side of the binary wire transport. A worker POSTs to
+// /dist/wire with an Upgrade header; the coordinator hijacks the
+// connection, answers 101 Switching Protocols, and from then on the
+// connection speaks wire frames: one HELLO (name + secret digest, checked
+// in constant time before any protocol state is touched), one WELCOME, and
+// then one request/reply frame pair per protocol action, multiplexed by
+// stream id across the worker's slots. The frame handlers call the same
+// leaseRPC/heartbeatRPC/resultRPC state machine as the HTTP/JSON
+// endpoints, so every batching, reassignment, and auth guarantee holds
+// identically on both transports.
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/dist/wire"
+)
+
+// wireHandshakeTimeout bounds how long an upgraded connection may sit
+// without completing its HELLO (drive-by connections must not pin
+// goroutines).
+const wireHandshakeTimeout = 10 * time.Second
+
+// wireConn is one established binary connection.
+type wireConn struct {
+	worker string
+	remote string
+	rd     *wire.Reader
+	wr     *wire.Writer
+}
+
+func (wc *wireConn) status() wireConnStatus {
+	fi, bi := wc.rd.Stats()
+	fo, bo := wc.wr.Stats()
+	return wireConnStatus{
+		Worker: wc.worker, Remote: wc.remote,
+		FramesIn: fi, FramesOut: fo, BytesIn: bi, BytesOut: bo,
+	}
+}
+
+// handleWire upgrades a worker's HTTP request to the binary framed
+// protocol and serves frames until the connection dies.
+func (c *Coordinator) handleWire(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Upgrade") != wireProtoName {
+		// An old worker (or a curious client) that does not speak the
+		// protocol gets a plain HTTP error it can fall back on.
+		http.Error(w, "upgrade required: set Upgrade: "+wireProtoName, http.StatusUpgradeRequired)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "binary wire unavailable: server cannot hijack connections", http.StatusNotImplemented)
+		return
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "hijack: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: "+
+		wireProtoName+"\r\nConnection: Upgrade\r\n\r\n"); err != nil {
+		return
+	}
+	// brw.Reader may hold bytes the worker pipelined behind the upgrade
+	// request; frames must drain it before touching the socket.
+	c.serveWireConn(conn, brw.Reader)
+}
+
+// serveWireConn runs one binary connection: handshake, then a
+// read-dispatch-reply loop. Any protocol violation — malformed payload,
+// unexpected frame type — is terminal: the worker gets an ERROR frame and
+// the connection closes (fail closed, like the frame decoder itself).
+func (c *Coordinator) serveWireConn(conn net.Conn, r io.Reader) {
+	rd := wire.NewReader(r)
+	wr := wire.NewWriter(conn)
+	count := func(err error) error {
+		c.framesOut.Add(1)
+		return err
+	}
+
+	conn.SetReadDeadline(time.Now().Add(wireHandshakeTimeout))
+	h, payload, err := rd.ReadFrame()
+	if err != nil {
+		return
+	}
+	c.framesIn.Add(1)
+	if h.Type != wire.FrameHello {
+		count(wr.WriteFrame(wire.FrameError, 0, 0, []byte("dist: expected HELLO, got "+wire.TypeName(h.Type))))
+		return
+	}
+	worker, digest, err := parseHello(payload)
+	if err != nil {
+		count(wr.WriteFrame(wire.FrameError, 0, 0, []byte(err.Error())))
+		return
+	}
+	if !c.digestOK(digest) {
+		// The terminal auth frame is what lets a binary worker exit with
+		// *dist.AuthError exactly like an HTTP 401 would make it.
+		count(wr.WriteFrame(wire.FrameError, wire.FlagAuthFailed, 0,
+			[]byte("unauthorized: shared secret mismatch on HELLO")))
+		return
+	}
+	if err := count(wr.WriteFrame(wire.FrameWelcome, 0, 0, appendWelcome(nil))); err != nil {
+		return
+	}
+
+	wc := &wireConn{worker: worker, remote: conn.RemoteAddr().String(), rd: rd, wr: wr}
+	c.wireMu.Lock()
+	c.wireConns[wc] = struct{}{}
+	c.wireMu.Unlock()
+	defer func() {
+		c.wireMu.Lock()
+		delete(c.wireConns, wc)
+		c.wireMu.Unlock()
+	}()
+	c.mu.Lock()
+	c.workers[worker] = time.Now()
+	c.mu.Unlock()
+
+	idle := workerTTLFactor * c.opt.leaseTTL()
+	for {
+		// A connection that goes silent past the worker-liveness window is
+		// dead weight: time it out rather than pin it forever.
+		conn.SetReadDeadline(time.Now().Add(idle))
+		h, payload, err := rd.ReadFrame()
+		if err != nil {
+			return
+		}
+		c.framesIn.Add(1)
+		replyType, reply, err := c.dispatchFrame(h, payload)
+		if err != nil {
+			count(wr.WriteFrame(wire.FrameError, 0, h.Stream, []byte(err.Error())))
+			return
+		}
+		err = count(wr.WriteFrame(replyType, 0, h.Stream, *reply))
+		wire.PutBuffer(reply)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatchFrame decodes one request frame, runs the shared RPC state
+// machine, and encodes the reply into a pooled buffer (the caller writes
+// the frame and returns the buffer).
+func (c *Coordinator) dispatchFrame(h wire.Header, payload []byte) (byte, *[]byte, error) {
+	buf := wire.GetBuffer()
+	switch h.Type {
+	case wire.FrameLease:
+		req, err := parseLeaseRequest(payload)
+		if err != nil {
+			wire.PutBuffer(buf)
+			return 0, nil, err
+		}
+		*buf = appendGrant(*buf, c.leaseRPC(req))
+		return wire.FrameGrant, buf, nil
+	case wire.FrameHeartbeat:
+		req, err := parseHeartbeatRequest(payload)
+		if err != nil {
+			wire.PutBuffer(buf)
+			return 0, nil, err
+		}
+		*buf = appendHeartbeatResponse(*buf, c.heartbeatRPC(req))
+		return wire.FrameBeatAck, buf, nil
+	case wire.FrameResult:
+		req, err := parseResultRequest(payload)
+		if err != nil {
+			wire.PutBuffer(buf)
+			return 0, nil, err
+		}
+		// resultResponse and leaseResponse are the same grant shape.
+		*buf = appendGrant(*buf, leaseResponse(c.resultRPC(req)))
+		return wire.FrameResultAck, buf, nil
+	default:
+		wire.PutBuffer(buf)
+		return 0, nil, fmt.Errorf("dist: unexpected %s frame on an established connection", wire.TypeName(h.Type))
+	}
+}
+
+// digestOK compares a HELLO's secret digest against the coordinator's in
+// constant time. A coordinator with no secret accepts any HELLO, mirroring
+// the HTTP middleware being absent.
+func (c *Coordinator) digestOK(digest []byte) bool {
+	if c.opt.Secret == "" {
+		return true
+	}
+	want := sha256.Sum256([]byte(c.opt.Secret))
+	if len(digest) != sha256.Size {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want[:], digest) == 1
+}

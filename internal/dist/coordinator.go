@@ -7,7 +7,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +50,12 @@ type CoordinatorOptions struct {
 	// worker process; kinds with no registered executor are never leased
 	// to the loopback worker.
 	CoExecute int
+	// Wire selects the transports served. "" (or "binary"/"auto") serves
+	// both the binary framed protocol (workers upgrade via POST
+	// /dist/wire) and the HTTP/JSON fallback; "http" disables the binary
+	// upgrade so every worker negotiates down to JSON. /dist/status is
+	// always plain HTTP either way.
+	Wire string
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -143,15 +152,23 @@ type Coordinator struct {
 	batch   *batch                // active batch, nil when idle
 	workers map[string]time.Time  // worker name -> last contact
 
+	// wireMu guards the live binary connections (per-connection counters
+	// surface in /dist/status); frame totals also count closed ones.
+	wireMu    sync.Mutex
+	wireConns map[*wireConn]struct{}
+
 	leases, refills, dispatched, completed, failed, reassigned atomic.Uint64
+	bytesIn, bytesOut                                          atomic.Uint64 // socket-level, via Serve
+	framesIn, framesOut                                        atomic.Uint64 // binary frames, via /dist/wire
 }
 
 // NewCoordinator returns an idle coordinator.
 func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
-		opt:     opt,
-		leased:  map[int64]*trackedJob{},
-		workers: map[string]time.Time{},
+		opt:       opt,
+		leased:    map[int64]*trackedJob{},
+		workers:   map[string]time.Time{},
+		wireConns: map[*wireConn]struct{}{},
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /dist/lease", c.handleLease)
@@ -159,14 +176,71 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	mux.HandleFunc("POST /dist/result", c.handleResult)
 	mux.HandleFunc("GET /dist/status", c.handleStatus)
 	c.handler = c.authenticate(mux)
+	if opt.Wire != "http" {
+		// The binary upgrade endpoint mounts outside the shared-secret
+		// middleware: its authentication is in-band (the HELLO frame
+		// carries the secret digest, checked in constant time before any
+		// protocol state is touched), and hijacked connections cannot use
+		// HTTP status codes anyway.
+		outer := http.NewServeMux()
+		outer.HandleFunc("POST /dist/wire", c.handleWire)
+		outer.Handle("/", c.handler)
+		c.handler = outer
+	}
 	return c
 }
 
 // Handler returns the HTTP handler serving the job protocol; mount it on
-// any server (the bashsim CLI serves it directly, tests use httptest). When
-// Options.Secret is set, every request — status included — must carry it in
-// the X-Bashsim-Secret header or is rejected with 401.
+// any server (the bashsim CLI serves it via Serve, tests use httptest).
+// When Options.Secret is set, every request — status included — must carry
+// it in the X-Bashsim-Secret header or is rejected with 401; the binary
+// upgrade at POST /dist/wire instead authenticates in-band via its HELLO
+// frame. Mounting on a server that does not go through Serve works, but
+// leaves the socket-level byte counters at zero.
 func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// Serve accepts connections on l and serves the protocol — HTTP/JSON and,
+// unless Wire == "http", the binary framed upgrade — until l closes. Every
+// connection is wrapped in a byte counter feeding Stats.BytesIn/BytesOut,
+// so HTTP header overhead and binary frames are measured at the same place:
+// the socket.
+func (c *Coordinator) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: c.handler}
+	return srv.Serve(countingListener{Listener: l, c: c})
+}
+
+// countingListener wraps accepted connections in socket-level byte
+// counters. Hijacked (binary) connections keep the wrapper, so the counters
+// see both transports uniformly.
+type countingListener struct {
+	net.Listener
+	c *Coordinator
+}
+
+func (l countingListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return countingConn{Conn: conn, c: l.c}, nil
+}
+
+type countingConn struct {
+	net.Conn
+	c *Coordinator
+}
+
+func (cc countingConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	cc.c.bytesIn.Add(uint64(n))
+	return n, err
+}
+
+func (cc countingConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	cc.c.bytesOut.Add(uint64(n))
+	return n, err
+}
 
 // authenticate wraps the protocol mux in the shared-secret check. Secrets
 // are compared in constant time over their SHA-256 digests, so neither
@@ -187,7 +261,7 @@ func (c *Coordinator) authenticate(next http.Handler) http.Handler {
 	})
 }
 
-// Stats returns lifetime dispatch counters.
+// Stats returns lifetime dispatch and transport counters.
 func (c *Coordinator) Stats() Stats {
 	return Stats{
 		Leases:     c.leases.Load(),
@@ -196,6 +270,10 @@ func (c *Coordinator) Stats() Stats {
 		Completed:  c.completed.Load(),
 		Failed:     c.failed.Load(),
 		Reassigned: c.reassigned.Load(),
+		BytesIn:    c.bytesIn.Load(),
+		BytesOut:   c.bytesOut.Load(),
+		FramesIn:   c.framesIn.Load(),
+		FramesOut:  c.framesOut.Load(),
 	}
 }
 
@@ -503,11 +581,10 @@ func leasedJobs(grants []*trackedJob) []leasedJob {
 	return jobs
 }
 
-func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	var req leaseRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// leaseRPC is the transport-independent lease handler: the JSON endpoint
+// and the binary LEASE frame both land here. An empty Jobs slice means "no
+// work right now" (HTTP surfaces it as 204, the wire as an empty GRANT).
+func (c *Coordinator) leaseRPC(req leaseRequest) leaseResponse {
 	kinds := kindSet(req.Kinds)
 	now := time.Now()
 
@@ -519,24 +596,17 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 	prog.notifyProgress(done)
 
-	if len(grants) == 0 {
-		w.WriteHeader(http.StatusNoContent)
-		return
+	resp := leaseResponse{Done: pdone, Total: ptotal}
+	if len(grants) > 0 {
+		c.leases.Add(1)
+		resp.Jobs = leasedJobs(grants)
+		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
 	}
-	c.leases.Add(1)
-	writeJSON(w, leaseResponse{
-		Jobs:        leasedJobs(grants),
-		LeaseMillis: c.opt.leaseTTL().Milliseconds(),
-		Done:        pdone,
-		Total:       ptotal,
-	})
+	return resp
 }
 
-func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	var req heartbeatRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// heartbeatRPC extends the worker's named leases (shared by transports).
+func (c *Coordinator) heartbeatRPC(req heartbeatRequest) heartbeatResponse {
 	now := time.Now()
 	c.mu.Lock()
 	c.workers[req.Worker] = now
@@ -548,14 +618,12 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	resp := heartbeatResponse{Active: c.batch != nil}
 	resp.Done, resp.Total = c.progressLocked()
 	c.mu.Unlock()
-	writeJSON(w, resp)
+	return resp
 }
 
-func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
-	var req resultRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
+// resultRPC records one job's outcome and serves any requested refill
+// (shared by transports).
+func (c *Coordinator) resultRPC(req resultRequest) resultResponse {
 	now := time.Now()
 	c.mu.Lock()
 	c.workers[req.Worker] = now
@@ -585,7 +653,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	// Refill: the result post doubles as a lease request, so a saturated
 	// worker streams results and receives replacement jobs on the same
-	// round-trips, never revisiting /dist/lease until the queue drains.
+	// round-trips, never revisiting the lease path until the queue drains.
 	var grants []*trackedJob
 	if req.Refill > 0 {
 		// leaseSizeLocked caps at req.Refill (the reqMax bound), so the
@@ -604,7 +672,36 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		resp.Jobs = leasedJobs(grants)
 		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
 	}
+	return resp
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp := c.leaseRPC(req)
+	if len(resp.Jobs) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.heartbeatRPC(req))
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.resultRPC(req))
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -623,6 +720,10 @@ func (c *Coordinator) statusSnapshot() statusResponse {
 		Completed:  st.Completed,
 		Failed:     st.Failed,
 		Reassigned: st.Reassigned,
+		BytesIn:    st.BytesIn,
+		BytesOut:   st.BytesOut,
+		FramesIn:   st.FramesIn,
+		FramesOut:  st.FramesOut,
 	}
 	if b := c.batch; b != nil {
 		resp.Active = true
@@ -630,6 +731,14 @@ func (c *Coordinator) statusSnapshot() statusResponse {
 		resp.Total = len(b.jobs)
 	}
 	c.mu.Unlock()
+	c.wireMu.Lock()
+	for wc := range c.wireConns {
+		resp.WireConns = append(resp.WireConns, wc.status())
+	}
+	c.wireMu.Unlock()
+	slices.SortFunc(resp.WireConns, func(a, b wireConnStatus) int {
+		return strings.Compare(a.Worker+a.Remote, b.Worker+b.Remote)
+	})
 	return resp
 }
 

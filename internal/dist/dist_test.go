@@ -113,10 +113,11 @@ func TestDistSweepRecycledMatchesNoRecycle(t *testing.T) {
 }
 
 // TestDistSweepHardenedByteIdentical: the full hardened path — shared-
-// secret auth, batched leases with result-reply refills, and coordinator
-// co-execution racing two real HTTP workers — still reproduces the serial
-// in-process TSV byte for byte, and batching collapses the protocol's
-// round-trips: at least 4x fewer leases than cells.
+// secret auth over the binary wire transport, batched leases with
+// result-reply refills, and coordinator co-execution racing two real
+// workers — still reproduces the serial in-process TSV byte for byte, and
+// batching collapses the protocol's round-trips: at least 4x fewer leases
+// than cells.
 func TestDistSweepHardenedByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full quick-scale sweep twice")
@@ -142,6 +143,7 @@ func TestDistSweepHardenedByteIdentical(t *testing.T) {
 			Name:        fmt.Sprintf("worker-%d", i),
 			Poll:        10 * time.Millisecond,
 			Secret:      "hardened-sweep",
+			Wire:        "binary",
 		})
 	}
 
@@ -161,6 +163,11 @@ func TestDistSweepHardenedByteIdentical(t *testing.T) {
 	}
 	if st.Refills == 0 {
 		t.Error("Refills = 0: result replies never refilled a batch")
+	}
+	// The external workers forced the binary wire, so frames must have
+	// flowed (socket byte counters stay 0 under httptest — no Serve).
+	if st.FramesIn == 0 || st.FramesOut == 0 {
+		t.Errorf("frame counters = %d in / %d out, want both > 0 (binary wire unused)", st.FramesIn, st.FramesOut)
 	}
 }
 

@@ -1,16 +1,30 @@
 // Package dist is the distributed sweep backend: a coordinator/worker
 // subsystem that fans simulation cells across processes and machines. It
-// implements runner.Backend over a lease-based job protocol (JSON over
-// HTTP; specs and results are opaque gob payloads), so any sweep the
-// in-process goroutine pool can run, a fleet of worker processes can run
-// with byte-identical output.
+// implements runner.Backend over a lease-based job protocol (specs and
+// results are opaque gob payloads), so any sweep the in-process goroutine
+// pool can run, a fleet of worker processes can run with byte-identical
+// output.
 //
-// Protocol (all endpoints under one HTTP mux, see Coordinator.Handler):
+// Protocol actions (all endpoints under one HTTP mux, see
+// Coordinator.Handler):
 //
 //	POST /dist/lease     {worker, kinds, max}    -> a batch of jobs + lease TTL, or 204
 //	POST /dist/heartbeat {worker, job_ids}       -> extends the jobs' leases; replies with sweep progress
 //	POST /dist/result    {worker, job_id, ...}   -> completes (or fails) one job; reply may refill the batch
+//	POST /dist/wire      Upgrade: bashsim-wire/1 -> 101; the connection becomes binary frames
 //	GET  /dist/status                            -> batch progress, live workers, lifetime counters
+//
+// The same actions run over two transports behind one state machine. By
+// default a worker upgrades to the binary framed wire (internal/dist/wire):
+// one persistent connection, every slot's request/reply pairs multiplexed
+// by stream id, payloads encoded by codec.go and compressed against a
+// per-connection dictionary — no per-action connection setup, no JSON
+// envelope, no base64. A coordinator that refuses the upgrade (an older
+// build, or CoordinatorOptions.Wire = "http") leaves the worker on the
+// original JSON-over-HTTP path; WorkerOptions.Wire forces either. Dropped
+// binary connections redial with capped exponential backoff plus jitter,
+// and leases lost in the gap reassign through the lease-TTL machinery like
+// any other worker death.
 //
 // A worker leases a batch of up to CoordinatorOptions.LeaseBatch jobs per
 // slot (adaptive: grants shrink to ceil(pending/liveWorkers) near queue
@@ -40,11 +54,13 @@
 // Coordinator and workers are assumed to run the same binary (cache keys
 // embed the binary fingerprint, so mismatched builds waste work but never
 // corrupt results). The protocol optionally authenticates with a shared
-// secret (CoordinatorOptions.Secret / WorkerOptions.Secret, carried in the
-// X-Bashsim-Secret header, compared in constant time): requests without the
-// right secret get 401 and a worker that receives one exits with a
-// descriptive error instead of retrying. Without a secret the protocol
-// trusts its network; run it on a private cluster.
+// secret (CoordinatorOptions.Secret / WorkerOptions.Secret, compared in
+// constant time): HTTP requests carry it in the X-Bashsim-Secret header
+// and get 401 on a mismatch, binary connections open with a HELLO frame
+// carrying its SHA-256 digest and get a terminal auth-flagged ERROR frame;
+// either way the worker exits with the same descriptive *AuthError instead
+// of retrying. Without a secret the protocol trusts its network; run it on
+// a private cluster.
 package dist
 
 import "time"
@@ -132,7 +148,7 @@ type resultResponse struct {
 
 // statusResponse reports batch progress and the coordinator's lifetime
 // counters, for dashboards, the CLI's aggregated progress line, and the CI
-// smoke's per-commit artifact (lease and reassignment counts).
+// smoke's per-commit artifact (lease, reassignment, and byte counts).
 type statusResponse struct {
 	Active     bool   `json:"active"`
 	Done       int    `json:"done"`
@@ -144,11 +160,30 @@ type statusResponse struct {
 	Completed  uint64 `json:"completed"`
 	Failed     uint64 `json:"failed"`
 	Reassigned uint64 `json:"reassigned"`
+	// Socket-level byte totals across every connection Serve accepted
+	// (HTTP and binary alike), and binary frame totals; the CI smoke's
+	// bytes-per-cell assertion reads these.
+	BytesIn   uint64 `json:"bytes_in"`
+	BytesOut  uint64 `json:"bytes_out"`
+	FramesIn  uint64 `json:"frames_in"`
+	FramesOut uint64 `json:"frames_out"`
+	// WireConns details each live binary connection.
+	WireConns []wireConnStatus `json:"wire_conns,omitempty"`
+}
+
+// wireConnStatus is one live binary connection's counters in /dist/status.
+type wireConnStatus struct {
+	Worker    string `json:"worker"`
+	Remote    string `json:"remote"`
+	FramesIn  uint64 `json:"frames_in"`
+	FramesOut uint64 `json:"frames_out"`
+	BytesIn   uint64 `json:"bytes_in"`
+	BytesOut  uint64 `json:"bytes_out"`
 }
 
 // Stats are the coordinator's lifetime counters.
 type Stats struct {
-	// Leases counts non-empty /dist/lease grants and Refills jobs granted
+	// Leases counts non-empty lease grants and Refills jobs granted
 	// piggybacked on result replies; Dispatched counts every job handed out
 	// either way (re-dispatch after an expiry counts again). With batching,
 	// Leases stays far below Dispatched: the CI smoke asserts the ratio.
@@ -156,6 +191,15 @@ type Stats struct {
 	// error or exhausted their lease budget, and Reassigned leases that
 	// expired and were requeued.
 	Leases, Refills, Dispatched, Completed, Failed, Reassigned uint64
+	// BytesIn/BytesOut count socket-level traffic across every connection
+	// accepted by Coordinator.Serve — HTTP framing and binary frames
+	// measured at the same place. Zero when the handler is mounted on a
+	// server that bypasses Serve (httptest and the loopback transport).
+	BytesIn, BytesOut uint64
+	// FramesIn/FramesOut count binary wire frames across all /dist/wire
+	// connections, live and closed (handshake frames included). Zero means
+	// no worker ever negotiated the binary transport.
+	FramesIn, FramesOut uint64
 }
 
 // workerTTL is how long after its last contact a worker still counts as

@@ -1,0 +1,556 @@
+package dist
+
+// Worker-side transport seam. The worker's protocol logic (slot loops,
+// batching, heartbeats, retries) speaks to an abstract transport; three
+// implementations exist:
+//
+//   - binaryTransport: one persistent TCP connection carrying wire frames,
+//     multiplexed by stream id across the worker's slots. Connection drops
+//     reconnect with capped exponential backoff plus jitter; an auth
+//     rejection is sticky and terminal.
+//   - httpTransport: the original JSON-over-HTTP path, one request per
+//     protocol action. Retained for /dist/status, old coordinators, and
+//     -wire=http; also what the coordinator's loopback co-execution uses
+//     (WorkerOptions.Client routes through the coordinator's own handler
+//     without a socket).
+//
+// Selection: WorkerOptions.Wire forces one; the default negotiates — try
+// the binary upgrade, and if the coordinator answers with a plain HTTP
+// status instead of 101 Switching Protocols, fall back to HTTP/JSON for
+// the life of the worker.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/dist/wire"
+)
+
+// transport is one worker's protocol plumbing. Lease returns (nil, nil)
+// when the coordinator has no work. All methods are safe for concurrent
+// use across slots.
+type transport interface {
+	Lease(ctx context.Context, req leaseRequest) (*leaseResponse, error)
+	Heartbeat(ctx context.Context, req heartbeatRequest) (*heartbeatResponse, error)
+	Result(ctx context.Context, req resultRequest) (*resultResponse, error)
+	Close() error
+}
+
+// newTransport builds the transport selected by o.Wire.
+func newTransport(o WorkerOptions) (transport, error) {
+	switch o.Wire {
+	case "http":
+		return &httpTransport{opt: o}, nil
+	case "binary":
+		bt, err := newBinaryTransport(o, true)
+		if err != nil {
+			return nil, err
+		}
+		return bt, nil
+	case "", "auto":
+		if o.Client != nil {
+			// A custom client (the loopback co-execution transport, tests
+			// with shortened timeouts) has no socket to upgrade.
+			return &httpTransport{opt: o}, nil
+		}
+		bt, err := newBinaryTransport(o, false)
+		if err != nil || bt == nil {
+			// A URL the binary dialer cannot use (https, opaque) degrades
+			// to the HTTP transport in auto mode.
+			return &httpTransport{opt: o}, nil
+		}
+		return bt, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown WorkerOptions.Wire %q (want \"\", \"auto\", \"binary\", or \"http\")", o.Wire)
+	}
+}
+
+// --- HTTP/JSON ----------------------------------------------------------
+
+// httpTransport is one JSON POST per protocol action (the v2 protocol).
+type httpTransport struct {
+	opt WorkerOptions
+}
+
+func (t *httpTransport) Close() error { return nil }
+
+// postJSONBody sends one JSON request and decodes the response body (if
+// any) into out, returning the HTTP status.
+func postJSONBody(ctx context.Context, o WorkerOptions, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, o.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if o.Secret != "" {
+		req.Header.Set(secretHeader, o.Secret)
+	}
+	resp, err := o.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (t *httpTransport) Lease(ctx context.Context, req leaseRequest) (*leaseResponse, error) {
+	var resp leaseResponse
+	status, err := postJSONBody(ctx, t.opt, "/dist/lease", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		return &resp, nil
+	case http.StatusUnauthorized:
+		return nil, &AuthError{Coordinator: t.opt.Coordinator}
+	default:
+		return nil, fmt.Errorf("lease: HTTP %d", status)
+	}
+}
+
+func (t *httpTransport) Heartbeat(ctx context.Context, req heartbeatRequest) (*heartbeatResponse, error) {
+	var resp heartbeatResponse
+	status, err := postJSONBody(ctx, t.opt, "/dist/heartbeat", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return &resp, nil
+	case http.StatusUnauthorized:
+		return nil, &AuthError{Coordinator: t.opt.Coordinator}
+	default:
+		return nil, fmt.Errorf("heartbeat: HTTP %d", status)
+	}
+}
+
+func (t *httpTransport) Result(ctx context.Context, req resultRequest) (*resultResponse, error) {
+	var resp resultResponse
+	status, err := postJSONBody(ctx, t.opt, "/dist/result", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return &resp, nil
+	case http.StatusUnauthorized:
+		return nil, &AuthError{Coordinator: t.opt.Coordinator}
+	default:
+		return nil, fmt.Errorf("result: HTTP %d", status)
+	}
+}
+
+// --- Binary wire --------------------------------------------------------
+
+// Reconnect backoff: exponential from base to cap, with jitter in
+// [delay/2, delay) so a fleet severed by one coordinator restart does not
+// redial in lockstep.
+const (
+	wireBackoffBase = 100 * time.Millisecond
+	wireBackoffMax  = 5 * time.Second
+)
+
+func reconnectDelay(fails int) time.Duration {
+	if fails < 1 {
+		fails = 1
+	}
+	d := wireBackoffBase
+	for i := 1; i < fails && d < wireBackoffMax; i++ {
+		d *= 2
+	}
+	if d > wireBackoffMax {
+		d = wireBackoffMax
+	}
+	return d/2 + rand.N(d/2)
+}
+
+// wireReply is one response frame routed to its waiting stream.
+type wireReply struct {
+	h       wire.Header
+	payload []byte
+	err     error
+}
+
+// wireSession is one established connection: a writer shared by all slots
+// and a reader goroutine demultiplexing response frames by stream id.
+type wireSession struct {
+	conn net.Conn
+	wr   *wire.Writer
+
+	mu      sync.Mutex
+	dead    bool
+	err     error
+	next    uint32
+	waiters map[uint32]chan wireReply
+}
+
+// register claims a fresh stream id and parks a reply channel on it.
+func (s *wireSession) register() (uint32, chan wireReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return 0, nil, s.err
+	}
+	s.next++
+	if s.next == 0 { // stream 0 is connection scope
+		s.next = 1
+	}
+	ch := make(chan wireReply, 1)
+	s.waiters[s.next] = ch
+	return s.next, ch, nil
+}
+
+func (s *wireSession) unregister(stream uint32) {
+	s.mu.Lock()
+	delete(s.waiters, stream)
+	s.mu.Unlock()
+}
+
+// deliver routes one response frame; unknown streams (canceled waiters)
+// are dropped.
+func (s *wireSession) deliver(h wire.Header, payload []byte) {
+	s.mu.Lock()
+	ch := s.waiters[h.Stream]
+	delete(s.waiters, h.Stream)
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- wireReply{h: h, payload: payload}
+	}
+}
+
+// fail marks the session dead and wakes every waiter with err. Idempotent.
+func (s *wireSession) fail(err error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	s.err = err
+	waiters := s.waiters
+	s.waiters = map[uint32]chan wireReply{}
+	s.mu.Unlock()
+	s.conn.Close()
+	for _, ch := range waiters {
+		ch <- wireReply{err: err}
+	}
+}
+
+// binaryTransport dials, upgrades, authenticates, and multiplexes; it owns
+// reconnection policy and the sticky auth/fallback states.
+type binaryTransport struct {
+	opt    WorkerOptions
+	name   string
+	host   string // dial target from the coordinator URL
+	forced bool   // -wire=binary: never fall back to HTTP
+
+	mu       sync.Mutex
+	sess     *wireSession
+	fails    int       // consecutive connect failures (drops count as one)
+	nextDial time.Time // backoff gate
+	authErr  error     // sticky: terminal auth rejection
+	fallback transport // sticky: negotiated down to HTTP/JSON
+}
+
+func newBinaryTransport(o WorkerOptions, forced bool) (*binaryTransport, error) {
+	u, err := url.Parse(o.Coordinator)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator URL %q: %w", o.Coordinator, err)
+	}
+	if u.Scheme != "http" || u.Host == "" {
+		if forced {
+			return nil, fmt.Errorf("dist: the binary wire transport needs an http://host:port coordinator URL, got %q", o.Coordinator)
+		}
+		return nil, nil // caller falls back to HTTP
+	}
+	return &binaryTransport{opt: o, name: o.name(), host: u.Host, forced: forced}, nil
+}
+
+func (t *binaryTransport) Close() error {
+	t.mu.Lock()
+	s := t.sess
+	t.mu.Unlock()
+	if s != nil {
+		s.fail(fmt.Errorf("dist: transport closed"))
+	}
+	return nil
+}
+
+// ensure returns the live session, dialing (with backoff) when none exists.
+func (t *binaryTransport) ensure(ctx context.Context) (*wireSession, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.authErr != nil {
+		return nil, t.authErr
+	}
+	if t.fallback != nil {
+		return nil, nil // caller delegates
+	}
+	if t.sess != nil {
+		return t.sess, nil
+	}
+	if wait := time.Until(t.nextDial); wait > 0 {
+		return nil, fmt.Errorf("dist: wire reconnect backing off %v (attempt %d)", wait.Round(time.Millisecond), t.fails)
+	}
+	sess, err := t.dial(ctx)
+	if err != nil {
+		if t.authErr == nil && t.fallback == nil {
+			t.fails++
+			t.nextDial = time.Now().Add(reconnectDelay(t.fails))
+		}
+		return nil, err
+	}
+	t.fails = 0
+	t.sess = sess
+	return sess, nil
+}
+
+// dial establishes one connection: TCP, HTTP upgrade, HELLO/WELCOME. It
+// runs with t.mu held (every slot needs the same connection anyway).
+func (t *binaryTransport) dial(ctx context.Context) (*wireSession, error) {
+	d := net.Dialer{Timeout: wireHandshakeTimeout}
+	conn, err := d.DialContext(ctx, "tcp", t.host)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial coordinator: %w", err)
+	}
+	conn.SetDeadline(time.Now().Add(wireHandshakeTimeout))
+	if _, err := fmt.Fprintf(conn, "POST /dist/wire HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\nConnection: Upgrade\r\nUpgrade: %s\r\n\r\n",
+		t.host, wireProtoName); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: wire upgrade request: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodPost})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: wire upgrade response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		resp.Body.Close()
+		conn.Close()
+		// A well-formed HTTP refusal is negotiation, not an outage: the
+		// coordinator (old build, or -wire=http) does not speak the wire.
+		if t.forced {
+			return nil, fmt.Errorf("%w (HTTP %d; coordinator built before the binary wire, or -wire=http)", wire.ErrNotWire, resp.StatusCode)
+		}
+		t.fallback = &httpTransport{opt: t.opt}
+		t.opt.logf("worker %s: coordinator %s answered HTTP %d to the wire upgrade; falling back to HTTP/JSON",
+			t.name, t.opt.Coordinator, resp.StatusCode)
+		return nil, nil
+	}
+
+	wr := wire.NewWriter(conn)
+	digest := sha256.Sum256([]byte(t.opt.Secret))
+	hello := wire.GetBuffer()
+	*hello = appendHello(*hello, t.name, digest[:])
+	err = wr.WriteFrame(wire.FrameHello, 0, 0, *hello)
+	wire.PutBuffer(hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	rd := wire.NewReader(br)
+	h, payload, err := rd.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dist: wire handshake: %w", err)
+	}
+	switch {
+	case h.Type == wire.FrameError && h.Flags&wire.FlagAuthFailed != 0:
+		conn.Close()
+		t.authErr = &AuthError{Coordinator: t.opt.Coordinator}
+		return nil, t.authErr
+	case h.Type == wire.FrameError:
+		conn.Close()
+		return nil, fmt.Errorf("dist: coordinator rejected the connection: %s", parseErrorFrame(payload))
+	case h.Type != wire.FrameWelcome:
+		conn.Close()
+		return nil, fmt.Errorf("dist: wire handshake: expected WELCOME, got %s", wire.TypeName(h.Type))
+	}
+	if err := parseWelcome(payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+
+	sess := &wireSession{conn: conn, wr: wr, waiters: map[uint32]chan wireReply{}}
+	go t.readLoop(sess, rd)
+	return sess, nil
+}
+
+// readLoop demultiplexes response frames until the connection dies, then
+// fails the session (slots redial via ensure's backoff gate).
+func (t *binaryTransport) readLoop(sess *wireSession, rd *wire.Reader) {
+	for {
+		h, payload, err := rd.ReadFrame()
+		if err != nil {
+			t.dropSession(sess, fmt.Errorf("dist: wire connection lost: %w", err))
+			return
+		}
+		if h.Type == wire.FrameError {
+			msg := parseErrorFrame(payload)
+			var terr error = fmt.Errorf("dist: coordinator error: %s", msg)
+			if h.Flags&wire.FlagAuthFailed != 0 {
+				terr = &AuthError{Coordinator: t.opt.Coordinator}
+			}
+			t.dropSession(sess, terr)
+			return
+		}
+		// The reader reuses its frame buffer; the waiter owns its copy.
+		cp := append([]byte(nil), payload...)
+		sess.deliver(h, cp)
+	}
+}
+
+// dropSession fails sess and arms the reconnect backoff (or the sticky
+// auth error).
+func (t *binaryTransport) dropSession(sess *wireSession, err error) {
+	t.mu.Lock()
+	if t.sess == sess {
+		t.sess = nil
+		if ae, ok := err.(*AuthError); ok {
+			t.authErr = ae
+		} else {
+			t.fails++
+			t.nextDial = time.Now().Add(reconnectDelay(t.fails))
+			t.opt.logf("worker %s: %v; reconnecting in <= %v", t.name, err, reconnectDelay(t.fails).Round(time.Millisecond))
+		}
+	}
+	t.mu.Unlock()
+	sess.fail(err)
+}
+
+// rpc performs one request/reply frame exchange on a fresh stream.
+func (t *binaryTransport) rpc(ctx context.Context, reqType byte, payload []byte, wantType byte) ([]byte, error) {
+	sess, err := t.ensure(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if sess == nil {
+		return nil, errUseFallback
+	}
+	stream, ch, err := sess.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.wr.WriteFrame(reqType, 0, stream, payload); err != nil {
+		sess.unregister(stream)
+		t.dropSession(sess, err)
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		sess.unregister(stream)
+		return nil, ctx.Err()
+	case reply := <-ch:
+		if reply.err != nil {
+			return nil, reply.err
+		}
+		if reply.h.Type != wantType {
+			err := fmt.Errorf("dist: expected %s reply, got %s", wire.TypeName(wantType), wire.TypeName(reply.h.Type))
+			t.dropSession(sess, err)
+			return nil, err
+		}
+		return reply.payload, nil
+	}
+}
+
+// errUseFallback signals (internally) that negotiation selected HTTP.
+var errUseFallback = fmt.Errorf("dist: use HTTP fallback")
+
+// delegate returns the sticky HTTP fallback transport, if negotiated.
+func (t *binaryTransport) delegate() transport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fallback
+}
+
+func (t *binaryTransport) Lease(ctx context.Context, req leaseRequest) (*leaseResponse, error) {
+	if d := t.delegate(); d != nil {
+		return d.Lease(ctx, req)
+	}
+	buf := wire.GetBuffer()
+	*buf = appendLeaseRequest(*buf, req)
+	payload, err := t.rpc(ctx, wire.FrameLease, *buf, wire.FrameGrant)
+	wire.PutBuffer(buf)
+	if err == errUseFallback {
+		return t.delegate().Lease(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := parseGrant(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Jobs) == 0 {
+		// An empty grant is the binary spelling of HTTP 204: no work.
+		return nil, nil
+	}
+	return &resp, nil
+}
+
+func (t *binaryTransport) Heartbeat(ctx context.Context, req heartbeatRequest) (*heartbeatResponse, error) {
+	if d := t.delegate(); d != nil {
+		return d.Heartbeat(ctx, req)
+	}
+	buf := wire.GetBuffer()
+	*buf = appendHeartbeatRequest(*buf, req)
+	payload, err := t.rpc(ctx, wire.FrameHeartbeat, *buf, wire.FrameBeatAck)
+	wire.PutBuffer(buf)
+	if err == errUseFallback {
+		return t.delegate().Heartbeat(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := parseHeartbeatResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *binaryTransport) Result(ctx context.Context, req resultRequest) (*resultResponse, error) {
+	if d := t.delegate(); d != nil {
+		return d.Result(ctx, req)
+	}
+	buf := wire.GetBuffer()
+	*buf = appendResultRequest(*buf, req)
+	payload, err := t.rpc(ctx, wire.FrameResult, *buf, wire.FrameResultAck)
+	wire.PutBuffer(buf)
+	if err == errUseFallback {
+		return t.delegate().Result(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	grant, err := parseGrant(payload)
+	if err != nil {
+		return nil, err
+	}
+	resp := resultResponse(grant)
+	return &resp, nil
+}

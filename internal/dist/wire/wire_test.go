@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frame builds one raw frame with a freshly computed CRC.
+func frame(t *testing.T, typ byte, flags uint16, stream uint32, payload []byte) []byte {
+	t.Helper()
+	var hdr [HeaderSize]byte
+	putHeader(&hdr, Header{Version: Version, Type: typ, Flags: flags, Stream: stream, Length: len(payload)})
+	return append(hdr[:], payload...)
+}
+
+func TestRoundTripRawFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 10_000), // above coalesceMax: vectored path
+	}
+	w.NoCompress = true
+	for i, p := range payloads {
+		if err := w.WriteFrame(FrameResult, 0, uint32(i+1), p); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, p := range payloads {
+		h, got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if h.Type != FrameResult || h.Stream != uint32(i+1) {
+			t.Errorf("frame %d: header %+v", i, h)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d: payload mismatch: %d vs %d bytes", i, len(got), len(p))
+		}
+	}
+	if _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+	wf, wb := w.Stats()
+	rf, rb := r.Stats()
+	if wf != 3 || rf != 3 || wb == 0 || wb != rb {
+		t.Errorf("counters: writer %d frames/%d bytes, reader %d frames/%d bytes", wf, wb, rf, rb)
+	}
+}
+
+// TestCompressionContextTakeover: near-identical payloads — the dist
+// plane's cell specs and metric gobs — must compress against each other
+// across frames, not from scratch, and round-trip exactly.
+func TestCompressionContextTakeover(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	mk := func(i int) []byte {
+		return []byte(strings.Repeat("cellspec-fields-and-gob-type-descriptors ", 8) + string(rune('a'+i)))
+	}
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := w.WriteFrame(FrameGrant, 0, 1, mk(i)); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	r := NewReader(&buf)
+	var sizes []int
+	for i := 0; i < n; i++ {
+		h, got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if h.Flags&FlagDeflate == 0 {
+			t.Fatalf("frame %d not deflated", i)
+		}
+		if !bytes.Equal(got, mk(i)) {
+			t.Fatalf("frame %d: payload corrupted by compression round-trip", i)
+		}
+		sizes = append(sizes, h.Length)
+	}
+	// Context takeover: after the first frame primes the dictionary, each
+	// repeat costs a small fraction of the raw payload.
+	raw := len(mk(0))
+	if sizes[n-1]*4 > raw {
+		t.Errorf("context takeover ineffective: frame %d moved %d wire bytes for a %d-byte payload (want <= 1/4)", n-1, sizes[n-1], raw)
+	}
+}
+
+// TestHandshakeFramesNeverCompressed: auth and negotiation must not depend
+// on codec state.
+func TestHandshakeFramesNeverCompressed(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	big := bytes.Repeat([]byte("hello "), 100)
+	for _, typ := range []byte{FrameHello, FrameWelcome, FrameError} {
+		if err := w.WriteFrame(typ, 0, 0, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		h, _, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Flags&FlagDeflate != 0 {
+			t.Errorf("%s frame was compressed", TypeName(h.Type))
+		}
+	}
+}
+
+// TestDecoderFailsClosed enumerates the malformed-stream cases the fuzz
+// target explores, pinning the descriptive message of each.
+func TestDecoderFailsClosed(t *testing.T) {
+	good := func() []byte { return frame(t, FrameLease, 0, 7, []byte("payload")) }
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:HeaderSize-5] }, "truncated frame header"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }, "truncated LEASE payload"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad frame magic"},
+		{"bad version", func(b []byte) []byte {
+			b[4] = 99
+			binary.BigEndian.PutUint32(b[16:20], crc32.ChecksumIEEE(b[0:16]))
+			return b
+		}, "unsupported protocol version"},
+		{"unknown type", func(b []byte) []byte {
+			b[5] = 200
+			binary.BigEndian.PutUint32(b[16:20], crc32.ChecksumIEEE(b[0:16]))
+			return b
+		}, "unknown frame type"},
+		{"corrupt CRC", func(b []byte) []byte { b[17] ^= 0xFF; return b }, "corrupt frame header"},
+		{"oversized length", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[12:16], MaxPayload+1)
+			binary.BigEndian.PutUint32(b[16:20], crc32.ChecksumIEEE(b[0:16]))
+			return b
+		}, "exceeds"},
+		{"bad deflate stream", func(b []byte) []byte {
+			binary.BigEndian.PutUint16(b[6:8], FlagDeflate)
+			binary.BigEndian.PutUint32(b[16:20], crc32.ChecksumIEEE(b[0:16]))
+			return b // payload "payload" is neither a uvarint-prefixed flate stream
+		}, "inflate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(tc.mutate(good())))
+			_, _, err := r.ReadFrame()
+			if err == nil {
+				t.Fatal("decoder accepted a malformed frame")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("err = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestOversizedWriteRejected(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteFrame(FrameResult, 0, 1, make([]byte, MaxPayload/2), make([]byte, MaxPayload/2+1)); err == nil {
+		t.Fatal("WriteFrame accepted a payload above MaxPayload")
+	}
+}
+
+func TestBufferPoolRecycles(t *testing.T) {
+	b := GetBuffer()
+	*b = append(*b, "scratch"...)
+	PutBuffer(b)
+	c := GetBuffer()
+	defer PutBuffer(c)
+	if len(*c) != 0 {
+		t.Errorf("pooled buffer not reset: len %d", len(*c))
+	}
+}

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -46,6 +45,13 @@ type WorkerOptions struct {
 	// lease below the coordinator's LeaseBatch (bounded queue memory);
 	// zero accepts the coordinator's default.
 	MaxBatch int
+	// Wire selects the transport. "" (or "auto") negotiates: the binary
+	// framed protocol over one persistent connection when the coordinator
+	// speaks it, HTTP/JSON otherwise (and always HTTP when Client is set —
+	// the loopback co-execution path has no socket to upgrade). "binary"
+	// and "http" force their transport; forcing binary against a
+	// coordinator that only speaks HTTP retries with backoff forever.
+	Wire string
 }
 
 func (o WorkerOptions) name() string {
@@ -91,9 +97,10 @@ func (o WorkerOptions) logf(format string, args ...any) {
 }
 
 // AuthError reports that the coordinator rejected this worker's shared
-// secret (HTTP 401). It is terminal: unlike a connection error, retrying
-// with the same credentials can never succeed, so RunWorker returns it
-// instead of degrading to idle polling.
+// secret — an HTTP 401 on the JSON transport, a terminal ERROR frame
+// flagged auth-failed on the binary one. It is terminal: unlike a
+// connection error, retrying with the same credentials can never succeed,
+// so RunWorker returns it instead of degrading to idle polling.
 type AuthError struct {
 	Coordinator string
 }
@@ -126,7 +133,12 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 	if len(o.kinds()) == 0 {
 		return fmt.Errorf("dist: worker has no job kinds: register executors (e.g. experiments.RegisterCellExecutor) or set WorkerOptions.Kinds before starting")
 	}
-	w := &worker{opt: o, name: o.name()}
+	tr, err := newTransport(o)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	w := &worker{opt: o, name: o.name(), tr: tr}
 	slotCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make(chan error, o.slots())
@@ -149,6 +161,7 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 type worker struct {
 	opt  WorkerOptions
 	name string
+	tr   transport
 
 	// progressMu guards the last fleet progress seen across slots, so the
 	// log shows each (done, total) step once no matter which slot's reply
@@ -224,22 +237,12 @@ func (w *worker) loop(ctx context.Context) error {
 
 // lease asks for a batch of jobs; (nil, nil) means no work available.
 func (w *worker) lease(ctx context.Context) (*leaseResponse, error) {
-	var resp leaseResponse
-	status, err := w.post(ctx, "/dist/lease", leaseRequest{Worker: w.name, Kinds: w.opt.kinds(), Max: w.opt.MaxBatch}, &resp)
-	if err != nil {
+	resp, err := w.tr.Lease(ctx, leaseRequest{Worker: w.name, Kinds: w.opt.kinds(), Max: w.opt.MaxBatch})
+	if err != nil || resp == nil {
 		return nil, err
 	}
-	switch status {
-	case http.StatusNoContent:
-		return nil, nil
-	case http.StatusOK:
-		w.noteProgress(resp.Done, resp.Total)
-		return &resp, nil
-	case http.StatusUnauthorized:
-		return nil, &AuthError{Coordinator: w.opt.Coordinator}
-	default:
-		return nil, fmt.Errorf("lease: HTTP %d", status)
-	}
+	w.noteProgress(resp.Done, resp.Total)
+	return resp, nil
 }
 
 // inflight is the set of job IDs a slot currently holds leases for —
@@ -353,8 +356,7 @@ func (w *worker) heartbeat(ctx context.Context, done chan<- struct{}, held *infl
 			if len(ids) == 0 {
 				continue
 			}
-			var hb heartbeatResponse
-			if status, err := w.post(ctx, "/dist/heartbeat", heartbeatRequest{Worker: w.name, JobIDs: ids}, &hb); err == nil && status == http.StatusOK {
+			if hb, err := w.tr.Heartbeat(ctx, heartbeatRequest{Worker: w.name, JobIDs: ids}); err == nil && hb != nil {
 				w.noteProgress(hb.Done, hb.Total)
 			}
 		}
@@ -363,7 +365,8 @@ func (w *worker) heartbeat(ctx context.Context, done chan<- struct{}, held *infl
 
 // postResult streams one job's outcome, retrying a few times (losing a
 // finished result to one dropped packet would waste a whole simulation) and
-// returning any refill grant carried on the reply. A 401 returns *AuthError.
+// returning any refill grant carried on the reply. An auth rejection
+// returns *AuthError immediately.
 func (w *worker) postResult(ctx context.Context, job leasedJob, res resultRequest) (*resultResponse, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -374,17 +377,17 @@ func (w *worker) postResult(ctx context.Context, job leasedJob, res resultReques
 			// grant per attempt.
 			res.Refill = 0
 		}
-		var resp resultResponse
-		status, err := w.post(ctx, "/dist/result", res, &resp)
-		if err == nil && status == http.StatusOK {
-			return &resp, nil
+		resp, err := w.tr.Result(ctx, res)
+		if err == nil {
+			return resp, nil
 		}
-		if status == http.StatusUnauthorized {
-			return nil, &AuthError{Coordinator: w.opt.Coordinator}
+		var ae *AuthError
+		if errors.As(err, &ae) {
+			return nil, ae
 		}
 		if attempt >= 2 || ctx.Err() != nil {
-			w.opt.logf("worker %s: job %d result lost: status=%d err=%v", w.name, job.JobID, status, err)
-			return nil, fmt.Errorf("result post failed: status=%d err=%v", status, err)
+			w.opt.logf("worker %s: job %d result lost: %v", w.name, job.JobID, err)
+			return nil, fmt.Errorf("result post failed: %w", err)
 		}
 		time.Sleep(w.opt.poll())
 	}
@@ -412,34 +415,6 @@ func (w *worker) runJob(job leasedJob) (res resultRequest) {
 	}
 	res.Result = out
 	return res
-}
-
-// post sends one JSON request and decodes the response body (if any) into
-// out, returning the HTTP status.
-func (w *worker) post(ctx context.Context, path string, in, out any) (int, error) {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return 0, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Coordinator+path, bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if w.opt.Secret != "" {
-		req.Header.Set(secretHeader, w.opt.Secret)
-	}
-	resp, err := w.opt.client().Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusOK && out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
-		}
-	}
-	return resp.StatusCode, nil
 }
 
 // Status fetches a coordinator's progress snapshot (the CLI's aggregated

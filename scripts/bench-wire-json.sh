@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench-wire-json.sh: run BenchmarkWireRoundTrip (binary vs HTTP transport,
+# one lease->execute->result cycle per op) and convert the output into a
+# small JSON artifact, so the per-commit transport latency and
+# coordinator-bytes-per-op are trackable without parsing bench text.
+#
+# Usage: bench-wire-json.sh [output.json]   (default BENCH_dist_wire.json)
+#
+# It also asserts the binary transport's headline win so a regression fails
+# the CI step instead of silently shipping: binary must move at most half
+# the coordinator bytes per op of HTTP, at equal-or-better ns/op.
+set -eu
+
+OUT="${1:-BENCH_dist_wire.json}"
+COUNT="${BENCH_WIRE_ITERS:-2000x}"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT INT TERM
+
+go test -run '^$' -bench BenchmarkWireRoundTrip -benchtime "$COUNT" ./internal/dist/ | tee "$TXT"
+
+awk -v out="$OUT" '
+    / ns\/op/ {
+        split($1, parts, "/")
+        mode = parts[length(parts)]
+        sub(/-[0-9]+$/, "", mode)
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op") ns[mode] = $(i - 1)
+            if ($(i) == "coordB/op") bytes[mode] = $(i - 1)
+        }
+    }
+    END {
+        if (!("binary" in ns) || !("http" in ns)) {
+            print "FAIL: benchmark output missing binary or http results" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n" > out
+        printf "  \"binary\": {\"ns_per_op\": %s, \"coord_bytes_per_op\": %s},\n", ns["binary"], bytes["binary"] > out
+        printf "  \"http\": {\"ns_per_op\": %s, \"coord_bytes_per_op\": %s}\n", ns["http"], bytes["http"] > out
+        printf "}\n" > out
+        if (bytes["binary"] * 2 > bytes["http"]) {
+            printf "FAIL: binary moved %s coordinator B/op vs %s over HTTP (want <= 1/2)\n", bytes["binary"], bytes["http"] > "/dev/stderr"
+            exit 1
+        }
+        if (ns["binary"] + 0 > ns["http"] + 0) {
+            printf "FAIL: binary %s ns/op slower than HTTP %s ns/op\n", ns["binary"], ns["http"] > "/dev/stderr"
+            exit 1
+        }
+        printf "OK: binary %s B/op, %s ns/op vs HTTP %s B/op, %s ns/op\n", bytes["binary"], ns["binary"], bytes["http"], ns["http"]
+    }
+' "$TXT"
+echo "wrote $OUT"

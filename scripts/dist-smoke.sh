@@ -10,7 +10,16 @@
 #     published to its cell store;
 #   * the authed sweep's TSV is byte-identical to the serial one;
 #   * batching collapsed protocol round-trips: the coordinator's final
-#     /dist/status shows at least 4x fewer leases than completed cells.
+#     /dist/status shows at least 4x fewer leases than completed cells;
+#   * the workers negotiated the binary framed transport (frames_in > 0 in
+#     the final status).
+#
+# Then a paired byte measurement: the same sweep twice against fresh
+# caches with co-execution off (every cell crosses the wire), once with
+# binary-transport workers and once with -wire http workers. Both must
+# complete the same cell count and match the serial TSV, and the binary
+# run's coordinator-side socket bytes must be at most 1/3 of the HTTP
+# run's.
 #
 # Then kills the workers and re-runs the coordinator against the populated
 # cell store: the sweep must complete from published cells alone — zero
@@ -100,6 +109,15 @@ if [ "$completed" -lt $((4 * leases)) ]; then
 fi
 echo "OK: $leases leases for $completed cells"
 
+echo "==> workers must have negotiated the binary framed transport"
+frames="$(sed -n 's/.*"frames_in": *\([0-9][0-9]*\).*/\1/p' "$WORK/status.json" | head -n 1)"
+if [ -z "$frames" ] || [ "$frames" -eq 0 ]; then
+    echo "FAIL: frames_in = ${frames:-missing}: no binary frames flowed" >&2
+    cat "$WORK/status.json" >&2
+    exit 1
+fi
+echo "OK: $frames binary frames received"
+
 echo "==> killing workers; resuming from the shared cell store"
 kill $W1 $W2
 wait $W1 2>/dev/null || true
@@ -115,8 +133,61 @@ echo "OK: resume completed from the store with zero simulations and no workers"
 echo "==> cache-gc on the populated store"
 "$WORK/bashsim" -cache-gc -cache-dir "$WORK/cache"
 
+# measure_bytes: run the sweep on a fresh cache with no co-execution (every
+# cell crosses the wire) through two workers on the given transport, check
+# the TSV against serial, and leave the final status in status-$tag.json.
+measure_bytes() {
+    tag="$1"
+    port="$2"
+    wiremode="$3"
+    "$WORK/bashsim" -worker "http://127.0.0.1:$port" -dist-secret "$SECRET" -parallel 1 \
+        -poll 50ms -wire "$wiremode" -cache-dir "$WORK/cache-$tag" >"$WORK/mw1-$tag.log" 2>&1 &
+    M1=$!
+    "$WORK/bashsim" -worker "http://127.0.0.1:$port" -dist-secret "$SECRET" -parallel 1 \
+        -poll 50ms -wire "$wiremode" -cache-dir "$WORK/cache-$tag" >"$WORK/mw2-$tag.log" 2>&1 &
+    M2=$!
+    PIDS="$M1 $M2"
+    "$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$port" -dist-secret "$SECRET" \
+        -lease-batch 4 -co-execute 0 -cache-dir "$WORK/cache-$tag" \
+        -dist-status "$WORK/status-$tag.json" -timeout 120s -out "$WORK/dist-$tag.tsv" 2>"$WORK/serve-$tag.log"
+    kill $M1 $M2 2>/dev/null || true
+    wait $M1 2>/dev/null || true
+    wait $M2 2>/dev/null || true
+    PIDS=""
+    cmp "$WORK/serial.tsv" "$WORK/dist-$tag.tsv"
+}
+
+# status_field FILE NAME: first (top-level) occurrence of a numeric field.
+status_field() {
+    sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+echo "==> paired byte measurement: binary vs http transport (fresh caches, no co-execution)"
+measure_bytes bin "$((PORT + 2))" auto
+measure_bytes http "$((PORT + 3))" http
+
+bin_done="$(status_field "$WORK/status-bin.json" completed)"
+http_done="$(status_field "$WORK/status-http.json" completed)"
+if [ -z "$bin_done" ] || [ "$bin_done" -eq 0 ] || [ "$bin_done" -ne "$http_done" ]; then
+    echo "FAIL: completed counts differ (binary=$bin_done http=$http_done)" >&2
+    exit 1
+fi
+bin_bytes=$(($(status_field "$WORK/status-bin.json" bytes_in) + $(status_field "$WORK/status-bin.json" bytes_out)))
+http_bytes=$(($(status_field "$WORK/status-http.json" bytes_in) + $(status_field "$WORK/status-http.json" bytes_out)))
+if [ "$bin_bytes" -le 0 ] || [ "$http_bytes" -le 0 ]; then
+    echo "FAIL: byte counters missing (binary=$bin_bytes http=$http_bytes)" >&2
+    exit 1
+fi
+if [ $((3 * bin_bytes)) -gt "$http_bytes" ]; then
+    echo "FAIL: binary transport used $bin_bytes coordinator bytes vs $http_bytes over HTTP for $bin_done cells (want <= 1/3)" >&2
+    exit 1
+fi
+echo "OK: $bin_done cells took $bin_bytes coordinator bytes over binary vs $http_bytes over HTTP ($((http_bytes / bin_bytes))x fewer)"
+
 echo "==> exporting artifacts to $ART"
 mkdir -p "$ART"
 cp "$WORK/status.json" "$ART/dist-status.json"
+cp "$WORK/status-bin.json" "$ART/dist-status-binary.json"
+cp "$WORK/status-http.json" "$ART/dist-status-http.json"
 cp "$WORK/cache/manifest.json" "$ART/manifest.json"
 echo "dist smoke passed"
