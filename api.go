@@ -129,9 +129,11 @@ type (
 	// adaptive shrink near queue exhaustion), Secret authenticates every
 	// request with a constant-time shared-secret check, CoExecute runs
 	// loopback worker slots on the coordinator itself so a lone
-	// coordinator still makes progress, and Wire selects the transports
+	// coordinator still makes progress, Wire selects the transports
 	// served ("" offers both the binary framed protocol and HTTP/JSON;
-	// "http" disables the binary endpoint).
+	// "http" disables the binary endpoint), and CacheDir opens the
+	// coordinator's own cell store for the peer cell exchange (fetches are
+	// served from it before relaying to an advertised holder).
 	DistOptions = dist.CoordinatorOptions
 	// DistCoordinator owns the job queue and lease table, serves the wire
 	// protocol (binary frames over one persistent connection per worker,
@@ -140,10 +142,14 @@ type (
 	DistCoordinator = dist.Coordinator
 	// DistWorkerOptions configures one worker process (Secret must match
 	// the coordinator's; MaxBatch caps accepted batch sizes; Wire forces
-	// "binary" or "http", defaulting to negotiation).
+	// "binary" or "http", defaulting to negotiation; CacheDir names the
+	// worker's cell store and enables the peer cell exchange, whose
+	// advertisement traffic AdvertBudget caps in bytes per second).
 	DistWorkerOptions = dist.WorkerOptions
 	// DistStats are a coordinator's lifetime dispatch counters, including
-	// lease/refill round-trip counts and expired-lease reassignments.
+	// lease/refill round-trip counts, expired-lease reassignments, and the
+	// peer-cell-exchange counters (adverts, fetches, served, relayed,
+	// false positives).
 	DistStats = dist.Stats
 	// DistAuthError is the terminal error a worker returns when the
 	// coordinator rejects its shared secret (HTTP 401, or an auth-failed

@@ -38,6 +38,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cellstore"
@@ -74,6 +75,9 @@ func main() {
 		coExecute  = flag.Int("co-execute", runtime.NumCPU(), "in-process worker slots the coordinator runs alongside dispatching (0 = dispatch only)")
 		distStatus = flag.String("dist-status", "", "with -serve: write the coordinator's final /dist/status JSON to this file")
 		distWire   = flag.String("wire", "", "distributed transport: auto (default: negotiate binary frames, fall back to JSON), binary, or http; with -serve, http disables the binary endpoint")
+		advBudget  = flag.Int("advert-budget", 65536, "peer cell exchange: approximate bytes/sec each worker may spend advertising its cell-store indicator (0 = unpaced)")
+		workerKind = flag.String("worker-kinds", "", "with -worker: comma-separated job kinds to lease (empty = every registered executor); a kind matching no jobs makes a holder-only worker that just advertises and serves its cell store")
+		waitWork   = flag.Int("wait-workers", 0, "with -serve: wait for this many live workers (and their first indicator adverts) before dispatching")
 
 		cacheGC     = flag.Bool("cache-gc", false, "evict stale-format and aged cell-store entries, print a report, and exit")
 		cacheMaxAge = flag.Duration("cache-max-age", 30*24*time.Hour, "with -cache-gc: evict entries older than this (0 = stale formats only)")
@@ -106,7 +110,7 @@ func main() {
 		return
 	}
 	if *worker != "" {
-		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll, *distWire)
+		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll, *distWire, *advBudget, *workerKind)
 		return
 	}
 	if *single {
@@ -151,8 +155,12 @@ func main() {
 			Secret:     *distSecret,
 			CoExecute:  *coExecute,
 			Wire:       *distWire,
+			CacheDir:   opts.CacheDir,
 		}, opts)
 		opts.Backend = coord
+		if *waitWork > 0 {
+			awaitWorkers(coord, *waitWork)
+		}
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {
@@ -218,6 +226,10 @@ func main() {
 		st := coord.Stats()
 		fmt.Fprintf(os.Stderr, "dist: %d jobs dispatched over %d leases + %d refills, %d completed, %d leases reassigned, %d failed\n",
 			st.Dispatched, st.Leases, st.Refills, st.Completed, st.Reassigned, st.Failed)
+		if st.Fetches > 0 || st.Adverts > 0 {
+			fmt.Fprintf(os.Stderr, "exchange: %d adverts (%d bytes), %d fetches (%d served locally, %d relayed, %d missed)\n",
+				st.Adverts, st.AdvertBytes, st.Fetches, st.FetchServed, st.FetchRelayed, st.FetchFalsePos)
+		}
 		if *distStatus != "" {
 			if err := writeDistStatus(coord, *distStatus); err != nil {
 				fmt.Fprintf(os.Stderr, "bashsim: -dist-status: %v\n", err)
@@ -251,6 +263,30 @@ func serveCoordinator(addr string, copt dist.CoordinatorOptions, opts experiment
 	return coord
 }
 
+// awaitWorkers blocks dispatch until n workers have contacted the
+// coordinator, plus a short settle so their first indicator adverts land
+// before the first grants' held hints are computed (a cold fleet that
+// starts dispatching instantly would compute every hint against an empty
+// indicator table). Capped: missing workers must not hang a run forever.
+func awaitWorkers(coord *dist.Coordinator, n int) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for coord.Workers() < n {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "bashsim: -wait-workers %d: only %d appeared within 2m; dispatching anyway\n",
+				n, coord.Workers())
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Workers with cache-less stores never advertise, so this wait is
+	// bounded short rather than required.
+	advertDeadline := time.Now().Add(2 * time.Second)
+	for coord.Stats().Adverts == 0 && time.Now().Before(advertDeadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+}
+
 // writeDistStatus persists the coordinator's final /dist/status JSON — the
 // CI smoke uploads it so per-commit lease and reassignment counts are
 // inspectable.
@@ -270,7 +306,16 @@ func writeDistStatus(coord *dist.Coordinator, path string) error {
 // registers both executors — experiment cells and tester trials — and
 // publishes results into its cell store, which coordinators sharing the
 // directory (or just this worker, across restarts) serve as cache hits.
-func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration, wire string) {
+// The store also feeds the peer cell exchange: its keys are advertised to
+// the coordinator (paced by -advert-budget) and hinted cells are fetched
+// from the fleet instead of simulated.
+func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration, wire string, advertBudget int, kindList string) {
+	var kinds []string
+	for _, k := range strings.Split(kindList, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			kinds = append(kinds, k)
+		}
+	}
 	dir := cacheDir
 	if noCache {
 		dir = ""
@@ -284,15 +329,18 @@ func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, s
 	if slots <= 0 {
 		slots = runtime.NumCPU() // match the -parallel flag's "0 = one per CPU"
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(os.Stderr, "bashsim: worker polling %s (%d slot(s), cache %q)\n", coordinator, slots, dir)
 	if err := dist.RunWorker(ctx, dist.WorkerOptions{
-		Coordinator: coordinator,
-		Slots:       slots,
-		Secret:      secret,
-		Poll:        poll,
-		Wire:        wire,
+		Coordinator:  coordinator,
+		Slots:        slots,
+		Secret:       secret,
+		Poll:         poll,
+		Wire:         wire,
+		Kinds:        kinds,
+		CacheDir:     dir,
+		AdvertBudget: advertBudget,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -300,7 +348,8 @@ func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, s
 		fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "bashsim: worker stopped")
+	fmt.Fprintf(os.Stderr, "bashsim: worker stopped: simulated %d cells, fetched %d from peers\n",
+		experiments.Simulations(), experiments.Fetched())
 }
 
 // runCacheGC evicts unusable and aged cell-store entries and reports.

@@ -155,6 +155,20 @@
 // makes progress with no external workers; register executors first
 // (RegisterDistExecutors), exactly as a worker process would.
 //
+// The peer cell exchange makes the content-addressed store fleet-wide.
+// Workers advertise compact Bloom-filter indicators over their store keys
+// (paced and sized against DistWorkerOptions.AdvertBudget, deltas
+// preferred over full re-sends); the coordinator tables them per worker
+// and marks each granted job with a likely-holder hint. Before simulating
+// a hinted cell, the worker fetches it — served from the coordinator's own
+// store (DistOptions.CacheDir) or relayed from an advertised holder — and
+// installs the raw entry after the same fail-closed envelope checks as a
+// local store read. Indicator false positives, departed holders, and
+// relay timeouts all degrade to simulating locally, never to a wrong
+// result; a cold worker joining a published sweep simulates nothing (the
+// e2e tests assert exactly zero). DistStats and /dist/status report
+// advert, fetch, served, relayed, and false-positive counters.
+//
 // Three properties make the fleet exact and restartable:
 //
 //   - Determinism: every cell is a pure function of its spec, and results

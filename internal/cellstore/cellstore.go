@@ -78,6 +78,10 @@ type envelope struct {
 type Store struct {
 	dir                  string
 	hits, misses, writes atomic.Uint64
+
+	// keysMu guards keyCache, the per-file key memo behind Keys (raw.go).
+	keysMu   sync.Mutex
+	keyCache map[string]keyStamp
 }
 
 // Open returns the store rooted at dir, creating the directory if needed.
@@ -122,9 +126,15 @@ func (s *Store) path(key string) string {
 
 // Get decodes the stored result for key into value (a pointer) and reports
 // whether it was present and intact. Any defect — absent file, truncated or
-// corrupt gob, foreign format version, colliding key — counts as a miss.
+// corrupt gob, foreign format version, colliding key — counts as a miss,
+// and the defective file is removed: with stores advertised to peers (see
+// Keys and the dist exchange), a poisoned entry left in place could be
+// re-served forever, whereas removal costs at most one re-simulation. The
+// removal can in principle race a concurrent Put refreshing the same path
+// and delete the fresh entry; that, too, only costs a future re-simulation.
 func (s *Store) Get(key string, value any) bool {
-	f, err := os.Open(s.path(key))
+	path := s.path(key)
+	f, err := os.Open(path)
 	if err != nil {
 		s.misses.Add(1)
 		return false
@@ -133,10 +143,12 @@ func (s *Store) Get(key string, value any) bool {
 	dec := gob.NewDecoder(f)
 	var env envelope
 	if dec.Decode(&env) != nil || env.Format != formatVersion || env.Key != key {
+		os.Remove(path)
 		s.misses.Add(1)
 		return false
 	}
 	if dec.Decode(value) != nil {
+		os.Remove(path)
 		s.misses.Add(1)
 		return false
 	}

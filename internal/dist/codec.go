@@ -16,8 +16,11 @@ import (
 )
 
 // wireProtoName is the HTTP Upgrade token that negotiates the binary
-// transport on /dist/wire.
-const wireProtoName = "bashsim-wire/1"
+// transport on /dist/wire. The "/2" tracks wire.Version: a worker offering
+// a token the coordinator does not speak gets a plain HTTP refusal and
+// negotiates down to JSON — mixed builds degrade gracefully at the upgrade
+// instead of failing on a frame parse mid-sweep.
+const wireProtoName = "bashsim-wire/2"
 
 // Parse bounds: generous multiples of anything the protocol produces, tight
 // enough that a malformed length fails immediately instead of allocating.
@@ -96,6 +99,17 @@ func (r *byteReader) str(what string, max int) string {
 	return s
 }
 
+// bool reads a strict boolean: exactly 0 or 1, anything else fails (a
+// sloppy "nonzero is true" would let corrupt payloads parse as valid).
+func (r *byteReader) bool(what string) bool {
+	v := r.uvarint(what)
+	if r.err == nil && v > 1 {
+		r.fail("dist: bogus %s value %d (want 0 or 1)", what, v)
+		return false
+	}
+	return v == 1
+}
+
 // finish asserts the payload was consumed exactly.
 func (r *byteReader) finish(msg string) error {
 	if r.err != nil {
@@ -117,6 +131,13 @@ func appendString(b []byte, s string) []byte {
 func appendBytes(b, p []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
 }
 
 // --- HELLO / WELCOME / ERROR -------------------------------------------
@@ -194,6 +215,7 @@ func appendGrant(b []byte, resp leaseResponse) []byte {
 		b = appendString(b, j.Key)
 		b = appendString(b, j.Label)
 		b = appendBytes(b, j.Spec)
+		b = appendBool(b, j.Held)
 	}
 	return b
 }
@@ -217,6 +239,7 @@ func parseGrant(p []byte) (leaseResponse, error) {
 			j.Key = r.str("job key", maxWireStr)
 			j.Label = r.str("job label", maxWireStr)
 			j.Spec = r.bytes("job spec", wire.MaxPayload)
+			j.Held = r.bool("job held hint")
 		}
 	}
 	return resp, r.finish("grant")
@@ -299,4 +322,71 @@ func parseResultRequest(p []byte) (resultRequest, error) {
 	req.Stack = r.bytes("stack", maxWireStr)
 	req.Result = r.bytes("result", wire.MaxPayload)
 	return req, r.finish("result request")
+}
+
+// --- ADVERT / FETCH / CELL (peer cell exchange) --------------------------
+
+func appendAdvert(b []byte, req advertRequest) []byte {
+	b = appendString(b, req.Worker)
+	b = appendUvarint(b, req.Gen)
+	b = appendBool(b, req.Full)
+	b = appendUvarint(b, uint64(req.M))
+	b = appendUvarint(b, uint64(req.K))
+	return appendBytes(b, req.Bits)
+}
+
+func parseAdvert(p []byte) (advertRequest, error) {
+	r := &byteReader{p: p}
+	var req advertRequest
+	req.Worker = r.str("worker name", maxWireStr)
+	req.Gen = r.uvarint("advert generation")
+	req.Full = r.bool("advert full flag")
+	m := r.uvarint("filter bits")
+	if r.err == nil && m > maxFilterBytes*8 {
+		r.fail("dist: filter of %d bits exceeds the %d-bit bound", m, maxFilterBytes*8)
+	}
+	req.M = uint32(m)
+	k := r.uvarint("filter hash count")
+	if r.err == nil && (k < 1 || k > maxFilterHashes) {
+		r.fail("dist: bogus filter hash count %d (want 1..%d)", k, maxFilterHashes)
+	}
+	req.K = uint8(k)
+	req.Bits = r.bytes("filter bit array", maxFilterBytes)
+	if r.err == nil && uint64(len(req.Bits)) != (m+7)/8 {
+		r.fail("dist: filter bit array of %d bytes does not match its %d-bit geometry", len(req.Bits), m)
+	}
+	return req, r.finish("advert")
+}
+
+func appendFetchRequest(b []byte, req fetchRequest) []byte {
+	b = appendString(b, req.Worker)
+	return appendString(b, req.Key)
+}
+
+func parseFetchRequest(p []byte) (fetchRequest, error) {
+	r := &byteReader{p: p}
+	var req fetchRequest
+	req.Worker = r.str("worker name", maxWireStr)
+	req.Key = r.str("cell key", maxWireStr)
+	return req, r.finish("fetch request")
+}
+
+func appendCell(b []byte, resp fetchResponse) []byte {
+	b = appendBool(b, resp.Found)
+	// The raw entry rides last so large cells append in one copy.
+	return appendBytes(b, resp.Raw)
+}
+
+func parseCell(p []byte) (fetchResponse, error) {
+	r := &byteReader{p: p}
+	var resp fetchResponse
+	resp.Found = r.bool("cell found flag")
+	resp.Raw = r.bytes("raw cell entry", wire.MaxPayload)
+	if err := r.finish("cell"); err != nil {
+		return resp, err
+	}
+	if !resp.Found && len(resp.Raw) > 0 {
+		return resp, fmt.Errorf("dist: cell message: %d payload bytes on a not-found reply", len(resp.Raw))
+	}
+	return resp, nil
 }

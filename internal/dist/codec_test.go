@@ -78,6 +78,51 @@ func TestCodecRoundTrips(t *testing.T) {
 			t.Fatalf("panic result: got %+v, %v", got, err)
 		}
 	})
+
+	t.Run("grant held hint", func(t *testing.T) {
+		want := leaseResponse{
+			Jobs:        []leasedJob{{JobID: 1, Kind: "k", Key: "x", Held: true}, {JobID: 2, Kind: "k", Key: "y"}},
+			LeaseMillis: 1000, Total: 2,
+		}
+		got, err := parseGrant(appendGrant(nil, want))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+	})
+
+	t.Run("advert", func(t *testing.T) {
+		full := advertRequest{Worker: "w", Gen: 1, Full: true, M: 128, K: 5, Bits: make([]byte, 16)}
+		full.Bits[3] = 0xA5
+		got, err := parseAdvert(appendAdvert(nil, full))
+		if err != nil || !reflect.DeepEqual(got, full) {
+			t.Fatalf("full: got %+v, %v; want %+v", got, err, full)
+		}
+		delta := advertRequest{Worker: "w", Gen: 2, M: 128, K: 5, Bits: make([]byte, 16)}
+		got, err = parseAdvert(appendAdvert(nil, delta))
+		if err != nil || !reflect.DeepEqual(got, delta) {
+			t.Fatalf("delta: got %+v, %v; want %+v", got, err, delta)
+		}
+	})
+
+	t.Run("fetch request", func(t *testing.T) {
+		want := fetchRequest{Worker: "w", Key: "abcdef0123456789"}
+		got, err := parseFetchRequest(appendFetchRequest(nil, want))
+		if err != nil || got != want {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+	})
+
+	t.Run("cell", func(t *testing.T) {
+		found := fetchResponse{Found: true, Raw: []byte("gob envelope bytes")}
+		got, err := parseCell(appendCell(nil, found))
+		if err != nil || !reflect.DeepEqual(got, found) {
+			t.Fatalf("found: got %+v, %v", got, err)
+		}
+		miss, err := parseCell(appendCell(nil, fetchResponse{}))
+		if err != nil || miss.Found || len(miss.Raw) != 0 {
+			t.Fatalf("miss: got %+v, %v", miss, err)
+		}
+	})
 }
 
 // TestCodecRejectsMalformed: strict parsing — truncation, overrun lengths,
@@ -99,6 +144,79 @@ func TestCodecRejectsMalformed(t *testing.T) {
 	if _, err := parseLeaseRequest([]byte{1, 'w', 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
 		t.Error("lease request with absurd kind count parsed")
 	}
+
+	advert := appendAdvert(nil, advertRequest{Worker: "w", Gen: 1, Full: true, M: 128, K: 4, Bits: make([]byte, 16)})
+	if _, err := parseAdvert(advert[:len(advert)-3]); err == nil {
+		t.Error("truncated advert parsed")
+	}
+	if _, err := parseAdvert(append(advert, 0)); err == nil {
+		t.Error("advert with trailing bytes parsed")
+	}
+	// A filter claiming more bits than the wire bound must be rejected
+	// before any allocation sized from it.
+	huge := appendString(nil, "w")
+	huge = appendUvarint(huge, 1)
+	huge = appendBool(huge, true)
+	huge = appendUvarint(huge, maxFilterBytes*8+1)
+	huge = appendUvarint(huge, 4)
+	huge = appendBytes(huge, nil)
+	if _, err := parseAdvert(huge); err == nil {
+		t.Error("advert with oversized filter claim parsed")
+	}
+	for _, k := range []uint64{0, maxFilterHashes + 1} {
+		bad := appendString(nil, "w")
+		bad = appendUvarint(bad, 1)
+		bad = appendBool(bad, true)
+		bad = appendUvarint(bad, 128)
+		bad = appendUvarint(bad, k)
+		bad = appendBytes(bad, make([]byte, 16))
+		if _, err := parseAdvert(bad); err == nil {
+			t.Errorf("advert with hash count %d parsed", k)
+		}
+	}
+	// Bit array length must match the claimed geometry exactly.
+	skewed := appendString(nil, "w")
+	skewed = appendUvarint(skewed, 1)
+	skewed = appendBool(skewed, true)
+	skewed = appendUvarint(skewed, 128)
+	skewed = appendUvarint(skewed, 4)
+	skewed = appendBytes(skewed, make([]byte, 15))
+	if _, err := parseAdvert(skewed); err == nil {
+		t.Error("advert with geometry-mismatched bit array parsed")
+	}
+	// Booleans are strictly 0/1 on the wire.
+	bogus := appendString(nil, "w")
+	bogus = appendUvarint(bogus, 1)
+	bogus = append(bogus, 2) // full flag = 2
+	bogus = appendUvarint(bogus, 128)
+	bogus = appendUvarint(bogus, 4)
+	bogus = appendBytes(bogus, make([]byte, 16))
+	if _, err := parseAdvert(bogus); err == nil {
+		t.Error("advert with bogus bool parsed")
+	}
+
+	fetch := appendFetchRequest(nil, fetchRequest{Worker: "w", Key: "k"})
+	if _, err := parseFetchRequest(fetch[:len(fetch)-1]); err == nil {
+		t.Error("truncated fetch request parsed")
+	}
+	if _, err := parseFetchRequest(append(fetch, 0)); err == nil {
+		t.Error("fetch request with trailing bytes parsed")
+	}
+
+	cell := appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw")})
+	if _, err := parseCell(cell[:len(cell)-1]); err == nil {
+		t.Error("truncated cell parsed")
+	}
+	if _, err := parseCell(append(cell, 0)); err == nil {
+		t.Error("cell with trailing bytes parsed")
+	}
+	// A not-found reply carrying payload bytes is contradictory: reject it
+	// rather than let a confused peer smuggle data past the found check.
+	contradictory := appendBool(nil, false)
+	contradictory = appendBytes(contradictory, []byte("smuggled"))
+	if _, err := parseCell(contradictory); err == nil {
+		t.Error("not-found cell with payload parsed")
+	}
 }
 
 // FuzzCodecParsers: every payload parser must be total — no panics, no
@@ -107,6 +225,9 @@ func FuzzCodecParsers(f *testing.F) {
 	f.Add(appendGrant(nil, leaseResponse{Jobs: []leasedJob{{JobID: 1, Kind: "k", Spec: []byte{1}}}, LeaseMillis: 5}))
 	f.Add(appendResultRequest(nil, resultRequest{Worker: "w", JobID: 2, Result: []byte("r")}))
 	f.Add(appendHello(nil, "w", make([]byte, sha256.Size)))
+	f.Add(appendAdvert(nil, advertRequest{Worker: "w", Gen: 1, Full: true, M: 64, K: 3, Bits: make([]byte, 8)}))
+	f.Add(appendFetchRequest(nil, fetchRequest{Worker: "w", Key: "k"}))
+	f.Add(appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw entry")}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		parseHello(data)
@@ -116,5 +237,8 @@ func FuzzCodecParsers(f *testing.F) {
 		parseHeartbeatRequest(data)
 		parseHeartbeatResponse(data)
 		parseResultRequest(data)
+		parseAdvert(data)
+		parseFetchRequest(data)
+		parseCell(data)
 	})
 }

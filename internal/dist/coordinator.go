@@ -56,6 +56,12 @@ type CoordinatorOptions struct {
 	// upgrade so every worker negotiates down to JSON. /dist/status is
 	// always plain HTTP either way.
 	Wire string
+	// CacheDir, when non-empty, opens the coordinator's own cell store
+	// there. Fetches are served from it before any relay is attempted, and
+	// relayed entries are written through to it, so one warm coordinator
+	// can feed an arbitrarily cold fleet. Empty disables the local store;
+	// fetches then rely entirely on advertised holders.
+	CacheDir string
 }
 
 func (o CoordinatorOptions) leaseTTL() time.Duration {
@@ -143,6 +149,7 @@ type Coordinator struct {
 	opt     CoordinatorOptions
 	handler http.Handler // built once: HTTP servers and the loopback share it
 	runMu   sync.Mutex   // serializes Run invocations
+	exch    *exchange    // peer cell exchange: indicator table + fetch routing
 
 	mu      sync.Mutex
 	nextID  int64
@@ -166,6 +173,7 @@ type Coordinator struct {
 func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
 		opt:       opt,
+		exch:      newExchange(opt.CacheDir),
 		leased:    map[int64]*trackedJob{},
 		workers:   map[string]time.Time{},
 		wireConns: map[*wireConn]struct{}{},
@@ -174,6 +182,8 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	mux.HandleFunc("POST /dist/lease", c.handleLease)
 	mux.HandleFunc("POST /dist/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /dist/result", c.handleResult)
+	mux.HandleFunc("POST /dist/advert", c.handleAdvert)
+	mux.HandleFunc("POST /dist/fetch", c.handleFetch)
 	mux.HandleFunc("GET /dist/status", c.handleStatus)
 	c.handler = c.authenticate(mux)
 	if opt.Wire != "http" {
@@ -274,6 +284,13 @@ func (c *Coordinator) Stats() Stats {
 		BytesOut:   c.bytesOut.Load(),
 		FramesIn:   c.framesIn.Load(),
 		FramesOut:  c.framesOut.Load(),
+
+		Adverts:       c.exch.adverts.Load(),
+		AdvertBytes:   c.exch.advertBytes.Load(),
+		Fetches:       c.exch.fetches.Load(),
+		FetchServed:   c.exch.served.Load(),
+		FetchRelayed:  c.exch.relayed.Load(),
+		FetchFalsePos: c.exch.fetchMissing.Load(),
 	}
 }
 
@@ -600,6 +617,7 @@ func (c *Coordinator) leaseRPC(req leaseRequest) leaseResponse {
 	if len(grants) > 0 {
 		c.leases.Add(1)
 		resp.Jobs = leasedJobs(grants)
+		c.annotateHints(req.Worker, resp.Jobs)
 		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
 	}
 	return resp
@@ -670,6 +688,7 @@ func (c *Coordinator) resultRPC(req resultRequest) resultResponse {
 	if len(grants) > 0 {
 		c.refills.Add(uint64(len(grants)))
 		resp.Jobs = leasedJobs(grants)
+		c.annotateHints(req.Worker, resp.Jobs)
 		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
 	}
 	return resp
@@ -704,6 +723,33 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, c.resultRPC(req))
 }
 
+func (c *Coordinator) handleAdvert(w http.ResponseWriter, r *http.Request) {
+	var req advertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if int64(len(req.Bits)) > maxFilterBytes || req.M > maxFilterBytes*8 ||
+		req.K < 1 || req.K > maxFilterHashes || len(req.Bits) != int(req.M+7)/8 {
+		http.Error(w, "bad request: malformed indicator geometry", http.StatusBadRequest)
+		return
+	}
+	// Budget accounting charges the HTTP body size (headers are fallback
+	// overhead the binary transport doesn't pay).
+	wireBytes := int(r.ContentLength)
+	if wireBytes < 0 {
+		wireBytes = len(req.Bits)
+	}
+	writeJSON(w, c.advertRPC(req, wireBytes))
+}
+
+func (c *Coordinator) handleFetch(w http.ResponseWriter, r *http.Request) {
+	var req fetchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, c.fetchRPC(r.Context(), req))
+}
+
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, c.statusSnapshot())
 }
@@ -724,6 +770,13 @@ func (c *Coordinator) statusSnapshot() statusResponse {
 		BytesOut:   st.BytesOut,
 		FramesIn:   st.FramesIn,
 		FramesOut:  st.FramesOut,
+
+		Adverts:       st.Adverts,
+		AdvertBytes:   st.AdvertBytes,
+		Fetches:       st.Fetches,
+		FetchServed:   st.FetchServed,
+		FetchRelayed:  st.FetchRelayed,
+		FetchFalsePos: st.FetchFalsePos,
 	}
 	if b := c.batch; b != nil {
 		resp.Active = true

@@ -1,0 +1,206 @@
+package dist
+
+// Coordinator side of the peer cell exchange: the per-worker indicator
+// table fed by ADVERT frames (or POST /dist/advert), the likely-holder
+// hints piggybacked on grants, and the FETCH routing that serves raw cell
+// entries from the coordinator's own store or relays the request down an
+// advertised holder's live wire connection. Everything here is advisory
+// bookkeeping around the content-addressed store: a wrong hint or a stale
+// indicator costs a round-trip or a redundant simulation, never a wrong
+// result, because the requester verifies every fetched entry against its
+// fingerprinted key before use (cellstore.DecodeRaw, fail closed).
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cellstore"
+)
+
+// relayTimeout bounds one coordinator->holder relay round-trip; past it the
+// coordinator tries the next holder (or reports not-found and lets the
+// requester simulate). Generous against a worker mid-GC, tight enough that
+// a hung holder cannot stall a fetch behind it for long.
+const relayTimeout = 3 * time.Second
+
+// indicatorEntry is one worker's last applied indicator.
+type indicatorEntry struct {
+	filter *cellFilter
+	gen    uint64
+	when   time.Time
+}
+
+// exchange is the coordinator's indicator table plus exchange counters.
+type exchange struct {
+	store *cellstore.Store // coordinator's own cell store; nil = none
+
+	mu    sync.Mutex
+	table map[string]*indicatorEntry // worker -> indicator
+
+	adverts, advertBytes                   atomic.Uint64
+	fetches, served, relayed, fetchMissing atomic.Uint64
+}
+
+func newExchange(cacheDir string) *exchange {
+	return &exchange{store: cellstore.For(cacheDir), table: map[string]*indicatorEntry{}}
+}
+
+// noteAdvert applies one advertisement. wireBytes is the on-wire payload
+// size (post-compression for binary frames), which is what the
+// advert-budget accounting reports. A delta applies only when the worker's
+// previous filter has the same geometry and the generation is exactly the
+// successor; anything else asks for a full resend — on the binary
+// transport that cannot happen (frames on one connection are ordered and
+// every new connection opens with a full send), on HTTP it recovers from
+// lost requests and coordinator restarts.
+func (x *exchange) noteAdvert(req advertRequest, wireBytes int) advertResponse {
+	x.adverts.Add(1)
+	x.advertBytes.Add(uint64(wireBytes))
+	f := &cellFilter{m: req.M, k: req.K, bits: req.Bits}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if req.Full {
+		x.table[req.Worker] = &indicatorEntry{filter: f.clone(), gen: req.Gen, when: time.Now()}
+		return advertResponse{}
+	}
+	prev := x.table[req.Worker]
+	if prev == nil || req.Gen != prev.gen+1 || !prev.filter.sameShape(f) {
+		return advertResponse{NeedFull: true}
+	}
+	prev.filter.applyDelta(req.Bits)
+	prev.gen = req.Gen
+	prev.when = time.Now()
+	return advertResponse{}
+}
+
+// holders lists workers (excluding the requester) whose fresh indicators
+// claim key, most recently advertised first. Entries older than the
+// liveness window are dropped — a departed worker's indicator must not
+// route fetches forever.
+func (x *exchange) holders(requester, key string, window time.Duration, now time.Time) []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	type cand struct {
+		name string
+		when time.Time
+	}
+	var cands []cand
+	for name, e := range x.table {
+		if now.Sub(e.when) > window {
+			delete(x.table, name)
+			continue
+		}
+		if name == requester || !e.filter.contains(key) {
+			continue
+		}
+		cands = append(cands, cand{name, e.when})
+	}
+	out := make([]string, 0, len(cands))
+	for len(cands) > 0 {
+		best := 0
+		for i, c := range cands {
+			if c.when.After(cands[best].when) {
+				best = i
+			}
+		}
+		out = append(out, cands[best].name)
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return out
+}
+
+// likelyHeld is the grant-hint predicate: the coordinator's own store has
+// the key, or some other worker's fresh indicator claims it. A worker
+// whose hint is false skips the fetch round-trip entirely (nobody claims
+// the cell, so fetching could only waste the advert budget's savings); a
+// false positive here costs one failed fetch before simulating.
+func (x *exchange) likelyHeld(requester, key string, window time.Duration, now time.Time) bool {
+	if x.store != nil && x.store.Contains(key) {
+		return true
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for name, e := range x.table {
+		if name == requester || now.Sub(e.when) > window {
+			continue
+		}
+		if e.filter.contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// advertRPC records one worker's advertisement (transport-independent; the
+// JSON endpoint and the binary ADVERT frame both land here). Adverts count
+// as worker contact, like every other protocol action.
+func (c *Coordinator) advertRPC(req advertRequest, wireBytes int) advertResponse {
+	c.mu.Lock()
+	c.workers[req.Worker] = time.Now()
+	c.mu.Unlock()
+	return c.exch.noteAdvert(req, wireBytes)
+}
+
+// annotateHints marks each granted job with the exchange's likely-holder
+// verdict. Runs outside the coordinator mutex: Contains stats the store's
+// filesystem and the indicator table has its own lock.
+func (c *Coordinator) annotateHints(worker string, jobs []leasedJob) {
+	window := workerTTLFactor * c.opt.leaseTTL()
+	now := time.Now()
+	for i := range jobs {
+		jobs[i].Held = c.exch.likelyHeld(worker, jobs[i].Key, window, now)
+	}
+}
+
+// fetchRPC answers one FETCH: the coordinator's own store first, then each
+// advertised holder in freshness order via a relay down its live wire
+// connection. Relayed entries are verified (envelope + key, so a confused
+// holder cannot poison anyone) and written through to the coordinator's
+// store when it has one — the next cold worker asking for the same cell is
+// served locally. A fetch that finds nothing counts as a false positive:
+// the requester's hint said "held" but no holder produced the bytes, and
+// the requester falls back to simulating.
+func (c *Coordinator) fetchRPC(ctx context.Context, req fetchRequest) fetchResponse {
+	x := c.exch
+	x.fetches.Add(1)
+	if x.store != nil {
+		if raw, ok := x.store.GetRaw(req.Key); ok {
+			x.served.Add(1)
+			return fetchResponse{Found: true, Raw: raw}
+		}
+	}
+	window := workerTTLFactor * c.opt.leaseTTL()
+	for _, holder := range x.holders(req.Worker, req.Key, window, time.Now()) {
+		wc := c.wireConnFor(holder)
+		if wc == nil {
+			continue
+		}
+		raw, ok := c.relayFetch(ctx, wc, req.Key)
+		if !ok || cellstore.VerifyRaw(req.Key, raw) != nil {
+			continue
+		}
+		x.relayed.Add(1)
+		if x.store != nil {
+			x.store.PutRaw(req.Key, raw) // best-effort cache of the relay
+		}
+		return fetchResponse{Found: true, Raw: raw}
+	}
+	x.fetchMissing.Add(1)
+	return fetchResponse{}
+}
+
+// wireConnFor returns some live binary connection belonging to worker (nil
+// when the worker is not currently wire-connected — its HTTP fallback or a
+// reconnect gap; the fetch then tries the next holder).
+func (c *Coordinator) wireConnFor(worker string) *wireConn {
+	c.wireMu.Lock()
+	defer c.wireMu.Unlock()
+	for wc := range c.wireConns {
+		if wc.worker == worker {
+			return wc
+		}
+	}
+	return nil
+}

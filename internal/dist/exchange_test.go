@@ -1,0 +1,335 @@
+package dist
+
+// Tests for the peer cell exchange: the Bloom indicator itself, the
+// coordinator's advert table and budget adaptation, fetch routing from the
+// coordinator's store, relay routing through an advertised holder's wire
+// connection, and the false-positive fallback. Where a store is needed the
+// tests use real cellstore directories — the exchange's fail-closed
+// verification is exactly the envelope check these produce.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cellstore"
+)
+
+// --- indicator ----------------------------------------------------------
+
+func TestFilterMembership(t *testing.T) {
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-key-%04d", i)
+	}
+	f := buildFilter(keys, defaultBitsPerKey)
+	for _, k := range keys {
+		if !f.contains(k) {
+			t.Fatalf("filter lost its own key %q (Bloom filters must not false-negative)", k)
+		}
+	}
+	// False positives exist but must be rare at the default density.
+	fp := 0
+	for i := 0; i < 2000; i++ {
+		if f.contains(fmt.Sprintf("absent-key-%04d", i)) {
+			fp++
+		}
+	}
+	if fp > 100 { // 5%; the target at 12 bits/key is ~0.5%
+		t.Errorf("false-positive rate %d/2000 is far above the design point", fp)
+	}
+	var nilFilter *cellFilter
+	if nilFilter.contains("anything") {
+		t.Error("nil filter claimed membership")
+	}
+	if buildFilter(nil, defaultBitsPerKey).contains("anything") {
+		t.Error("empty filter claimed membership")
+	}
+}
+
+func TestFilterDelta(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	old := buildFilter(keys, defaultBitsPerKey)
+	grown := old.clone()
+	grown.add("d")
+	grown.add("e")
+	if !grown.sameShape(old) {
+		t.Fatal("clone+add changed filter shape")
+	}
+	applied := old.clone()
+	applied.applyDelta(grown.xor(old))
+	if !applied.equal(grown) {
+		t.Fatal("applying the XOR delta did not reconstruct the grown filter")
+	}
+}
+
+func TestBudgetAdaptation(t *testing.T) {
+	// A tight budget halves bits-per-key until a full send fits (or the
+	// floor is hit); an unlimited budget keeps full density.
+	if bpk := budgetBitsPerKey(100_000, 0); bpk != defaultBitsPerKey {
+		t.Errorf("unlimited budget: bpk = %d, want %d", bpk, defaultBitsPerKey)
+	}
+	full := budgetBitsPerKey(100_000, 1<<30)
+	if full != defaultBitsPerKey {
+		t.Errorf("huge budget: bpk = %d, want %d", full, defaultBitsPerKey)
+	}
+	tight := budgetBitsPerKey(100_000, 32<<10)
+	if tight >= full {
+		t.Errorf("tight budget did not shrink the filter: bpk = %d", tight)
+	}
+	if tight < minBitsPerKey {
+		t.Errorf("budget adaptation went below the floor: bpk = %d", tight)
+	}
+	// Pacing: sending sentBytes against budget B defers at least
+	// sentBytes/B seconds.
+	if ms := advertDelayMillis(8192, 4096); ms != 2000 {
+		t.Errorf("advertDelayMillis(8192, 4096) = %d, want 2000", ms)
+	}
+	if ms := advertDelayMillis(100, 0); ms != 0 {
+		t.Errorf("unlimited budget delayed %dms", ms)
+	}
+}
+
+// --- advert table -------------------------------------------------------
+
+func TestNoteAdvertFullDeltaAndGaps(t *testing.T) {
+	x := newExchange("")
+	f := buildFilter([]string{"k1", "k2"}, defaultBitsPerKey)
+
+	// A delta with no prior full must be refused.
+	if resp := x.noteAdvert(advertRequest{Worker: "w", Gen: 1, M: f.m, K: f.k, Bits: f.bits}, 10); !resp.NeedFull {
+		t.Fatal("delta without a prior full filter was accepted")
+	}
+	if resp := x.noteAdvert(advertRequest{Worker: "w", Gen: 1, Full: true, M: f.m, K: f.k, Bits: f.bits}, 10); resp.NeedFull {
+		t.Fatal("full advert refused")
+	}
+	window, now := time.Minute, time.Now()
+	if !x.likelyHeld("other", "k1", window, now) {
+		t.Fatal("advertised key not reported held")
+	}
+	if x.likelyHeld("w", "k1", window, now) {
+		t.Fatal("a worker's own indicator satisfied its hint (it would fetch from itself)")
+	}
+
+	// A gen-successor, same-shape delta applies.
+	grown := f.clone()
+	grown.add("k3")
+	if resp := x.noteAdvert(advertRequest{Worker: "w", Gen: 2, M: f.m, K: f.k, Bits: grown.xor(f)}, 10); resp.NeedFull {
+		t.Fatal("successor delta refused")
+	}
+	if !x.likelyHeld("other", "k3", window, now) {
+		t.Fatal("delta-advertised key not reported held")
+	}
+
+	// A generation gap (lost advert) must demand a full resend.
+	if resp := x.noteAdvert(advertRequest{Worker: "w", Gen: 4, M: f.m, K: f.k, Bits: grown.bits}, 10); !resp.NeedFull {
+		t.Fatal("generation gap accepted as a delta")
+	}
+
+	// Stale indicators neither hint nor route.
+	if x.likelyHeld("other", "k1", time.Nanosecond, now.Add(time.Hour)) {
+		t.Fatal("stale indicator satisfied a hint")
+	}
+	if hs := x.holders("other", "k1", time.Nanosecond, now.Add(time.Hour)); len(hs) != 0 {
+		t.Fatalf("stale indicator routed: holders = %v", hs)
+	}
+
+	if got := x.adverts.Load(); got != 4 {
+		t.Errorf("adverts counter = %d, want 4", got)
+	}
+	if got := x.advertBytes.Load(); got != 40 {
+		t.Errorf("advertBytes counter = %d, want 40", got)
+	}
+}
+
+func TestHoldersFreshestFirst(t *testing.T) {
+	x := newExchange("")
+	f := buildFilter([]string{"k"}, defaultBitsPerKey)
+	for i, w := range []string{"old", "mid", "new"} {
+		x.noteAdvert(advertRequest{Worker: w, Gen: 1, Full: true, M: f.m, K: f.k, Bits: f.bits}, 1)
+		x.mu.Lock()
+		// Stamp explicit recency (noteAdvert uses wall-clock now).
+		x.table[w].when = time.Now().Add(time.Duration(i) * time.Second)
+		x.mu.Unlock()
+	}
+	hs := x.holders("requester", "k", time.Hour, time.Now())
+	if len(hs) != 3 || hs[0] != "new" || hs[2] != "old" {
+		t.Fatalf("holders = %v, want [new mid old]", hs)
+	}
+	if hs := x.holders("new", "k", time.Hour, time.Now()); len(hs) != 2 || hs[0] != "mid" {
+		t.Fatalf("holders excluding requester = %v, want [mid old]", hs)
+	}
+}
+
+// --- fetch routing ------------------------------------------------------
+
+type cellPayload struct {
+	Name string
+	X    float64
+}
+
+// storeWith creates a cell store in a temp dir holding the given keys.
+func storeWith(t *testing.T, keys ...string) (string, *cellstore.Store) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := cellstore.Open(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	for i, k := range keys {
+		if err := st.Put(k, cellPayload{Name: k, X: float64(i)}); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	return dir, st
+}
+
+func TestFetchServedFromCoordinatorStore(t *testing.T) {
+	dir, _ := storeWith(t, "held-key")
+	coord := NewCoordinator(CoordinatorOptions{CacheDir: dir})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var resp fetchResponse
+	if st := postJSON(t, srv.URL+"/dist/fetch", fetchRequest{Worker: "cold", Key: "held-key"}, &resp); st != 200 {
+		t.Fatalf("fetch: HTTP %d", st)
+	}
+	if !resp.Found {
+		t.Fatal("coordinator store did not serve the fetch")
+	}
+	if err := cellstore.VerifyRaw("held-key", resp.Raw); err != nil {
+		t.Fatalf("served bytes fail verification: %v", err)
+	}
+	var got cellPayload
+	if err := cellstore.DecodeRaw(resp.Raw, "held-key", &got); err != nil || got.Name != "held-key" {
+		t.Fatalf("decode served cell: %+v, %v", got, err)
+	}
+
+	// Hints on grants come from the same store.
+	jobs := []leasedJob{{Key: "held-key"}, {Key: "nobody-has-this"}}
+	coord.annotateHints("cold", jobs)
+	if !jobs[0].Held || jobs[1].Held {
+		t.Fatalf("hints = %v/%v, want true/false", jobs[0].Held, jobs[1].Held)
+	}
+
+	// A miss for an unheld key counts as a false positive.
+	if st := postJSON(t, srv.URL+"/dist/fetch", fetchRequest{Worker: "cold", Key: "nobody-has-this"}, &resp); st != 200 || resp.Found {
+		t.Fatalf("fetch of absent key: HTTP %d, found %v", st, resp.Found)
+	}
+	st := coord.Stats()
+	if st.Fetches != 2 || st.FetchServed != 1 || st.FetchFalsePos != 1 {
+		t.Errorf("counters = %d fetches / %d served / %d missed, want 2/1/1", st.Fetches, st.FetchServed, st.FetchFalsePos)
+	}
+}
+
+// TestFetchRelayedThroughHolder: the coordinator has no store; a worker
+// with the cell in its store connects over the binary wire and advertises.
+// A fetch from a third party must be relayed down the holder's connection,
+// answered from its store, verified, and returned.
+func TestFetchRelayedThroughHolder(t *testing.T) {
+	dir, _ := storeWith(t, "relayed-key")
+	coord := NewCoordinator(CoordinatorOptions{LeaseTTL: 2 * time.Second})
+	url := serveWire(t, coord)
+	ctx, cancel := testContext(t)
+	defer cancel()
+
+	// The holder only holds: its kind matches no job, so it polls idle,
+	// advertises its store, and serves relays.
+	go RunWorker(ctx, WorkerOptions{
+		Coordinator: url, Name: "holder", Poll: 5 * time.Millisecond,
+		Kinds: []string{"holder.no-jobs"}, Wire: "binary",
+		CacheDir: dir, AdvertInterval: 10 * time.Millisecond,
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Stats().Adverts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never advertised")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var resp fetchResponse
+	if st := postJSON(t, url+"/dist/fetch", fetchRequest{Worker: "cold", Key: "relayed-key"}, &resp); st != 200 {
+		t.Fatalf("fetch: HTTP %d", st)
+	}
+	if !resp.Found {
+		t.Fatal("fetch was not relayed to the advertised holder")
+	}
+	var got cellPayload
+	if err := cellstore.DecodeRaw(resp.Raw, "relayed-key", &got); err != nil || got.Name != "relayed-key" {
+		t.Fatalf("decode relayed cell: %+v, %v", got, err)
+	}
+	st := coord.Stats()
+	if st.FetchRelayed != 1 {
+		t.Errorf("FetchRelayed = %d, want 1", st.FetchRelayed)
+	}
+}
+
+// TestFetchFalsePositiveFallsThrough: an indicator claiming everything (all
+// bits set) routes a fetch to a holder whose store is empty; the relay
+// comes back not-found and the requester is told to simulate.
+func TestFetchFalsePositiveFallsThrough(t *testing.T) {
+	emptyDir := t.TempDir()
+	coord := NewCoordinator(CoordinatorOptions{LeaseTTL: 2 * time.Second})
+	url := serveWire(t, coord)
+	ctx, cancel := testContext(t)
+	defer cancel()
+	go RunWorker(ctx, WorkerOptions{
+		Coordinator: url, Name: "braggart", Poll: 5 * time.Millisecond,
+		Kinds: []string{"holder.no-jobs"}, Wire: "binary",
+		CacheDir: emptyDir, AdvertInterval: 10 * time.Millisecond,
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Workers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never connected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Overwrite the worker's honest (empty) indicator with an all-claiming
+	// one via the JSON endpoint — a phantom advertisement.
+	f := buildFilter([]string{"x"}, defaultBitsPerKey)
+	for i := range f.bits {
+		f.bits[i] = 0xFF
+	}
+	var aresp advertResponse
+	if st := postJSON(t, url+"/dist/advert",
+		advertRequest{Worker: "braggart", Gen: 99, Full: true, M: f.m, K: f.k, Bits: f.bits}, &aresp); st != 200 {
+		t.Fatalf("advert: HTTP %d", st)
+	}
+
+	var resp fetchResponse
+	if st := postJSON(t, url+"/dist/fetch", fetchRequest{Worker: "cold", Key: "never-simulated"}, &resp); st != 200 {
+		t.Fatalf("fetch: HTTP %d", st)
+	}
+	if resp.Found {
+		t.Fatal("empty-store holder produced a cell")
+	}
+	if st := coord.Stats(); st.FetchFalsePos != 1 {
+		t.Errorf("FetchFalsePos = %d, want 1", st.FetchFalsePos)
+	}
+}
+
+// TestAdvertEndpointRejectsMalformedGeometry mirrors the binary codec's
+// strictness on the JSON path.
+func TestAdvertEndpointRejectsMalformedGeometry(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	bad := []advertRequest{
+		{Worker: "w", Gen: 1, Full: true, M: 128, K: 4, Bits: make([]byte, 3)},  // geometry mismatch
+		{Worker: "w", Gen: 1, Full: true, M: 64, K: 0, Bits: make([]byte, 8)},   // no hashes
+		{Worker: "w", Gen: 1, Full: true, M: 64, K: 200, Bits: make([]byte, 8)}, // absurd hashes
+	}
+	for i, req := range bad {
+		if st := postJSON(t, srv.URL+"/dist/advert", req, nil); st != 400 {
+			t.Errorf("malformed advert %d: HTTP %d, want 400", i, st)
+		}
+	}
+	if got := coord.Stats().Adverts; got != 0 {
+		t.Errorf("malformed adverts were counted: %d", got)
+	}
+}

@@ -11,7 +11,9 @@
 //	POST /dist/lease     {worker, kinds, max}    -> a batch of jobs + lease TTL, or 204
 //	POST /dist/heartbeat {worker, job_ids}       -> extends the jobs' leases; replies with sweep progress
 //	POST /dist/result    {worker, job_id, ...}   -> completes (or fails) one job; reply may refill the batch
-//	POST /dist/wire      Upgrade: bashsim-wire/1 -> 101; the connection becomes binary frames
+//	POST /dist/advert    {worker, gen, bits...}  -> records the worker's cell-store indicator
+//	POST /dist/fetch     {worker, key}           -> raw cell entry bytes from any holder, or found=false
+//	POST /dist/wire      Upgrade: bashsim-wire/2 -> 101; the connection becomes binary frames
 //	GET  /dist/status                            -> batch progress, live workers, lifetime counters
 //
 // The same actions run over two transports behind one state machine. By
@@ -51,6 +53,20 @@
 // already-published cells from the store instead of re-simulating, and it
 // does not matter which worker (or how many) executed what.
 //
+// The peer cell exchange (protocol v4) makes that store fleet-wide without
+// shared disk. Workers with a store periodically advertise a Bloom-filter
+// indicator over their keys (ADVERT frames / POST /dist/advert, deltas
+// preferred, paced against WorkerOptions.AdvertBudget); the coordinator
+// keeps a per-worker indicator table and marks each granted job with a
+// likely-holder hint. Before simulating a hinted cell a worker issues a
+// FETCH; the coordinator serves it from its own store (CacheDir) or relays
+// the FETCH down an advertised holder's live wire connection, streaming the
+// raw entry bytes back as a CELL frame. The requester verifies the entry —
+// envelope format and exact key, which embeds the binary fingerprint —
+// before installing and using it (cellstore.DecodeRaw, fail closed), so an
+// indicator false positive, a stale advert, or a hostile peer degrades to
+// the pre-exchange behavior (simulate locally), never to a wrong result.
+//
 // Coordinator and workers are assumed to run the same binary (cache keys
 // embed the binary fingerprint, so mismatched builds waste work but never
 // corrupt results). The protocol optionally authenticates with a shared
@@ -82,13 +98,19 @@ type leaseRequest struct {
 	Max    int      `json:"max,omitempty"`
 }
 
-// leasedJob is one granted job inside a lease or refill reply.
+// leasedJob is one granted job inside a lease or refill reply. Held is the
+// coordinator's likely-holder hint: true when the job's Key matched the
+// coordinator's own store or some other worker's advertised indicator, so
+// the worker should try a FETCH before simulating; false means the fleet is
+// cold for this key and the worker skips the round-trip (bandwidth-aware
+// cache selection — never fetch what nobody claims to hold).
 type leasedJob struct {
 	JobID int64  `json:"job_id"`
 	Kind  string `json:"kind"`
 	Key   string `json:"key"`
 	Label string `json:"label"`
 	Spec  []byte `json:"spec"`
+	Held  bool   `json:"held,omitempty"`
 }
 
 // leaseResponse grants a batch of jobs (each with its own lease, all
@@ -146,6 +168,46 @@ type resultResponse struct {
 	Total       int         `json:"total"`
 }
 
+// advertRequest is one worker's cell-store indicator advertisement: a
+// Bloom filter over its store keys (see indicator.go). Gen increments per
+// send from that worker; a delta (Full=false) carries the XOR of the new
+// and previous bit arrays and applies only when geometry matches and Gen is
+// exactly the successor of the last applied generation — anything else
+// makes the coordinator ask for a full resend (HTTP) or simply awaits one
+// (binary connections always open with a full send, and frames on one
+// connection cannot reorder).
+type advertRequest struct {
+	Worker string `json:"worker"`
+	Gen    uint64 `json:"gen"`
+	Full   bool   `json:"full"`
+	M      uint32 `json:"m"`
+	K      uint8  `json:"k"`
+	Bits   []byte `json:"bits"`
+}
+
+// advertResponse acknowledges an HTTP advert; NeedFull asks the worker to
+// resend a full filter (generation gap or geometry change the coordinator
+// could not apply). The binary ADVERT frame has no reply.
+type advertResponse struct {
+	NeedFull bool `json:"need_full,omitempty"`
+}
+
+// fetchRequest asks the coordinator for one raw cell entry by store key.
+// Worker names the requester so routing never bounces a fetch back to it.
+type fetchRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+}
+
+// fetchResponse carries the raw entry bytes when some holder produced
+// them. Found=false — the indicator's false positive, a departed holder, a
+// relay timeout — tells the requester to simulate locally: the exchange
+// degrades to the pre-exchange behavior, never to a wrong result.
+type fetchResponse struct {
+	Found bool   `json:"found"`
+	Raw   []byte `json:"raw,omitempty"`
+}
+
 // statusResponse reports batch progress and the coordinator's lifetime
 // counters, for dashboards, the CLI's aggregated progress line, and the CI
 // smoke's per-commit artifact (lease, reassignment, and byte counts).
@@ -167,6 +229,18 @@ type statusResponse struct {
 	BytesOut  uint64 `json:"bytes_out"`
 	FramesIn  uint64 `json:"frames_in"`
 	FramesOut uint64 `json:"frames_out"`
+	// Peer cell exchange counters: indicator adverts received (and their
+	// on-wire payload bytes — the smoke's budget assertion reads this),
+	// fetches requested, fetches served from the coordinator's own store,
+	// fetches relayed from an advertised holder, and fetches that found
+	// nothing anywhere (the indicator false-positive counter: the requester
+	// fell back to simulating).
+	Adverts       uint64 `json:"adverts"`
+	AdvertBytes   uint64 `json:"advert_bytes"`
+	Fetches       uint64 `json:"fetches"`
+	FetchServed   uint64 `json:"fetch_served"`
+	FetchRelayed  uint64 `json:"fetch_relayed"`
+	FetchFalsePos uint64 `json:"fetch_false_pos"`
 	// WireConns details each live binary connection.
 	WireConns []wireConnStatus `json:"wire_conns,omitempty"`
 }
@@ -200,6 +274,14 @@ type Stats struct {
 	// connections, live and closed (handshake frames included). Zero means
 	// no worker ever negotiated the binary transport.
 	FramesIn, FramesOut uint64
+	// Peer cell exchange: Adverts counts indicator advertisements received
+	// (AdvertBytes their on-wire payload bytes), Fetches every FETCH
+	// request, FetchServed those answered from the coordinator's own store,
+	// FetchRelayed those answered by relaying to an advertised holder, and
+	// FetchFalsePos those that found nothing anywhere — the indicator's
+	// false positives (plus departed holders), each of which degraded to a
+	// local simulation on the requester.
+	Adverts, AdvertBytes, Fetches, FetchServed, FetchRelayed, FetchFalsePos uint64
 }
 
 // workerTTL is how long after its last contact a worker still counts as

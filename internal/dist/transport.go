@@ -33,16 +33,26 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cellstore"
 	"repro/internal/dist/wire"
 )
 
 // transport is one worker's protocol plumbing. Lease returns (nil, nil)
 // when the coordinator has no work. All methods are safe for concurrent
 // use across slots.
+//
+// Advert publishes the worker's current cell-store indicator and returns
+// roughly how many bytes the advertisement cost on the wire (the caller
+// paces the next advert against its bandwidth budget with that figure).
+// The transport owns full-versus-delta strategy: it remembers the last
+// filter the coordinator applied and sends the XOR delta when geometry and
+// session line up, a full filter otherwise.
 type transport interface {
 	Lease(ctx context.Context, req leaseRequest) (*leaseResponse, error)
 	Heartbeat(ctx context.Context, req heartbeatRequest) (*heartbeatResponse, error)
 	Result(ctx context.Context, req resultRequest) (*resultResponse, error)
+	Advert(ctx context.Context, f *cellFilter) (sentBytes int, err error)
+	Fetch(ctx context.Context, req fetchRequest) (*fetchResponse, error)
 	Close() error
 }
 
@@ -80,9 +90,89 @@ func newTransport(o WorkerOptions) (transport, error) {
 // httpTransport is one JSON POST per protocol action (the v2 protocol).
 type httpTransport struct {
 	opt WorkerOptions
+
+	// Advert delta state: the last filter the coordinator acknowledged and
+	// its generation. HTTP has no session, so NeedFull replies (coordinator
+	// restarted, request lost) trigger an immediate full resend.
+	advMu    sync.Mutex
+	lastSent *cellFilter
+	advGen   uint64
 }
 
 func (t *httpTransport) Close() error { return nil }
+
+func (t *httpTransport) Advert(ctx context.Context, f *cellFilter) (int, error) {
+	t.advMu.Lock()
+	defer t.advMu.Unlock()
+	req := advertRequest{Worker: t.opt.name(), Gen: t.advGen + 1, M: f.m, K: f.k}
+	if t.lastSent != nil && f.sameShape(t.lastSent) {
+		req.Bits = f.xor(t.lastSent)
+	} else {
+		req.Full = true
+		req.Bits = f.bits
+	}
+	sent, resp, err := t.postAdvert(ctx, req)
+	if err != nil {
+		return sent, err
+	}
+	if resp.NeedFull {
+		req.Full = true
+		req.Gen++
+		req.Bits = f.bits
+		n, resp2, err := t.postAdvert(ctx, req)
+		sent += n
+		if err != nil {
+			return sent, err
+		}
+		if resp2.NeedFull {
+			return sent, fmt.Errorf("advert: coordinator demanded a full filter twice")
+		}
+	}
+	t.lastSent = f.clone()
+	t.advGen = req.Gen
+	return sent, nil
+}
+
+func (t *httpTransport) postAdvert(ctx context.Context, req advertRequest) (int, advertResponse, error) {
+	// Marshal once up front for the byte count the budget pacing needs;
+	// postJSONBody re-marshals, which is noise next to the filter bytes.
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, advertResponse{}, err
+	}
+	var resp advertResponse
+	status, err := postJSONBody(ctx, t.opt, "/dist/advert", req, &resp)
+	if err != nil {
+		return 0, advertResponse{}, err
+	}
+	switch status {
+	case http.StatusOK:
+		return len(body), resp, nil
+	case http.StatusUnauthorized:
+		return len(body), advertResponse{}, &AuthError{Coordinator: t.opt.Coordinator}
+	default:
+		return len(body), advertResponse{}, fmt.Errorf("advert: HTTP %d", status)
+	}
+}
+
+func (t *httpTransport) Fetch(ctx context.Context, req fetchRequest) (*fetchResponse, error) {
+	if req.Worker == "" {
+		req.Worker = t.opt.name()
+	}
+	var resp fetchResponse
+	status, err := postJSONBody(ctx, t.opt, "/dist/fetch", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return &resp, nil
+	case http.StatusUnauthorized:
+		return nil, &AuthError{Coordinator: t.opt.Coordinator}
+	default:
+		return nil, fmt.Errorf("fetch: HTTP %d", status)
+	}
+}
 
 // postJSONBody sends one JSON request and decodes the response body (if
 // any) into out, returning the HTTP status.
@@ -214,7 +304,9 @@ func (s *wireSession) register() (uint32, chan wireReply, error) {
 		return 0, nil, s.err
 	}
 	s.next++
-	if s.next == 0 { // stream 0 is connection scope
+	// Stream 0 is connection scope and the high bit marks
+	// coordinator-initiated (relay) streams; worker streams stay between.
+	if s.next == 0 || s.next&serverStreamBit != 0 {
 		s.next = 1
 	}
 	ch := make(chan wireReply, 1)
@@ -263,8 +355,9 @@ func (s *wireSession) fail(err error) {
 type binaryTransport struct {
 	opt    WorkerOptions
 	name   string
-	host   string // dial target from the coordinator URL
-	forced bool   // -wire=binary: never fall back to HTTP
+	host   string           // dial target from the coordinator URL
+	forced bool             // -wire=binary: never fall back to HTTP
+	store  *cellstore.Store // serves relayed FETCHes; nil when no CacheDir
 
 	mu       sync.Mutex
 	sess     *wireSession
@@ -272,6 +365,15 @@ type binaryTransport struct {
 	nextDial time.Time // backoff gate
 	authErr  error     // sticky: terminal auth rejection
 	fallback transport // sticky: negotiated down to HTTP/JSON
+
+	// Advert delta state, valid only for the session it was sent on: a
+	// reconnect starts over with a full filter (the coordinator's table
+	// entry may be stale or gone, and frame ordering only holds within one
+	// connection).
+	advMu    sync.Mutex
+	advSess  *wireSession
+	lastSent *cellFilter
+	advGen   uint64
 }
 
 func newBinaryTransport(o WorkerOptions, forced bool) (*binaryTransport, error) {
@@ -285,7 +387,7 @@ func newBinaryTransport(o WorkerOptions, forced bool) (*binaryTransport, error) 
 		}
 		return nil, nil // caller falls back to HTTP
 	}
-	return &binaryTransport{opt: o, name: o.name(), host: u.Host, forced: forced}, nil
+	return &binaryTransport{opt: o, name: o.name(), host: u.Host, forced: forced, store: cellstore.For(o.CacheDir)}, nil
 }
 
 func (t *binaryTransport) Close() error {
@@ -418,10 +520,41 @@ func (t *binaryTransport) readLoop(sess *wireSession, rd *wire.Reader) {
 			t.dropSession(sess, terr)
 			return
 		}
+		if h.Type == wire.FrameFetch && h.Stream&serverStreamBit != 0 {
+			// Coordinator-initiated relay: another worker asked for a cell
+			// this one advertised. Served off the read loop so a slow disk
+			// read never stalls reply demultiplexing; the Writer serializes
+			// the CELL against concurrent request frames.
+			req, err := parseFetchRequest(payload)
+			if err != nil {
+				t.dropSession(sess, err)
+				return
+			}
+			go t.serveRelayFetch(sess, h.Stream, req)
+			continue
+		}
 		// The reader reuses its frame buffer; the waiter owns its copy.
 		cp := append([]byte(nil), payload...)
 		sess.deliver(h, cp)
 	}
+}
+
+// serveRelayFetch answers one relayed FETCH from this worker's local store
+// (not-found when the store lacks the key — an indicator false positive —
+// or the worker has no store at all).
+func (t *binaryTransport) serveRelayFetch(sess *wireSession, stream uint32, req fetchRequest) {
+	var resp fetchResponse
+	if t.store != nil {
+		if raw, ok := t.store.GetRaw(req.Key); ok {
+			resp = fetchResponse{Found: true, Raw: raw}
+		}
+	}
+	buf := wire.GetBuffer()
+	*buf = appendCell(*buf, resp)
+	if err := sess.wr.WriteFrame(wire.FrameCell, 0, stream, *buf); err != nil {
+		t.dropSession(sess, err)
+	}
+	wire.PutBuffer(buf)
 }
 
 // dropSession fails sess and arms the reconnect backoff (or the sticky
@@ -552,5 +685,73 @@ func (t *binaryTransport) Result(ctx context.Context, req resultRequest) (*resul
 		return nil, err
 	}
 	resp := resultResponse(grant)
+	return &resp, nil
+}
+
+// Advert sends the indicator as a fire-and-forget ADVERT frame on stream 0
+// (the coordinator never replies; per-connection frame ordering makes
+// deltas safe without acknowledgment). The reported size is the
+// uncompressed payload plus header — an overestimate once the shared
+// deflate context warms up, which errs the budget pacing conservative.
+func (t *binaryTransport) Advert(ctx context.Context, f *cellFilter) (int, error) {
+	if d := t.delegate(); d != nil {
+		return d.Advert(ctx, f)
+	}
+	sess, err := t.ensure(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if sess == nil {
+		return t.delegate().Advert(ctx, f)
+	}
+	t.advMu.Lock()
+	defer t.advMu.Unlock()
+	req := advertRequest{Worker: t.name, Gen: t.advGen + 1, M: f.m, K: f.k}
+	if sess == t.advSess && t.lastSent != nil && f.sameShape(t.lastSent) {
+		req.Bits = f.xor(t.lastSent)
+	} else {
+		req.Full = true
+		req.Gen = 1
+		req.Bits = f.bits
+	}
+	buf := wire.GetBuffer()
+	*buf = appendAdvert(*buf, req)
+	sent := len(*buf) + wire.HeaderSize
+	err = sess.wr.WriteFrame(wire.FrameAdvert, 0, 0, *buf)
+	wire.PutBuffer(buf)
+	if err != nil {
+		t.dropSession(sess, err)
+		return 0, err
+	}
+	t.advSess = sess
+	t.lastSent = f.clone()
+	t.advGen = req.Gen
+	return sent, nil
+}
+
+// Fetch asks the coordinator for one raw cell entry (request/reply like
+// any other RPC; the reply may have been relayed from a peer, but this
+// worker only ever sees the coordinator).
+func (t *binaryTransport) Fetch(ctx context.Context, req fetchRequest) (*fetchResponse, error) {
+	if d := t.delegate(); d != nil {
+		return d.Fetch(ctx, req)
+	}
+	if req.Worker == "" {
+		req.Worker = t.name
+	}
+	buf := wire.GetBuffer()
+	*buf = appendFetchRequest(*buf, req)
+	payload, err := t.rpc(ctx, wire.FrameFetch, *buf, wire.FrameCell)
+	wire.PutBuffer(buf)
+	if err == errUseFallback {
+		return t.delegate().Fetch(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := parseCell(payload)
+	if err != nil {
+		return nil, err
+	}
 	return &resp, nil
 }

@@ -6,8 +6,8 @@
 //
 //	offset  size  field
 //	0       4     magic "BSWF"
-//	4       1     protocol version (currently 1)
-//	5       1     frame type (FrameHello .. FrameResultAck)
+//	4       1     protocol version (currently 2)
+//	5       1     frame type (FrameHello .. FrameCell)
 //	6       2     flags, big-endian (FlagAuthFailed, FlagDeflate)
 //	8       4     stream id, big-endian (0 = connection scope)
 //	12      4     payload length, big-endian (bounded by MaxPayload)
@@ -49,8 +49,12 @@ import (
 const (
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 20
-	// Version is the protocol version spoken by this package.
-	Version = 1
+	// Version is the protocol version spoken by this package. v2 added the
+	// peer cell exchange: the ADVERT/FETCH/CELL frames and a per-job
+	// likely-holder hint inside GRANT payloads (a strict codec change, so
+	// mixed builds reject each other at the handshake instead of failing
+	// mid-sweep on a parse error).
+	Version = 2
 	// MaxPayload bounds a frame's payload (raw or compressed), mirroring
 	// the HTTP transport's request-body cap.
 	MaxPayload = 64 << 20
@@ -71,6 +75,9 @@ const (
 	FrameBeatAck                   // coordinator -> worker: heartbeat reply
 	FrameResult                    // worker -> coordinator: one job's outcome
 	FrameResultAck                 // coordinator -> worker: ack + optional refill grant
+	FrameAdvert                    // worker -> coordinator: cell-store membership indicator (no reply)
+	FrameFetch                     // either direction: request one raw cell entry by key
+	FrameCell                      // either direction: FETCH reply (found flag + raw entry bytes)
 	frameTypeEnd
 )
 
@@ -118,6 +125,12 @@ func TypeName(t byte) string {
 		return "RESULT"
 	case FrameResultAck:
 		return "RESULT-ACK"
+	case FrameAdvert:
+		return "ADVERT"
+	case FrameFetch:
+		return "FETCH"
+	case FrameCell:
+		return "CELL"
 	default:
 		return fmt.Sprintf("type-%d", t)
 	}

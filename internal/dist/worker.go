@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cellstore"
 	"repro/internal/runner"
 )
 
@@ -52,6 +53,20 @@ type WorkerOptions struct {
 	// and "http" force their transport; forcing binary against a
 	// coordinator that only speaks HTTP retries with backoff forever.
 	Wire string
+	// CacheDir, when non-empty, is this worker's cell store: adverts cover
+	// its keys, relayed fetches are served from it, and fetched cells are
+	// installed into it. Empty disables advertising (the worker still
+	// fetches — it just never serves).
+	CacheDir string
+	// AdvertBudget caps the advertisement stream at roughly this many
+	// bytes per second: filters shrink (fewer bits per key, more false
+	// positives) and refreshes stretch out to stay under it. Zero means
+	// unpaced full-density adverts.
+	AdvertBudget int
+	// AdvertInterval is the base re-advertisement cadence (stretched by
+	// AdvertBudget pacing, skipped entirely while the store is unchanged).
+	// Zero selects 1s.
+	AdvertInterval time.Duration
 }
 
 func (o WorkerOptions) name() string {
@@ -81,6 +96,13 @@ func (o WorkerOptions) kinds() []string {
 		return o.Kinds
 	}
 	return runner.Kinds()
+}
+
+func (o WorkerOptions) advertInterval() time.Duration {
+	if o.AdvertInterval > 0 {
+		return o.AdvertInterval
+	}
+	return time.Second
 }
 
 func (o WorkerOptions) client() *http.Client {
@@ -138,9 +160,22 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 		return err
 	}
 	defer tr.Close()
-	w := &worker{opt: o, name: o.name(), tr: tr}
+	w := &worker{
+		opt: o, name: o.name(), tr: tr,
+		store: cellstore.For(o.CacheDir),
+		hints: map[string]bool{},
+	}
 	slotCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Route the executors' cell misses through the fleet: held-hinted keys
+	// are fetched before being simulated. Process-global like the executor
+	// registry (one worker per process); deliberately not cleared on exit —
+	// a canceled co-execution worker may outlive its Run by one cell, and a
+	// stale fetcher failing closed beats a fresh one torn down mid-fetch.
+	runner.SetKeyFetcher(w.fetchKey)
+	if w.store != nil {
+		go w.advertise(slotCtx)
+	}
 	errs := make(chan error, o.slots())
 	for i := 0; i < o.slots(); i++ {
 		go func() { errs <- w.loop(slotCtx) }()
@@ -159,15 +194,100 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 }
 
 type worker struct {
-	opt  WorkerOptions
-	name string
-	tr   transport
+	opt   WorkerOptions
+	name  string
+	tr    transport
+	store *cellstore.Store // nil when no CacheDir
 
 	// progressMu guards the last fleet progress seen across slots, so the
 	// log shows each (done, total) step once no matter which slot's reply
 	// carried it.
 	progressMu          sync.Mutex
 	lastDone, lastTotal int
+
+	// hints maps leased job keys to the coordinator's likely-held verdict;
+	// fetchKey consults it so cells nobody claims skip the fetch
+	// round-trip. Entries are dropped as jobs complete.
+	hintMu sync.Mutex
+	hints  map[string]bool
+}
+
+// noteHints records the held hints carried on a grant.
+func (w *worker) noteHints(jobs []leasedJob) {
+	w.hintMu.Lock()
+	for _, j := range jobs {
+		w.hints[j.Key] = j.Held
+	}
+	w.hintMu.Unlock()
+}
+
+// dropHint forgets a completed job's hint.
+func (w *worker) dropHint(key string) {
+	w.hintMu.Lock()
+	delete(w.hints, key)
+	w.hintMu.Unlock()
+}
+
+// fetchKey is the runner.SetKeyFetcher hook: fetch key's raw entry from
+// the fleet, but only when the coordinator hinted someone likely holds it.
+// Any failure — no hint, transport error, not found — reports ok=false and
+// the executor simulates locally.
+func (w *worker) fetchKey(key string) ([]byte, bool) {
+	w.hintMu.Lock()
+	held := w.hints[key]
+	w.hintMu.Unlock()
+	if !held {
+		return nil, false
+	}
+	// Bounded independently of any job context: a fetch is an optimization
+	// with a cheap fallback, never worth a long stall.
+	ctx, cancel := context.WithTimeout(context.Background(), relayTimeout+2*time.Second)
+	defer cancel()
+	resp, err := w.tr.Fetch(ctx, fetchRequest{Worker: w.name, Key: key})
+	if err != nil || !resp.Found {
+		return nil, false
+	}
+	return resp.Raw, true
+}
+
+// advertise periodically rebuilds the store indicator and publishes it,
+// bandwidth-adaptively: the filter's bits-per-key shrink until a full send
+// fits the budget, an unchanged filter is not re-sent, and each send
+// defers the next by at least sentBytes/budget seconds so the advert
+// stream's long-run rate stays under AdvertBudget.
+// advertRetryDelay is how soon a failed advertisement is retried — fast
+// relative to the base cadence, because until the first advert lands the
+// coordinator computes every held hint against a table missing this worker.
+const advertRetryDelay = 100 * time.Millisecond
+
+func (w *worker) advertise(ctx context.Context) {
+	var last *cellFilter
+	timer := time.NewTimer(0) // first advert immediately: a cold fleet wants hints early
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		delay := w.opt.advertInterval()
+		keys := w.store.Keys()
+		f := buildFilter(keys, budgetBitsPerKey(len(keys), w.opt.AdvertBudget))
+		if last == nil || !f.equal(last) {
+			if sent, err := w.tr.Advert(ctx, f); err == nil {
+				last = f
+				if d := time.Duration(advertDelayMillis(sent, w.opt.AdvertBudget)) * time.Millisecond; d > delay {
+					delay = d
+				}
+			} else if delay > advertRetryDelay {
+				// The coordinator is unreachable (e.g. it starts after its
+				// workers, as fleets usually do): retry well under the base
+				// cadence so the first grants still carry held hints.
+				delay = advertRetryDelay
+			}
+		}
+		timer.Reset(delay)
+	}
 }
 
 // noteProgress logs sweep-wide progress carried on lease, heartbeat, and
@@ -283,6 +403,7 @@ func (f *inflight) snapshot() []int64 {
 func (w *worker) executeBatch(ctx context.Context, lease *leaseResponse) error {
 	held := &inflight{}
 	held.add(lease.Jobs)
+	w.noteHints(lease.Jobs)
 	queue := append([]leasedJob(nil), lease.Jobs...)
 
 	// Heartbeat at a third of the TTL while the batch runs, so one missed
@@ -317,6 +438,7 @@ func (w *worker) executeBatch(ctx context.Context, lease *leaseResponse) error {
 		res.Refill = 1
 		refill, err := w.postResult(ctx, job, res)
 		held.remove(job.JobID)
+		w.dropHint(job.Key)
 		if err != nil {
 			var ae *AuthError
 			if errors.As(err, &ae) {
@@ -330,6 +452,7 @@ func (w *worker) executeBatch(ctx context.Context, lease *leaseResponse) error {
 			w.noteProgress(refill.Done, refill.Total)
 			if len(refill.Jobs) > 0 {
 				held.add(refill.Jobs)
+				w.noteHints(refill.Jobs)
 				queue = append(queue, refill.Jobs...)
 			}
 		}

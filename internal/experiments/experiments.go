@@ -390,12 +390,49 @@ func storeCell(o Options, rc runConfig, m core.Metrics) core.Metrics {
 	return v.(core.Metrics)
 }
 
+// fetchCount counts cells obtained from the fleet (peer cell exchange)
+// instead of being simulated, process-wide like simCount.
+var fetchCount atomic.Uint64
+
+// Fetched returns the number of cells this process installed via the peer
+// cell exchange rather than simulating.
+func Fetched() uint64 { return fetchCount.Load() }
+
+// fetchCell asks the fleet for rc's cell through the runner's key-fetcher
+// seam (installed by dist.RunWorker; absent outside a worker). Fetched
+// bytes are verified against the content-addressed key — the key embeds
+// the binary fingerprint, so a mismatched build's entry can never decode
+// here — then written through both cache layers. Every failure degrades to
+// ok=false and the caller simulates: a false positive in a peer's
+// indicator costs one round-trip, never a wrong result.
+func fetchCell(o Options, rc runConfig) (core.Metrics, bool) {
+	key := rc.cacheKey()
+	raw, ok := runner.FetchKey(key)
+	if !ok {
+		return core.Metrics{}, false
+	}
+	var m core.Metrics
+	if err := cellstore.DecodeRaw(raw, key, &m); err != nil {
+		return core.Metrics{}, false
+	}
+	if st := cellstore.For(o.CacheDir); st != nil {
+		st.PutRaw(key, raw) // best-effort: this worker can now serve relays for it
+	}
+	fetchCount.Add(1)
+	v, _ := cellMemo.LoadOrStore(rc, m)
+	return v.(core.Metrics), true
+}
+
 // runMemo returns the metrics for rc, consulting the in-process memo, then
-// (when Options.CacheDir is set) the persistent cell store, and simulating
-// only when both miss. Fresh results are written through to both layers, so
-// an interrupted full-scale run resumes where it left off.
+// (when Options.CacheDir is set) the persistent cell store, then the fleet
+// via the peer cell exchange, and simulating only when all three miss.
+// Fresh results are written through to both cache layers, so an
+// interrupted full-scale run resumes where it left off.
 func runMemo(o Options, rc runConfig) core.Metrics {
 	if m, ok := lookupCell(o, rc); ok {
+		return m
+	}
+	if m, ok := fetchCell(o, rc); ok {
 		return m
 	}
 	return storeCell(o, rc, runOne(o, rc))

@@ -1,0 +1,43 @@
+package runner
+
+import "sync"
+
+// Key fetcher seam: the dist worker installs a function that retrieves a
+// cell's raw store entry from the fleet (coordinator store or an
+// advertised peer), and the experiment executors consult it before
+// simulating a missed cell. It lives here — not in the dist package —
+// because experiments must not import dist (dist imports runner to execute
+// jobs; the seam keeps the dependency one-way).
+//
+// The fetcher is process-global, like the executor registry: a worker
+// process runs one worker. It must be fast to reject — callers invoke it
+// on every cell miss — and must return ok=false rather than error; a
+// failed fetch always degrades to local simulation.
+
+var (
+	fetchMu    sync.RWMutex
+	keyFetcher func(key string) ([]byte, bool)
+)
+
+// SetKeyFetcher installs (or, with nil, removes) the process's key
+// fetcher. The last call wins.
+func SetKeyFetcher(fn func(key string) ([]byte, bool)) {
+	fetchMu.Lock()
+	keyFetcher = fn
+	fetchMu.Unlock()
+}
+
+// FetchKey asks the installed fetcher for key's raw store entry; ok is
+// false when no fetcher is installed or the fleet does not hold the key.
+// Callers must verify the bytes against the key before trusting them
+// (cellstore.DecodeRaw does): the fetcher moves bytes, it does not vouch
+// for them.
+func FetchKey(key string) ([]byte, bool) {
+	fetchMu.RLock()
+	fn := keyFetcher
+	fetchMu.RUnlock()
+	if fn == nil {
+		return nil, false
+	}
+	return fn(key)
+}

@@ -21,6 +21,13 @@
 # run's coordinator-side socket bytes must be at most 1/3 of the HTTP
 # run's.
 #
+# Then a peer-cell-exchange phase: a warm holder-only worker (populated
+# store, no executable kinds) plus a cold worker against a coordinator with
+# a fresh cache. The cold worker must complete the sweep by fetching
+# published cells through the exchange — "simulated 0 cells" in its exit
+# line, at least half the sweep fetched — with the TSV still byte-identical
+# and the advertisement bytes under the -advert-budget cap.
+#
 # Then kills the workers and re-runs the coordinator against the populated
 # cell store: the sweep must complete from published cells alone — zero
 # workers, zero co-execution, zero simulations — and still match byte for
@@ -47,6 +54,11 @@ cleanup() {
     rm -rf "$WORK"
 }
 trap cleanup EXIT INT TERM
+
+# status_field FILE NAME: first (top-level) occurrence of a numeric field.
+status_field() {
+    sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
 
 echo "==> building bashsim"
 go build -o "$WORK/bashsim" ./cmd/bashsim
@@ -130,6 +142,61 @@ cmp "$WORK/serial.tsv" "$WORK/resume.tsv"
 grep -q ' 0 cells simulated' "$WORK/resume.log"
 echo "OK: resume completed from the store with zero simulations and no workers"
 
+echo "==> peer cell exchange: cold second worker fetches instead of simulating"
+# A warm holder-only worker (its kind list matches no job, so it only
+# advertises its populated store and answers relayed fetches) plus a cold
+# executing worker with a fresh store. The coordinator's own cache is fresh
+# too, so every cell is dispatched to the cold worker and every fetch must
+# relay through the holder: the cold worker completes the sweep simulating
+# nothing, and the TSV still matches serial byte for byte.
+COLD_BUDGET=8192
+COLD_T0="$(date +%s)"
+"$WORK/bashsim" -worker "http://127.0.0.1:$((PORT + 4))" -dist-secret "$SECRET" -parallel 1 \
+    -poll 250ms -wire binary -worker-kinds exchange.holder-only \
+    -advert-budget "$COLD_BUDGET" -cache-dir "$WORK/cache" >"$WORK/warmworker.log" 2>&1 &
+WARM=$!
+"$WORK/bashsim" -worker "http://127.0.0.1:$((PORT + 4))" -dist-secret "$SECRET" -parallel 1 \
+    -poll 50ms -wire binary \
+    -advert-budget "$COLD_BUDGET" -cache-dir "$WORK/coldcache" >"$WORK/coldworker.log" 2>&1 &
+COLD=$!
+PIDS="$WARM $COLD"
+"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$((PORT + 4))" -dist-secret "$SECRET" \
+    -co-execute 0 -wait-workers 2 -advert-budget "$COLD_BUDGET" -cache-dir "$WORK/coordcache" \
+    -dist-status "$WORK/status-cold.json" -timeout 120s -out "$WORK/dist-cold.tsv" 2>"$WORK/serve-cold.log"
+COLD_T1="$(date +%s)"
+kill $WARM $COLD 2>/dev/null || true
+wait $WARM 2>/dev/null || true
+wait $COLD 2>/dev/null || true
+PIDS=""
+cmp "$WORK/serial.tsv" "$WORK/dist-cold.tsv"
+
+grep 'worker stopped' "$WORK/coldworker.log"
+if ! grep -q 'simulated 0 cells' "$WORK/coldworker.log"; then
+    echo "FAIL: the cold worker simulated published cells:" >&2
+    cat "$WORK/coldworker.log" >&2
+    exit 1
+fi
+fetched="$(sed -n 's/.*fetched \([0-9][0-9]*\) from peers.*/\1/p' "$WORK/coldworker.log")"
+if [ -z "$fetched" ] || [ "$fetched" -lt 8 ]; then
+    echo "FAIL: cold worker fetched ${fetched:-0} cells, want >= 8 (half the sweep)" >&2
+    exit 1
+fi
+fetches="$(status_field "$WORK/status-cold.json" fetches)"
+relayed="$(status_field "$WORK/status-cold.json" fetch_relayed)"
+adverts="$(status_field "$WORK/status-cold.json" adverts)"
+if [ "${fetches:-0}" -eq 0 ] || [ "${relayed:-0}" -eq 0 ] || [ "${adverts:-0}" -eq 0 ]; then
+    echo "FAIL: exchange counters: fetches=$fetches relayed=$relayed adverts=$adverts (want all > 0)" >&2
+    cat "$WORK/status-cold.json" >&2
+    exit 1
+fi
+advert_bytes="$(status_field "$WORK/status-cold.json" advert_bytes)"
+advert_cap=$((2 * COLD_BUDGET * (COLD_T1 - COLD_T0 + 5)))
+if [ "${advert_bytes:-0}" -gt "$advert_cap" ]; then
+    echo "FAIL: $advert_bytes advert bytes over ~$((COLD_T1 - COLD_T0))s exceeds 2 workers x ${COLD_BUDGET}B/s (cap $advert_cap)" >&2
+    exit 1
+fi
+echo "OK: cold worker fetched $fetched cells (simulated 0), $relayed relayed of $fetches fetches, $advert_bytes advert bytes under budget"
+
 echo "==> cache-gc on the populated store"
 "$WORK/bashsim" -cache-gc -cache-dir "$WORK/cache"
 
@@ -157,11 +224,6 @@ measure_bytes() {
     cmp "$WORK/serial.tsv" "$WORK/dist-$tag.tsv"
 }
 
-# status_field FILE NAME: first (top-level) occurrence of a numeric field.
-status_field() {
-    sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
-}
-
 echo "==> paired byte measurement: binary vs http transport (fresh caches, no co-execution)"
 measure_bytes bin "$((PORT + 2))" auto
 measure_bytes http "$((PORT + 3))" http
@@ -187,6 +249,7 @@ echo "OK: $bin_done cells took $bin_bytes coordinator bytes over binary vs $http
 echo "==> exporting artifacts to $ART"
 mkdir -p "$ART"
 cp "$WORK/status.json" "$ART/dist-status.json"
+cp "$WORK/status-cold.json" "$ART/dist-status-cold-worker.json"
 cp "$WORK/status-bin.json" "$ART/dist-status-binary.json"
 cp "$WORK/status-http.json" "$ART/dist-status-http.json"
 cp "$WORK/cache/manifest.json" "$ART/manifest.json"
