@@ -12,9 +12,11 @@ import (
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/svc"
 	"repro/internal/tester"
 	"repro/internal/workload"
 )
@@ -180,6 +182,72 @@ func RunDistWorker(ctx context.Context, o DistWorkerOptions) error { return dist
 func RegisterDistExecutors(cacheDir string) {
 	experiments.RegisterCellExecutor(experiments.Options{CacheDir: cacheDir})
 	tester.RegisterTrialExecutor(cacheDir)
+}
+
+// Sweep service and observability (internal/svc + internal/obs): the
+// long-lived multi-tenant layer over the distributed coordinator. A
+// SweepService stays up with an empty queue, accepts named sweep
+// submissions from separate processes (`bashsim -submit URL -exp fig1`,
+// POST /dist/submit, or a SUBMIT frame on the binary wire), runs them
+// FIFO within priority over one shared worker fleet, and serves results,
+// a Prometheus-style /metrics endpoint, and a no-JavaScript live status
+// page. See the "Observability" and "Service mode" sections of the
+// package documentation and `bashsim -serve` without `-exp`.
+type (
+	// MetricsRegistry is the dependency-free metrics registry behind GET
+	// /metrics: Counter/Gauge/Histogram instruments backed by atomics
+	// (safe to update from simulation hot paths), read-through
+	// CounterFunc/GaugeFunc/Collect registrations for sampling existing
+	// counters at scrape time, and an Expose method emitting the
+	// Prometheus text exposition format. (Named MetricsRegistry because
+	// Metrics — a simulation run's measured results — was here first.)
+	MetricsRegistry = obs.Registry
+	// ServeOptions configures a sweep service: the embedded coordinator
+	// (DistOptions), the base experiment options every sweep inherits
+	// (scale and priority come from each submission), MaxActive
+	// concurrently running sweeps (default 2; queued sweeps start
+	// highest-priority-first as slots free), an optional shared
+	// MetricsRegistry, and a log sink.
+	ServeOptions = svc.Options
+	// SweepService is the long-lived coordinator service. It owns one
+	// DistCoordinator, schedules each accepted sweep as one prioritized
+	// run over the shared fleet, and serves the HTTP surface: /dist/*
+	// (the wire protocol plus submissions), /sweeps and /sweeps/{id}
+	// (JSON), /sweeps/{id}/result.tsv (bytes identical to `bashsim -exp`
+	// output), /metrics, and the live status page at /. Drain stops
+	// admissions and grants, lets leased batches finish or expire, and
+	// persists nothing by itself — WriteStatus captures the final
+	// snapshot.
+	SweepService = svc.Service
+	// SweepServiceStatus is one sweep's externally visible lifecycle
+	// record, as served by GET /sweeps.
+	SweepServiceStatus = svc.SweepStatus
+	// SweepSubmitRequest names one sweep to submit: an experiment id (or
+	// "all"), a scale, and a priority (higher preempts queue order, not
+	// running sweeps).
+	SweepSubmitRequest = dist.SubmitRequest
+	// SweepSubmitResponse is the service's acceptance decision: the
+	// assigned sweep id and queue position, or a rejection reason.
+	SweepSubmitResponse = dist.SubmitResponse
+)
+
+// NewSweepService returns a sweep service ready to Serve; its embedded
+// coordinator, registry and HTTP handler are reachable via accessors.
+func NewSweepService(o ServeOptions) *SweepService { return svc.New(o) }
+
+// NewMetricsRegistry returns an empty metrics registry. SweepService
+// creates its own when ServeOptions.Registry is nil; create one explicitly
+// to add process-specific instruments next to the built-in bashsim_*
+// families.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// SubmitSweep submits one named sweep to the running sweep service at
+// o.Coordinator (a base URL such as "http://host:8497") and returns the
+// service's acceptance decision. It uses the same transport negotiation
+// and authentication as RunDistWorker (`bashsim -submit URL` from the
+// command line).
+func SubmitSweep(ctx context.Context, o DistWorkerOptions, req SweepSubmitRequest) (SweepSubmitResponse, error) {
+	return dist.SubmitSweep(ctx, o, req)
 }
 
 // CellStoreGC evicts stale-format and older-than-maxAge entries from the

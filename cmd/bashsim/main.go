@@ -19,6 +19,17 @@
 //	bashsim -worker http://coord:8497 -dist-secret s3 &  # on each worker machine
 //	bashsim -exp all -serve :8497 -dist-secret s3        # coordinator: dispatches cells
 //
+// Service mode — `-serve` without an explicit `-exp` — keeps the
+// coordinator alive across sweeps: it accepts named sweep submissions,
+// schedules them across the shared fleet by priority, and serves a live
+// status page and Prometheus metrics (see internal/svc). SIGINT/SIGTERM
+// drains gracefully:
+//
+//	bashsim -serve :8497 &                            # long-lived sweep service
+//	bashsim -submit http://localhost:8497 -exp fig1   # queue a named sweep
+//	bashsim -status http://localhost:8497             # one-line fleet/sweep table
+//	curl http://localhost:8497/sweeps/s001/result.tsv # retrieve its artifacts
+//
 // Cell-store hygiene:
 //
 //	bashsim -cache-gc                     # evict stale/aged cache entries
@@ -39,6 +50,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/cellstore"
@@ -47,6 +59,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/svc"
 	"repro/internal/tester"
 	"repro/internal/workload"
 )
@@ -79,6 +92,11 @@ func main() {
 		workerKind = flag.String("worker-kinds", "", "with -worker: comma-separated job kinds to lease (empty = every registered executor); a kind matching no jobs makes a holder-only worker that just advertises and serves its cell store")
 		waitWork   = flag.Int("wait-workers", 0, "with -serve: wait for this many live workers (and their first indicator adverts) before dispatching")
 
+		submit    = flag.String("submit", "", "submit a named sweep (-exp, -scale, -priority) to a sweep-service coordinator at this URL and exit")
+		statusURL = flag.String("status", "", "query a running coordinator's /dist/status at this URL, print an aligned table, and exit")
+		priority  = flag.Int("priority", 0, "with -submit: sweep priority (higher runs first; equal priorities run FIFO)")
+		maxSweeps = flag.Int("max-sweeps", 0, "with -serve service mode: concurrently running sweeps (0 = 2)")
+
 		cacheGC     = flag.Bool("cache-gc", false, "evict stale-format and aged cell-store entries, print a report, and exit")
 		cacheMaxAge = flag.Duration("cache-max-age", 30*24*time.Hour, "with -cache-gc: evict entries older than this (0 = stale formats only)")
 
@@ -99,6 +117,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bashsim: -wire %q: want auto, binary, or http\n", *distWire)
 		os.Exit(2)
 	}
+	// Reject contradictory flag combinations up front with a description of
+	// the conflict, instead of silently ignoring one side.
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	switch {
+	case *worker != "" && *serve != "":
+		fatalUsage("-worker and -serve are mutually exclusive: a process either leases jobs from a coordinator or is one")
+	case *waitWork > 0 && *serve == "":
+		fatalUsage("-wait-workers only applies to a coordinator; add -serve ADDR")
+	case *submit != "" && *single:
+		fatalUsage("-submit and -run are mutually exclusive: -submit queues a named sweep on a remote service, -run simulates one ad-hoc configuration locally")
+	case *submit != "" && *serve != "":
+		fatalUsage("-submit and -serve are mutually exclusive: start the service first, then submit to it from another process")
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -107,6 +143,14 @@ func main() {
 	}
 	if *cacheGC {
 		runCacheGC(*cacheDir, *cacheMaxAge)
+		return
+	}
+	if *statusURL != "" {
+		runStatus(*statusURL, *distSecret)
+		return
+	}
+	if *submit != "" {
+		runSubmit(*submit, *exp, *scale, *priority, *distSecret, *distWire)
 		return
 	}
 	if *worker != "" {
@@ -140,6 +184,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bashsim: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	// -serve with no explicit -exp enters service mode: the coordinator
+	// stays up, runs submitted sweeps, and drains on SIGINT/SIGTERM. An
+	// explicit -exp (even "-exp all") keeps the classic one-shot behavior:
+	// serve, run that experiment across the fleet, exit.
+	if *serve != "" && !expSet {
+		runService(*serve, dist.CoordinatorOptions{
+			LeaseTTL:   *leaseTTL,
+			LeaseBatch: *leaseBatch,
+			Secret:     *distSecret,
+			CoExecute:  *coExecute,
+			Wire:       *distWire,
+			CacheDir:   opts.CacheDir,
+		}, opts, *maxSweeps, *distStatus)
+		return
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -237,6 +296,134 @@ func main() {
 			}
 		}
 	}
+}
+
+// fatalUsage reports a flag-combination error and exits with the usage
+// status.
+func fatalUsage(msg string) {
+	fmt.Fprintf(os.Stderr, "bashsim: %s\n", msg)
+	os.Exit(2)
+}
+
+// runService runs the long-lived sweep service until a SIGINT/SIGTERM,
+// then drains: submissions are refused, queued sweeps cancel, leased
+// batches finish or expire, and the combined final status is persisted to
+// -dist-status.
+func runService(addr string, copt dist.CoordinatorOptions, opts experiments.Options, maxSweeps int, statusPath string) {
+	if copt.CoExecute > 0 {
+		// The cell executor is registered by svc.New; trials only matter if
+		// a tester coordinator shares the fleet, but registering is free.
+		tester.RegisterTrialExecutor(opts.CacheDir)
+	}
+	s := svc.New(svc.Options{
+		Coordinator: copt,
+		Experiments: opts,
+		MaxActive:   maxSweeps,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: -serve %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bashsim: sweep service on %s\n  submit: bashsim -submit http://%s -exp fig1\n  status: http://%s/ (HTML) · /metrics (Prometheus) · /sweeps (JSON)\n",
+		l.Addr(), l.Addr(), l.Addr())
+	go s.Serve(l)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop() // a second signal now kills outright instead of queueing behind the drain
+
+	ttl := copt.LeaseTTL
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	drainBudget := 4 * ttl
+	fmt.Fprintf(os.Stderr, "bashsim: draining: leased batches finish or expire (up to %s)\n", drainBudget)
+	dctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: drain: %v\n", err)
+	}
+	l.Close()
+
+	if statusPath != "" {
+		f, err := os.Create(statusPath)
+		if err == nil {
+			err = s.WriteStatus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: -dist-status: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	st := s.Coordinator().Stats()
+	fmt.Fprintf(os.Stderr, "dist: %d jobs dispatched over %d leases + %d refills, %d completed, %d leases reassigned, %d failed\n",
+		st.Dispatched, st.Leases, st.Refills, st.Completed, st.Reassigned, st.Failed)
+}
+
+// runSubmit queues one named sweep on a sweep-service coordinator and
+// prints the acknowledged id and queue position.
+func runSubmit(coordinator, exp, scale string, priority int, secret, wire string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := dist.SubmitSweep(ctx, dist.WorkerOptions{
+		Coordinator: coordinator,
+		Secret:      secret,
+		Wire:        wire,
+	}, dist.SubmitRequest{Exp: exp, Scale: scale, Priority: priority})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: -submit: %v\n", err)
+		os.Exit(1)
+	}
+	base := strings.TrimRight(coordinator, "/")
+	fmt.Printf("queued %s: %s -scale %s at position %d\n", resp.ID, exp, scale, resp.Position)
+	fmt.Printf("watch %s/sweeps/%s — result at %s/sweeps/%s/result.tsv\n", base, resp.ID, base, resp.ID)
+}
+
+// runStatus fetches a running coordinator's /dist/status and prints it as
+// the aligned table humans previously only got from the final JSON file.
+func runStatus(coordinator, secret string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := dist.FetchStatus(ctx, nil, coordinator, secret)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: -status: %v\n", err)
+		os.Exit(1)
+	}
+	state := "idle"
+	if st.Active {
+		state = fmt.Sprintf("active, %d/%d cells", st.Done, st.Total)
+	}
+	if st.Draining {
+		state += ", draining"
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "coordinator\t%s (%s)\n", coordinator, state)
+	fmt.Fprintf(w, "workers\t%d live\n", st.Workers)
+	fmt.Fprintf(w, "leases\t%d grants, %d refills, %d reassigned\n", st.Leases, st.Refills, st.Reassigned)
+	fmt.Fprintf(w, "jobs\t%d dispatched, %d completed, %d failed\n", st.Dispatched, st.Completed, st.Failed)
+	fmt.Fprintf(w, "socket\t%d B in, %d B out\n", st.BytesIn, st.BytesOut)
+	fmt.Fprintf(w, "frames\t%d in, %d out\n", st.FramesIn, st.FramesOut)
+	fmt.Fprintf(w, "exchange\t%d adverts (%d B), %d fetches: %d served, %d relayed, %d false-pos\n",
+		st.Adverts, st.AdvertBytes, st.Fetches, st.FetchServed, st.FetchRelayed, st.FetchFalsePos)
+	if len(st.WireConns) > 0 {
+		fmt.Fprintf(w, "\nWORKER\tREMOTE\tFRAMES IN/OUT\tBYTES IN/OUT\t\n")
+		for _, c := range st.WireConns {
+			note := ""
+			if c.Closed {
+				note = "closed"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d/%d\t%d/%d\t%s\n",
+				c.Worker, c.Remote, c.FramesIn, c.FramesOut, c.BytesIn, c.BytesOut, note)
+		}
+	}
+	w.Flush()
 }
 
 // serveCoordinator starts the distributed job protocol on addr and returns

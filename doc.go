@@ -190,6 +190,54 @@
 // payloads either way) trusts its network unless a shared secret is
 // configured — run it on a private cluster or set one.
 //
+// # Service mode
+//
+// `bashsim -serve ADDR` without `-exp` starts the coordinator as a
+// long-lived multi-tenant sweep service (SweepService, internal/svc)
+// instead of running one sweep and exiting. The service stays up with an
+// empty queue; separate processes submit named sweeps with `bashsim
+// -submit URL -exp fig1 -scale quick [-priority N]` (POST /dist/submit
+// over HTTP/JSON, or a SUBMIT frame when the binary wire negotiates), and
+// each accepted sweep gets an id, a queue position, and a result URL.
+// Sweeps run highest-priority-first (FIFO within a priority) over the one
+// shared worker fleet, up to ServeOptions.MaxActive at a time — a running
+// sweep's remaining cells and a newly submitted higher-priority sweep's
+// cells compete per lease grant, so priorities take effect without
+// killing anything. The HTTP surface: GET /sweeps and /sweeps/{id} serve
+// JSON lifecycle records, GET /sweeps/{id}/result.tsv serves bytes
+// identical to what `bashsim -exp` would have written, GET / is a
+// no-JavaScript live status page (progress bars via meta-refresh), and
+// /dist/* remains the worker protocol. Only /dist/* requires the shared
+// secret; the read-only surface is open.
+//
+// SIGINT or SIGTERM drains rather than kills: the service stops accepting
+// submissions and granting jobs, leased batches finish or expire through
+// the normal TTL machinery (nothing is lost or double-counted), queued
+// sweeps are canceled, and the final status snapshot persists to the
+// -dist-status file. `bashsim -status URL` prints an aligned table of the
+// same snapshot for a quick look from the terminal.
+//
+// # Observability
+//
+// MetricsRegistry (internal/obs) is a dependency-free metrics subsystem:
+// Counter, Gauge and Histogram instruments backed by atomics (cheap
+// enough for simulation hot paths), plus read-through CounterFunc /
+// GaugeFunc / Collect registrations that sample existing counters only at
+// scrape time — the instrumented layers (dist, cellstore, runner,
+// experiments) keep their own plain atomics and pay nothing when no one
+// is scraping. Expose emits the Prometheus text exposition format with
+// families sorted, labels escaped, and histogram buckets cumulative; GET
+// /metrics on a sweep service serves it. The bashsim_* families cover the
+// coordinator's lease and job counters, the wire transports' byte/frame
+// counters per direction and per connection, the peer cell exchange
+// (adverts, fetches, served/relayed/false-positive), the cell store
+// (hits, misses, writes, evictions), the run orchestrator (jobs in
+// flight, captured panics), and per-sweep progress gauges
+// (bashsim_sweep_done/bashsim_sweep_total labeled by sweep id and
+// experiment). Scrapes are allocation-bounded and race-clean against
+// concurrent updates; the exposition format is pinned by escaping,
+// cumulativity and golden-file tests.
+//
 // Cell-store hygiene: `bashsim -cache-gc` evicts entries whose on-disk
 // format is stale or whose age exceeds -cache-max-age (CellStoreGC from
 // code), and a per-experiment hit/miss manifest (LoadCellStoreManifest) is

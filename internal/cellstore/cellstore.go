@@ -78,6 +78,7 @@ type envelope struct {
 type Store struct {
 	dir                  string
 	hits, misses, writes atomic.Uint64
+	evictions            atomic.Uint64 // defective entries removed by Get, plus GC removals
 
 	// keysMu guards keyCache, the per-file key memo behind Keys (raw.go).
 	keysMu   sync.Mutex
@@ -143,12 +144,16 @@ func (s *Store) Get(key string, value any) bool {
 	dec := gob.NewDecoder(f)
 	var env envelope
 	if dec.Decode(&env) != nil || env.Format != formatVersion || env.Key != key {
-		os.Remove(path)
+		if os.Remove(path) == nil {
+			s.evictions.Add(1)
+		}
 		s.misses.Add(1)
 		return false
 	}
 	if dec.Decode(value) != nil {
-		os.Remove(path)
+		if os.Remove(path) == nil {
+			s.evictions.Add(1)
+		}
 		s.misses.Add(1)
 		return false
 	}
@@ -193,3 +198,7 @@ func (s *Store) Put(key string, value any) error {
 func (s *Store) Counters() (hits, misses, writes uint64) {
 	return s.hits.Load(), s.misses.Load(), s.writes.Load()
 }
+
+// Evictions reports the lifetime count of entries this process removed from
+// the store: defective files evicted by Get plus GC removals.
+func (s *Store) Evictions() uint64 { return s.evictions.Load() }

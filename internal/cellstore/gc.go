@@ -48,6 +48,7 @@ func (s *Store) GC(maxAge time.Duration) (GCResult, error) {
 	if maxAge > 0 {
 		cutoff = time.Now().Add(-maxAge)
 	}
+	defer func() { s.evictions.Add(uint64(res.Removed())) }()
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err

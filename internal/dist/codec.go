@@ -390,3 +390,46 @@ func parseCell(p []byte) (fetchResponse, error) {
 	}
 	return resp, nil
 }
+
+// --- SUBMIT / SWEEP (sweep service submissions) --------------------------
+
+// maxSweepPriority bounds the priority a submission may carry: enough for
+// any sane scheduling scheme, tight enough that a corrupt varint fails the
+// parse instead of minting a sweep that preempts everything forever.
+const maxSweepPriority = 1 << 20
+
+func appendSubmit(b []byte, req SubmitRequest) []byte {
+	b = appendString(b, req.Exp)
+	b = appendString(b, req.Scale)
+	return appendUvarint(b, uint64(req.Priority))
+}
+
+func parseSubmit(p []byte) (SubmitRequest, error) {
+	r := &byteReader{p: p}
+	var req SubmitRequest
+	req.Exp = r.str("experiment id", maxWireStr)
+	req.Scale = r.str("sweep scale", maxWireStr)
+	prio := r.uvarint("sweep priority")
+	if r.err == nil && prio > maxSweepPriority {
+		r.fail("dist: sweep priority %d exceeds bound %d", prio, maxSweepPriority)
+	}
+	req.Priority = int(prio)
+	return req, r.finish("submit")
+}
+
+// appendSweep encodes a SUBMIT reply; rejection travels in-band as the Err
+// string so the connection survives a refused submission.
+func appendSweep(b []byte, resp SubmitResponse) []byte {
+	b = appendString(b, resp.ID)
+	b = appendUvarint(b, uint64(resp.Position))
+	return appendString(b, resp.Err)
+}
+
+func parseSweep(p []byte) (SubmitResponse, error) {
+	r := &byteReader{p: p}
+	var resp SubmitResponse
+	resp.ID = r.str("sweep id", maxWireStr)
+	resp.Position = int(r.uvarint("queue position"))
+	resp.Err = r.str("submit error", maxWireStr)
+	return resp, r.finish("sweep")
+}

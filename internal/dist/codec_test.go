@@ -123,6 +123,27 @@ func TestCodecRoundTrips(t *testing.T) {
 			t.Fatalf("miss: got %+v, %v", miss, err)
 		}
 	})
+
+	t.Run("submit", func(t *testing.T) {
+		want := SubmitRequest{Exp: "fig1", Scale: "quick", Priority: 7}
+		got, err := parseSubmit(appendSubmit(nil, want))
+		if err != nil || got != want {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+	})
+
+	t.Run("sweep", func(t *testing.T) {
+		accepted := SubmitResponse{ID: "s003", Position: 2}
+		got, err := parseSweep(appendSweep(nil, accepted))
+		if err != nil || got != accepted {
+			t.Fatalf("accepted: got %+v, %v; want %+v", got, err, accepted)
+		}
+		rejected := SubmitResponse{Err: "unknown experiment \"fig99\""}
+		got, err = parseSweep(appendSweep(nil, rejected))
+		if err != nil || got != rejected {
+			t.Fatalf("rejected: got %+v, %v; want %+v", got, err, rejected)
+		}
+	})
 }
 
 // TestCodecRejectsMalformed: strict parsing — truncation, overrun lengths,
@@ -203,6 +224,30 @@ func TestCodecRejectsMalformed(t *testing.T) {
 		t.Error("fetch request with trailing bytes parsed")
 	}
 
+	submit := appendSubmit(nil, SubmitRequest{Exp: "fig1", Scale: "quick", Priority: 1})
+	if _, err := parseSubmit(submit[:len(submit)-1]); err == nil {
+		t.Error("truncated submit parsed")
+	}
+	if _, err := parseSubmit(append(submit, 0)); err == nil {
+		t.Error("submit with trailing bytes parsed")
+	}
+	// A priority beyond the wire bound is rejected before it can skew the
+	// queue ordering arithmetic.
+	absurd := appendString(nil, "fig1")
+	absurd = appendString(absurd, "quick")
+	absurd = appendUvarint(absurd, maxSweepPriority+1)
+	if _, err := parseSubmit(absurd); err == nil {
+		t.Error("submit with absurd priority parsed")
+	}
+
+	sweep := appendSweep(nil, SubmitResponse{ID: "s001", Position: 1})
+	if _, err := parseSweep(sweep[:len(sweep)-1]); err == nil {
+		t.Error("truncated sweep parsed")
+	}
+	if _, err := parseSweep(append(sweep, 0)); err == nil {
+		t.Error("sweep with trailing bytes parsed")
+	}
+
 	cell := appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw")})
 	if _, err := parseCell(cell[:len(cell)-1]); err == nil {
 		t.Error("truncated cell parsed")
@@ -228,6 +273,8 @@ func FuzzCodecParsers(f *testing.F) {
 	f.Add(appendAdvert(nil, advertRequest{Worker: "w", Gen: 1, Full: true, M: 64, K: 3, Bits: make([]byte, 8)}))
 	f.Add(appendFetchRequest(nil, fetchRequest{Worker: "w", Key: "k"}))
 	f.Add(appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw entry")}))
+	f.Add(appendSubmit(nil, SubmitRequest{Exp: "fig1", Scale: "quick", Priority: 1}))
+	f.Add(appendSweep(nil, SubmitResponse{ID: "s001", Position: 1}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		parseHello(data)
@@ -240,5 +287,7 @@ func FuzzCodecParsers(f *testing.F) {
 		parseAdvert(data)
 		parseFetchRequest(data)
 		parseCell(data)
+		parseSubmit(data)
+		parseSweep(data)
 	})
 }

@@ -99,10 +99,10 @@ func (wc *wireConn) failRelays() {
 	wc.mu.Unlock()
 }
 
-func (wc *wireConn) status() wireConnStatus {
+func (wc *wireConn) status() WireConnStatus {
 	fi, bi := wc.rd.Stats()
 	fo, bo := wc.wr.Stats()
-	return wireConnStatus{
+	return WireConnStatus{
 		Worker: wc.worker, Remote: wc.remote,
 		FramesIn: fi, FramesOut: fo, BytesIn: bi, BytesOut: bo,
 	}
@@ -183,9 +183,7 @@ func (c *Coordinator) serveWireConn(conn net.Conn, r io.Reader) {
 	c.wireConns[wc] = struct{}{}
 	c.wireMu.Unlock()
 	defer func() {
-		c.wireMu.Lock()
-		delete(c.wireConns, wc)
-		c.wireMu.Unlock()
+		c.retireWireConn(wc)
 		wc.failRelays()
 	}()
 	c.mu.Lock()
@@ -320,6 +318,17 @@ func (c *Coordinator) dispatchFrame(h wire.Header, payload []byte) (byte, *[]byt
 		// resultResponse and leaseResponse are the same grant shape.
 		*buf = appendGrant(*buf, leaseResponse(c.resultRPC(req)))
 		return wire.FrameResultAck, buf, nil
+	case wire.FrameSubmit:
+		req, err := parseSubmit(payload)
+		if err != nil {
+			wire.PutBuffer(buf)
+			return 0, nil, err
+		}
+		// The reply carries rejection in-band (SubmitResponse.Err), so a
+		// client on a non-service coordinator gets a description, not a
+		// dropped connection.
+		*buf = appendSweep(*buf, c.submitRPC(req))
+		return wire.FrameSweep, buf, nil
 	default:
 		wire.PutBuffer(buf)
 		return 0, nil, fmt.Errorf("dist: unexpected %s frame on an established connection", wire.TypeName(h.Type))

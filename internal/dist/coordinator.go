@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -94,10 +95,11 @@ const (
 	jobDone                    // result or terminal failure recorded
 )
 
-// trackedJob is one job of the active batch.
+// trackedJob is one job of a batch in flight.
 type trackedJob struct {
 	id       int64
-	index    int // index into the batch's job list
+	index    int    // index into the batch's job list
+	b        *batch // owning batch (concurrent Runs interleave in one queue)
 	job      runner.Job
 	state    jobState
 	worker   string    // current (or last) lease holder
@@ -112,6 +114,7 @@ type batch struct {
 	errs      []error
 	remaining int
 	completed int
+	priority  int // grant order: higher drains first, ties FIFO by job id
 	progress  func(done, total int)
 	done      chan struct{} // closed when remaining reaches zero
 	closed    bool          // abandoned (canceled); late results are dropped
@@ -142,27 +145,47 @@ func (b *batch) notifyProgress(done int) {
 
 // Coordinator owns the job queue and lease table and serves the wire
 // protocol. It implements runner.Backend: Run enqueues a batch and blocks
-// until workers drain it (or the context cancels). One batch runs at a
-// time; concurrent Run calls serialize, which matches how the experiment
-// harness issues sweeps.
+// until workers drain it (or the context cancels). Concurrent Run calls
+// interleave their jobs in one shared queue — ordered by batch priority,
+// then FIFO — so a long-lived sweep service can schedule several sweeps
+// across one worker fleet at once.
 type Coordinator struct {
 	opt     CoordinatorOptions
 	handler http.Handler // built once: HTTP servers and the loopback share it
-	runMu   sync.Mutex   // serializes Run invocations
 	exch    *exchange    // peer cell exchange: indicator table + fetch routing
 
-	mu      sync.Mutex
-	nextID  int64
-	queue   []*trackedJob         // pending jobs, FIFO
-	pending int                   // jobPending entries in queue (O(1) grant sizing)
-	leased  map[int64]*trackedJob // in-flight jobs by id
-	batch   *batch                // active batch, nil when idle
-	workers map[string]time.Time  // worker name -> last contact
+	mu       sync.Mutex
+	nextID   int64
+	queue    []*trackedJob         // pending jobs, sorted by (priority desc, id asc)
+	pending  int                   // jobPending entries in queue (O(1) grant sizing)
+	leased   map[int64]*trackedJob // in-flight jobs by id
+	batches  map[*batch]struct{}   // batches in flight, one per active Run
+	workers  map[string]time.Time  // worker name -> last contact
+	draining bool                  // Drain called: grant nothing, let leases finish
+
+	// submitMu guards the sweep-submission hook, installed by the service
+	// layer (internal/svc). Nil rejects submissions in-band: a plain
+	// one-shot coordinator is not a sweep service.
+	submitMu sync.Mutex
+	submit   func(SubmitRequest) SubmitResponse
+
+	// coMu guards the refcounted loopback worker: concurrent Runs share one
+	// in-process worker rather than stacking CoExecute slots per sweep.
+	coMu     sync.Mutex
+	coRuns   int
+	coCancel context.CancelFunc
 
 	// wireMu guards the live binary connections (per-connection counters
-	// surface in /dist/status); frame totals also count closed ones.
-	wireMu    sync.Mutex
-	wireConns map[*wireConn]struct{}
+	// surface in /dist/status) plus a bounded history of closed ones; frame
+	// totals also count closed connections.
+	wireMu      sync.Mutex
+	wireConns   map[*wireConn]struct{}
+	closedConns []closedWireConn
+
+	// grantSize, when set by RegisterMetrics, observes the size of every
+	// non-empty grant (atomic pointer: metrics wiring must not add a lock to
+	// the lease path).
+	grantSize atomic.Pointer[obs.Histogram]
 
 	leases, refills, dispatched, completed, failed, reassigned atomic.Uint64
 	bytesIn, bytesOut                                          atomic.Uint64 // socket-level, via Serve
@@ -175,6 +198,7 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 		opt:       opt,
 		exch:      newExchange(opt.CacheDir),
 		leased:    map[int64]*trackedJob{},
+		batches:   map[*batch]struct{}{},
 		workers:   map[string]time.Time{},
 		wireConns: map[*wireConn]struct{}{},
 	}
@@ -184,6 +208,7 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	mux.HandleFunc("POST /dist/result", c.handleResult)
 	mux.HandleFunc("POST /dist/advert", c.handleAdvert)
 	mux.HandleFunc("POST /dist/fetch", c.handleFetch)
+	mux.HandleFunc("POST /dist/submit", c.handleSubmit)
 	mux.HandleFunc("GET /dist/status", c.handleStatus)
 	c.handler = c.authenticate(mux)
 	if opt.Wire != "http" {
@@ -215,7 +240,16 @@ func (c *Coordinator) Handler() http.Handler { return c.handler }
 // so HTTP header overhead and binary frames are measured at the same place:
 // the socket.
 func (c *Coordinator) Serve(l net.Listener) error {
-	srv := &http.Server{Handler: c.handler}
+	return c.ServeHandler(l, c.handler)
+}
+
+// ServeHandler is Serve with a caller-supplied HTTP handler: the sweep
+// service (internal/svc) mounts the protocol under /dist/ next to its own
+// routes — /sweeps, /metrics, the status page — while connections still flow
+// through the socket-level byte counters. h must delegate /dist/ paths to
+// Handler() or workers cannot reach the protocol.
+func (c *Coordinator) ServeHandler(l net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
 	return srv.Serve(countingListener{Listener: l, c: c})
 }
 
@@ -321,15 +355,22 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 // cancellation the partial results are still returned. With
 // Options.CoExecute > 0, loopback worker slots run in-process for the
 // duration of the call, so the batch drains even with no external workers.
+// Concurrent Runs are safe: each gets its own batch, their jobs interleave
+// in the shared queue, and the fleet drains them together.
 func (c *Coordinator) Run(jobs []runner.Job, opt runner.Options) ([][]byte, error) {
-	c.runMu.Lock()
-	defer c.runMu.Unlock()
+	return c.RunPriority(jobs, opt, 0)
+}
 
+// RunPriority is Run with an explicit batch priority: pending jobs from a
+// higher-priority batch are always granted before lower ones; equal
+// priorities drain FIFO. Leases already held are never preempted.
+func (c *Coordinator) RunPriority(jobs []runner.Job, opt runner.Options, priority int) ([][]byte, error) {
 	b := &batch{
 		jobs:      make([]*trackedJob, len(jobs)),
 		results:   make([][]byte, len(jobs)),
 		errs:      make([]error, len(jobs)),
 		remaining: len(jobs),
+		priority:  priority,
 		progress:  opt.Progress,
 		done:      make(chan struct{}),
 	}
@@ -342,15 +383,14 @@ func (c *Coordinator) Run(jobs []runner.Job, opt runner.Options) ([][]byte, erro
 	c.mu.Lock()
 	for i, j := range jobs {
 		c.nextID++
-		tj := &trackedJob{id: c.nextID, index: i, job: j}
+		tj := &trackedJob{id: c.nextID, index: i, b: b, job: j}
 		b.jobs[i] = tj
-		c.queue = append(c.queue, tj)
+		c.enqueueLocked(tj)
 	}
-	c.pending += len(jobs)
-	c.batch = b
+	c.batches[b] = struct{}{}
 	c.mu.Unlock()
 
-	stopCoExec := c.startCoExecution(ctx)
+	stopCoExec := c.acquireCoExecution()
 	defer stopCoExec()
 
 	// Expired leases are also reclaimed lazily on every lease request, but
@@ -371,14 +411,14 @@ wait:
 			break wait
 		case <-ticker.C:
 			c.mu.Lock()
-			prog, done := c.reclaimExpiredLocked(time.Now())
+			notes := c.reclaimExpiredLocked(time.Now())
 			c.mu.Unlock()
-			prog.notifyProgress(done)
+			notes.notify()
 		}
 	}
 
 	c.mu.Lock()
-	c.batch = nil
+	delete(c.batches, b)
 	c.mu.Unlock()
 
 	label := func(i int) string {
@@ -402,35 +442,87 @@ wait:
 	return b.results, nil
 }
 
-// startCoExecution launches the in-process loopback worker for this Run (a
-// no-op closure when CoExecute is 0 or no executors are registered). The
-// loopback worker speaks the full wire protocol against the coordinator's
-// own handler — auth, batched leases, heartbeats, streamed results — so
-// every hardening test that covers external workers covers it too.
-func (c *Coordinator) startCoExecution(ctx context.Context) (stop func()) {
+// acquireCoExecution refcounts the in-process loopback worker (a no-op
+// closure when CoExecute is 0 or no executors are registered): the first
+// active Run starts it, the last one's release cancels it, and concurrent
+// Runs in between share it — a sweep service with N queued sweeps runs
+// CoExecute loopback slots total, not N stacks of them. The loopback worker
+// speaks the full wire protocol against the coordinator's own handler —
+// auth, batched leases, heartbeats, streamed results — so every hardening
+// test that covers external workers covers it too.
+func (c *Coordinator) acquireCoExecution() (release func()) {
 	if c.opt.CoExecute <= 0 || len(runner.Kinds()) == 0 {
 		return func() {}
 	}
-	loopCtx, cancel := context.WithCancel(ctx)
-	go func() {
-		// Errors other than cancellation (e.g. a future kindless start)
-		// only disable co-execution; external workers still drain the run.
-		RunWorker(loopCtx, WorkerOptions{
-			Coordinator: "http://loopback",
-			Name:        "coordinator",
-			Slots:       c.opt.CoExecute,
-			Secret:      c.opt.Secret,
-			Poll:        50 * time.Millisecond,
-			Client:      &http.Client{Transport: loopbackTransport{h: c.handler}},
-		})
-	}()
+	c.coMu.Lock()
+	c.coRuns++
+	if c.coRuns == 1 {
+		loopCtx, cancel := context.WithCancel(context.Background())
+		c.coCancel = cancel
+		go func() {
+			// Errors other than cancellation (e.g. a future kindless start)
+			// only disable co-execution; external workers still drain the run.
+			RunWorker(loopCtx, WorkerOptions{
+				Coordinator: "http://loopback",
+				Name:        "coordinator",
+				Slots:       c.opt.CoExecute,
+				Secret:      c.opt.Secret,
+				Poll:        50 * time.Millisecond,
+				Client:      &http.Client{Transport: loopbackTransport{h: c.handler}},
+			})
+		}()
+	}
+	c.coMu.Unlock()
 	// Cancel without joining: executors are synchronous simulations, so a
 	// slot mid-job cannot be interrupted — waiting for it would hold a
 	// canceled (or even a completed) Run hostage for up to one full cell.
 	// Canceled slots stop heartbeating at once (their leases expire and
 	// reassign), finish the cell they are on, post nothing, and exit; a
 	// straggler's late duplicate is dropped like any other.
-	return cancel
+	return func() {
+		c.coMu.Lock()
+		c.coRuns--
+		if c.coRuns == 0 {
+			c.coCancel()
+			c.coCancel = nil
+		}
+		c.coMu.Unlock()
+	}
+}
+
+// Drain puts the coordinator in drain mode and waits for every leased job
+// to complete or expire: no new jobs are granted (leases and refills return
+// empty), results and heartbeats are still accepted, and expired leases are
+// reclaimed back into a queue nobody is granted from. Pending jobs stay queued —
+// their Runs only return when the service layer cancels them — so nothing
+// is lost or double-counted across a SIGTERM teardown. Returns ctx.Err if
+// the deadline passes with leases still outstanding.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		notes := c.reclaimExpiredLocked(time.Now())
+		outstanding := len(c.leased)
+		c.mu.Unlock()
+		notes.notify()
+		if outstanding == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
 }
 
 // abandon drops a canceled batch: pending jobs leave the queue, leased jobs
@@ -442,7 +534,7 @@ func (c *Coordinator) abandon(b *batch) {
 	b.closed = true
 	var keep []*trackedJob
 	for _, tj := range c.queue {
-		if tj.state == jobPending && c.inBatchLocked(b, tj) {
+		if tj.state == jobPending && tj.b == b {
 			tj.state = jobDone
 			c.pending--
 			continue
@@ -451,28 +543,55 @@ func (c *Coordinator) abandon(b *batch) {
 	}
 	c.queue = keep
 	for id, tj := range c.leased {
-		if c.inBatchLocked(b, tj) {
+		if tj.b == b {
 			tj.state = jobDone
 			delete(c.leased, id)
 		}
 	}
 }
 
-// inBatchLocked reports whether tj belongs to b (jobs carry no batch
-// pointer; with one batch active at a time, membership is an index check).
-func (c *Coordinator) inBatchLocked(b *batch, tj *trackedJob) bool {
-	return tj.index < len(b.jobs) && b.jobs[tj.index] == tj
+// enqueueLocked inserts tj into the pending queue, keeping it sorted by
+// (batch priority desc, job id asc). Same-priority batches therefore drain
+// FIFO exactly as before; an expired lease's requeue reinserts by its
+// original id, so retries go ahead of its batch's untouched tail.
+func (c *Coordinator) enqueueLocked(tj *trackedJob) {
+	i := len(c.queue)
+	for i > 0 {
+		prev := c.queue[i-1]
+		if prev.b.priority > tj.b.priority ||
+			(prev.b.priority == tj.b.priority && prev.id < tj.id) {
+			break
+		}
+		i--
+	}
+	c.queue = append(c.queue, nil)
+	copy(c.queue[i+1:], c.queue[i:])
+	c.queue[i] = tj
+	c.pending++
+}
+
+// progressNotes carries per-batch completion counts out of the coordinator
+// mutex: with several batches in flight one reclaim pass can finish jobs in
+// more than one of them, and every notifyProgress must run unlocked.
+type progressNotes []progressNote
+
+type progressNote struct {
+	b    *batch
+	done int
+}
+
+func (ns progressNotes) notify() {
+	for _, n := range ns {
+		n.b.notifyProgress(n.done)
+	}
 }
 
 // reclaimExpiredLocked requeues (or terminally fails) every leased job
-// whose deadline passed. It returns the batch and completion count to
-// report via notifyProgress once the coordinator mutex is released (zero
+// whose deadline passed. It returns the per-batch completion counts to
+// report via notifyProgress once the coordinator mutex is released (empty
 // when nothing terminal happened).
-func (c *Coordinator) reclaimExpiredLocked(now time.Time) (prog *batch, done int) {
-	b := c.batch
-	if b == nil {
-		return nil, 0
-	}
+func (c *Coordinator) reclaimExpiredLocked(now time.Time) progressNotes {
+	var notes progressNotes
 	for id, tj := range c.leased {
 		if now.Before(tj.deadline) {
 			continue
@@ -480,17 +599,18 @@ func (c *Coordinator) reclaimExpiredLocked(now time.Time) (prog *batch, done int
 		delete(c.leased, id)
 		tj.expiries++
 		if tj.expiries > c.opt.maxExpiries() {
-			done = c.finishLocked(b, tj, nil, fmt.Errorf(
+			done := c.finishLocked(tj.b, tj, nil, fmt.Errorf(
 				"lease expired %d times (last worker %q lost); giving up", tj.expiries, tj.worker))
-			prog = b
+			if done > 0 {
+				notes = append(notes, progressNote{tj.b, done})
+			}
 			continue
 		}
 		c.reassigned.Add(1)
 		tj.state = jobPending
-		c.queue = append(c.queue, tj)
-		c.pending++
+		c.enqueueLocked(tj)
 	}
-	return prog, done
+	return notes
 }
 
 // finishLocked records a job's terminal result (value or error), closes the
@@ -522,6 +642,9 @@ func (c *Coordinator) finishLocked(b *batch, tj *trackedJob, result []byte, err 
 // grant it nothing rather than jobs it would terminally fail (one
 // misconfigured worker must not abort a healthy fleet's batch).
 func (c *Coordinator) grantLocked(now time.Time, worker string, kinds map[string]bool, max int) []*trackedJob {
+	if c.draining {
+		return nil // drain mode: let held leases finish, hand out nothing new
+	}
 	var grants []*trackedJob
 	for qi := 0; qi < len(c.queue) && len(grants) < max; {
 		tj := c.queue[qi]
@@ -568,12 +691,15 @@ func (c *Coordinator) leaseSizeLocked(now time.Time, reqMax int) int {
 	return max
 }
 
-// progressLocked snapshots the active batch's done/total (zeros when idle).
+// progressLocked snapshots done/total summed across every batch in flight
+// (zeros when idle), so worker logs and /dist/status show fleet-wide sweep
+// progress even with several sweeps interleaved.
 func (c *Coordinator) progressLocked() (done, total int) {
-	if b := c.batch; b != nil {
-		return b.completed, len(b.jobs)
+	for b := range c.batches {
+		done += b.completed
+		total += len(b.jobs)
 	}
-	return 0, 0
+	return done, total
 }
 
 func kindSet(kinds []string) map[string]bool {
@@ -607,15 +733,16 @@ func (c *Coordinator) leaseRPC(req leaseRequest) leaseResponse {
 
 	c.mu.Lock()
 	c.workers[req.Worker] = now
-	prog, done := c.reclaimExpiredLocked(now)
+	notes := c.reclaimExpiredLocked(now)
 	grants := c.grantLocked(now, req.Worker, kinds, c.leaseSizeLocked(now, req.Max))
 	pdone, ptotal := c.progressLocked()
 	c.mu.Unlock()
-	prog.notifyProgress(done)
+	notes.notify()
 
 	resp := leaseResponse{Done: pdone, Total: ptotal}
 	if len(grants) > 0 {
 		c.leases.Add(1)
+		c.observeGrant(len(grants))
 		resp.Jobs = leasedJobs(grants)
 		c.annotateHints(req.Worker, resp.Jobs)
 		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
@@ -633,7 +760,7 @@ func (c *Coordinator) heartbeatRPC(req heartbeatRequest) heartbeatResponse {
 			tj.deadline = now.Add(c.opt.leaseTTL())
 		}
 	}
-	resp := heartbeatResponse{Active: c.batch != nil}
+	resp := heartbeatResponse{Active: len(c.batches) > 0}
 	resp.Done, resp.Total = c.progressLocked()
 	c.mu.Unlock()
 	return resp
@@ -649,9 +776,10 @@ func (c *Coordinator) resultRPC(req resultRequest) resultResponse {
 	if ok {
 		delete(c.leased, req.JobID)
 	}
-	b := c.batch
+	var b *batch
 	done := 0
-	if ok && b != nil && c.inBatchLocked(b, tj) {
+	if ok {
+		b = tj.b
 		switch {
 		case req.Panic != "":
 			// Mirror the in-process pool: a worker-side panic becomes a
@@ -687,6 +815,7 @@ func (c *Coordinator) resultRPC(req resultRequest) resultResponse {
 	resp := resultResponse{Done: pdone, Total: ptotal}
 	if len(grants) > 0 {
 		c.refills.Add(uint64(len(grants)))
+		c.observeGrant(len(grants))
 		resp.Jobs = leasedJobs(grants)
 		c.annotateHints(req.Worker, resp.Jobs)
 		resp.LeaseMillis = c.opt.leaseTTL().Milliseconds()
@@ -754,11 +883,16 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, c.statusSnapshot())
 }
 
-func (c *Coordinator) statusSnapshot() statusResponse {
+// Snapshot returns the same aggregate the /dist/status endpoint serves —
+// the in-process equivalent of FetchStatus for the service layer's status
+// page and drain persistence.
+func (c *Coordinator) Snapshot() StatusSnapshot { return c.statusSnapshot() }
+
+func (c *Coordinator) statusSnapshot() StatusSnapshot {
 	now := time.Now()
 	st := c.Stats()
 	c.mu.Lock()
-	resp := statusResponse{
+	resp := StatusSnapshot{
 		Workers:    c.liveWorkersLocked(now),
 		Leases:     st.Leases,
 		Refills:    st.Refills,
@@ -778,21 +912,83 @@ func (c *Coordinator) statusSnapshot() statusResponse {
 		FetchRelayed:  st.FetchRelayed,
 		FetchFalsePos: st.FetchFalsePos,
 	}
-	if b := c.batch; b != nil {
-		resp.Active = true
-		resp.Done = b.completed
-		resp.Total = len(b.jobs)
-	}
+	resp.Active = len(c.batches) > 0
+	resp.Draining = c.draining
+	resp.Done, resp.Total = c.progressLocked()
 	c.mu.Unlock()
 	c.wireMu.Lock()
+	c.gcClosedConnsLocked(now)
 	for wc := range c.wireConns {
 		resp.WireConns = append(resp.WireConns, wc.status())
 	}
+	for _, cc := range c.closedConns {
+		resp.WireConns = append(resp.WireConns, cc.st)
+	}
 	c.wireMu.Unlock()
-	slices.SortFunc(resp.WireConns, func(a, b wireConnStatus) int {
+	// Live connections sort first, then the closed history; within each
+	// group, by worker and remote address.
+	slices.SortFunc(resp.WireConns, func(a, b WireConnStatus) int {
+		if a.Closed != b.Closed {
+			if a.Closed {
+				return 1
+			}
+			return -1
+		}
 		return strings.Compare(a.Worker+a.Remote, b.Worker+b.Remote)
 	})
 	return resp
+}
+
+// Closed-connection retention: /dist/status keeps a short history of dead
+// binary connections (final counters, Closed=true) so a post-mortem can see
+// what a departed worker moved — but bounded by count and age, so a
+// week-long sweep service with churning workers never grows its status
+// payload or status-page table without limit.
+const (
+	maxClosedConns      = 16
+	closedConnRetention = 10 * time.Minute
+)
+
+// closedWireConn is one retained dead connection and when it closed.
+type closedWireConn struct {
+	st WireConnStatus
+	at time.Time
+}
+
+// gcClosedConnsLocked drops retained closed connections past the age
+// window (the count cap is enforced at insert). Caller holds wireMu.
+func (c *Coordinator) gcClosedConnsLocked(now time.Time) {
+	keep := c.closedConns[:0]
+	for _, cc := range c.closedConns {
+		if now.Sub(cc.at) <= closedConnRetention {
+			keep = append(keep, cc)
+		}
+	}
+	c.closedConns = keep
+}
+
+// retireWireConn moves a dying connection from the live table to the
+// bounded closed history.
+func (c *Coordinator) retireWireConn(wc *wireConn) {
+	st := wc.status()
+	st.Closed = true
+	now := time.Now()
+	c.wireMu.Lock()
+	delete(c.wireConns, wc)
+	c.closedConns = append(c.closedConns, closedWireConn{st: st, at: now})
+	if n := len(c.closedConns) - maxClosedConns; n > 0 {
+		c.closedConns = append(c.closedConns[:0], c.closedConns[n:]...)
+	}
+	c.gcClosedConnsLocked(now)
+	c.wireMu.Unlock()
+}
+
+// observeGrant feeds the grant-size histogram when metrics are registered
+// (one atomic load on the path otherwise).
+func (c *Coordinator) observeGrant(n int) {
+	if h := c.grantSize.Load(); h != nil {
+		h.Observe(float64(n))
+	}
 }
 
 // WriteStatus writes the coordinator's current /dist/status JSON — the

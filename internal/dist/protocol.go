@@ -13,8 +13,13 @@
 //	POST /dist/result    {worker, job_id, ...}   -> completes (or fails) one job; reply may refill the batch
 //	POST /dist/advert    {worker, gen, bits...}  -> records the worker's cell-store indicator
 //	POST /dist/fetch     {worker, key}           -> raw cell entry bytes from any holder, or found=false
+//	POST /dist/submit    {exp, scale, priority}  -> queues one named sweep on a sweep-service coordinator
 //	POST /dist/wire      Upgrade: bashsim-wire/2 -> 101; the connection becomes binary frames
 //	GET  /dist/status                            -> batch progress, live workers, lifetime counters
+//
+// Submissions also travel the binary wire as a SUBMIT/SWEEP frame pair (see
+// submit.go); a coordinator that is not running as a sweep service answers
+// either plane with an in-band error rather than queueing anything.
 //
 // The same actions run over two transports behind one state machine. By
 // default a worker upgrades to the binary framed wire (internal/dist/wire):
@@ -208,11 +213,16 @@ type fetchResponse struct {
 	Raw   []byte `json:"raw,omitempty"`
 }
 
-// statusResponse reports batch progress and the coordinator's lifetime
-// counters, for dashboards, the CLI's aggregated progress line, and the CI
-// smoke's per-commit artifact (lease, reassignment, and byte counts).
-type statusResponse struct {
+// StatusSnapshot reports batch progress and the coordinator's lifetime
+// counters, for dashboards, the CLI's aggregated progress line, the sweep
+// service's status page, and the CI smoke's per-commit artifact (lease,
+// reassignment, and byte counts). It is the decoded GET /dist/status
+// payload; FetchStatus retrieves one from a running coordinator. With
+// concurrent sweeps active, Done/Total aggregate across every batch in
+// flight.
+type StatusSnapshot struct {
 	Active     bool   `json:"active"`
+	Draining   bool   `json:"draining,omitempty"`
 	Done       int    `json:"done"`
 	Total      int    `json:"total"`
 	Workers    int    `json:"workers"`
@@ -241,18 +251,22 @@ type statusResponse struct {
 	FetchServed   uint64 `json:"fetch_served"`
 	FetchRelayed  uint64 `json:"fetch_relayed"`
 	FetchFalsePos uint64 `json:"fetch_false_pos"`
-	// WireConns details each live binary connection.
-	WireConns []wireConnStatus `json:"wire_conns,omitempty"`
+	// WireConns details each live binary connection, followed by a bounded
+	// history of recently closed ones (Closed=true): the retention cap and
+	// age window in conn.go keep a week-long service's status payload and
+	// status-page table from growing with every reconnect.
+	WireConns []WireConnStatus `json:"wire_conns,omitempty"`
 }
 
-// wireConnStatus is one live binary connection's counters in /dist/status.
-type wireConnStatus struct {
+// WireConnStatus is one binary connection's counters in /dist/status.
+type WireConnStatus struct {
 	Worker    string `json:"worker"`
 	Remote    string `json:"remote"`
 	FramesIn  uint64 `json:"frames_in"`
 	FramesOut uint64 `json:"frames_out"`
 	BytesIn   uint64 `json:"bytes_in"`
 	BytesOut  uint64 `json:"bytes_out"`
+	Closed    bool   `json:"closed,omitempty"`
 }
 
 // Stats are the coordinator's lifetime counters.

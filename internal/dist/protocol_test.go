@@ -73,7 +73,7 @@ func waitActive(t *testing.T, srvURL string) {
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(srvURL + "/dist/status")
 		if err == nil {
-			var st statusResponse
+			var st StatusSnapshot
 			json.NewDecoder(resp.Body).Decode(&st)
 			resp.Body.Close()
 			if st.Active {

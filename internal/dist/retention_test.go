@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dist/wire"
+)
+
+// TestClosedConnRetention: the /dist/status wire-conn list keeps a bounded
+// history of dead connections — capped by count at insert and by age at
+// snapshot — so a long-lived service with churning workers never grows its
+// status payload without limit.
+func TestClosedConnRetention(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{})
+	total := maxClosedConns + 9
+	for i := 0; i < total; i++ {
+		wc := &wireConn{
+			worker: fmt.Sprintf("w%02d", i),
+			remote: fmt.Sprintf("10.0.0.%d:1", i),
+			rd:     wire.NewReader(strings.NewReader("")),
+			wr:     wire.NewWriter(io.Discard),
+		}
+		c.wireMu.Lock()
+		c.wireConns[wc] = struct{}{}
+		c.wireMu.Unlock()
+		c.retireWireConn(wc)
+	}
+
+	st := c.Snapshot()
+	if len(st.WireConns) != maxClosedConns {
+		t.Fatalf("retained %d closed conns, want %d", len(st.WireConns), maxClosedConns)
+	}
+	for _, wcs := range st.WireConns {
+		if !wcs.Closed {
+			t.Fatalf("conn %q reported live after retirement", wcs.Worker)
+		}
+		// The earliest retirements are the ones evicted by the count cap.
+		if wcs.Worker < fmt.Sprintf("w%02d", total-maxClosedConns) {
+			t.Fatalf("conn %q should have been evicted by the count cap", wcs.Worker)
+		}
+	}
+
+	// Backdate everything past the age window: the next snapshot GCs it all.
+	c.wireMu.Lock()
+	for i := range c.closedConns {
+		c.closedConns[i].at = c.closedConns[i].at.Add(-closedConnRetention - time.Minute)
+	}
+	c.wireMu.Unlock()
+	if n := len(c.Snapshot().WireConns); n != 0 {
+		t.Fatalf("age GC left %d closed conns, want 0", n)
+	}
+}

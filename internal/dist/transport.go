@@ -53,6 +53,7 @@ type transport interface {
 	Result(ctx context.Context, req resultRequest) (*resultResponse, error)
 	Advert(ctx context.Context, f *cellFilter) (sentBytes int, err error)
 	Fetch(ctx context.Context, req fetchRequest) (*fetchResponse, error)
+	Submit(ctx context.Context, req SubmitRequest) (*SubmitResponse, error)
 	Close() error
 }
 
@@ -200,6 +201,24 @@ func postJSONBody(ctx context.Context, o WorkerOptions, path string, in, out any
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// Submit posts one named sweep submission; rejection by a coordinator that
+// is not a sweep service travels in-band as SubmitResponse.Err.
+func (t *httpTransport) Submit(ctx context.Context, req SubmitRequest) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	status, err := postJSONBody(ctx, t.opt, "/dist/submit", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return &resp, nil
+	case http.StatusUnauthorized:
+		return nil, &AuthError{Coordinator: t.opt.Coordinator}
+	default:
+		return nil, fmt.Errorf("submit: HTTP %d", status)
+	}
 }
 
 func (t *httpTransport) Lease(ctx context.Context, req leaseRequest) (*leaseResponse, error) {
@@ -727,6 +746,29 @@ func (t *binaryTransport) Advert(ctx context.Context, f *cellFilter) (int, error
 	t.lastSent = f.clone()
 	t.advGen = req.Gen
 	return sent, nil
+}
+
+// Submit carries one named sweep submission as a SUBMIT/SWEEP frame pair
+// (request/reply like any other RPC).
+func (t *binaryTransport) Submit(ctx context.Context, req SubmitRequest) (*SubmitResponse, error) {
+	if d := t.delegate(); d != nil {
+		return d.Submit(ctx, req)
+	}
+	buf := wire.GetBuffer()
+	*buf = appendSubmit(*buf, req)
+	payload, err := t.rpc(ctx, wire.FrameSubmit, *buf, wire.FrameSweep)
+	wire.PutBuffer(buf)
+	if err == errUseFallback {
+		return t.delegate().Submit(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp, err := parseSweep(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Fetch asks the coordinator for one raw cell entry (request/reply like

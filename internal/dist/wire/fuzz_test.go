@@ -37,6 +37,14 @@ func FuzzFrameDecoder(f *testing.F) {
 	crc[18] ^= 0x55 // corrupt CRC
 	f.Add(crc)
 	f.Add(seed(FrameResult, FlagDeflate, 7, []byte{0x05, 0xFF, 0xFF})) // bogus deflate body
+	// Sweep-service frames: a healthy SUBMIT/SWEEP pair, a truncated
+	// SUBMIT payload, and the first type past the table (must be rejected).
+	f.Add(seed(FrameSubmit, 0, 8, []byte("\x04fig1\x05quick\x00")))
+	f.Add(seed(FrameSweep, 0, 8, []byte("\x04s001\x01\x00")))
+	f.Add(seed(FrameSubmit, 0, 9, []byte("submit"))[:HeaderSize+1])
+	unknown := seed(frameTypeEnd, 0, 10, nil)
+	binary.BigEndian.PutUint32(unknown[16:20], crc32.ChecksumIEEE(unknown[0:16]))
+	f.Add(unknown)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))

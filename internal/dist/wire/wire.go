@@ -7,7 +7,7 @@
 //	offset  size  field
 //	0       4     magic "BSWF"
 //	4       1     protocol version (currently 2)
-//	5       1     frame type (FrameHello .. FrameCell)
+//	5       1     frame type (FrameHello .. FrameSweep)
 //	6       2     flags, big-endian (FlagAuthFailed, FlagDeflate)
 //	8       4     stream id, big-endian (0 = connection scope)
 //	12      4     payload length, big-endian (bounded by MaxPayload)
@@ -53,7 +53,10 @@ const (
 	// peer cell exchange: the ADVERT/FETCH/CELL frames and a per-job
 	// likely-holder hint inside GRANT payloads (a strict codec change, so
 	// mixed builds reject each other at the handshake instead of failing
-	// mid-sweep on a parse error).
+	// mid-sweep on a parse error). The SUBMIT/SWEEP pair (sweep service
+	// submissions) was appended without a bump: the new types only ever
+	// flow client -> coordinator after negotiation, and an older build
+	// rejects them cleanly as unknown frame types at the header parse.
 	Version = 2
 	// MaxPayload bounds a frame's payload (raw or compressed), mirroring
 	// the HTTP transport's request-body cap.
@@ -78,6 +81,8 @@ const (
 	FrameAdvert                    // worker -> coordinator: cell-store membership indicator (no reply)
 	FrameFetch                     // either direction: request one raw cell entry by key
 	FrameCell                      // either direction: FETCH reply (found flag + raw entry bytes)
+	FrameSubmit                    // client -> coordinator: submit one named sweep (exp, scale, priority)
+	FrameSweep                     // coordinator -> client: SUBMIT reply (sweep id + queue position, or error)
 	frameTypeEnd
 )
 
@@ -131,6 +136,10 @@ func TypeName(t byte) string {
 		return "FETCH"
 	case FrameCell:
 		return "CELL"
+	case FrameSubmit:
+		return "SUBMIT"
+	case FrameSweep:
+		return "SWEEP"
 	default:
 		return fmt.Sprintf("type-%d", t)
 	}

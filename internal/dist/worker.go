@@ -520,8 +520,11 @@ func (w *worker) postResult(ctx context.Context, job leasedJob, res resultReques
 // result message (they surface coordinator-side as *runner.PanicError).
 func (w *worker) runJob(job leasedJob) (res resultRequest) {
 	res = resultRequest{Worker: w.name, JobID: job.JobID}
+	end := runner.JobBegin()
 	defer func() {
+		end()
 		if r := recover(); r != nil {
+			runner.NotePanic()
 			res.Panic = fmt.Sprint(r)
 			res.Stack = debug.Stack()
 		}
@@ -540,10 +543,11 @@ func (w *worker) runJob(job leasedJob) (res resultRequest) {
 	return res
 }
 
-// Status fetches a coordinator's progress snapshot (the CLI's aggregated
-// progress line and the smoke tests use it). secret must match the
-// coordinator's -dist-secret; pass "" for an unauthenticated coordinator.
-func Status(ctx context.Context, client *http.Client, coordinator, secret string) (done, total, workers int, active bool, err error) {
+// FetchStatus fetches a coordinator's full /dist/status snapshot — progress,
+// lifetime counters, wire connections. secret must match the coordinator's
+// -dist-secret; pass "" for an unauthenticated coordinator.
+func FetchStatus(ctx context.Context, client *http.Client, coordinator, secret string) (StatusSnapshot, error) {
+	var st StatusSnapshot
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -552,21 +556,31 @@ func Status(ctx context.Context, client *http.Client, coordinator, secret string
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordinator+"/dist/status", nil)
 	if err != nil {
-		return 0, 0, 0, false, err
+		return st, err
 	}
 	if secret != "" {
 		req.Header.Set(secretHeader, secret)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, 0, false, err
+		return st, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusUnauthorized {
-		return 0, 0, 0, false, &AuthError{Coordinator: coordinator}
+		return st, &AuthError{Coordinator: coordinator}
 	}
-	var st statusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Status fetches a coordinator's progress snapshot (the CLI's aggregated
+// progress line and the smoke tests use it). secret must match the
+// coordinator's -dist-secret; pass "" for an unauthenticated coordinator.
+func Status(ctx context.Context, client *http.Client, coordinator, secret string) (done, total, workers int, active bool, err error) {
+	st, err := FetchStatus(ctx, client, coordinator, secret)
+	if err != nil {
 		return 0, 0, 0, false, err
 	}
 	return st.Done, st.Total, st.Workers, st.Active, nil

@@ -363,10 +363,21 @@ func runOne(o Options, rc runConfig) core.Metrics {
 // distinct cell is simulated exactly once per process.
 var cellMemo sync.Map // runConfig -> core.Metrics
 
+// memoHits counts cells served straight from the in-process memo,
+// process-wide like simCount; with Simulations and Fetched it completes the
+// where-did-this-cell-come-from accounting on /metrics.
+var memoHits atomic.Uint64
+
+// MemoHits returns the number of cells this process served from the
+// in-process memo rather than the persistent store, the fleet, or a fresh
+// simulation.
+func MemoHits() uint64 { return memoHits.Load() }
+
 // lookupCell consults the in-process memo, then (when Options.CacheDir is
 // set) the persistent cell store, without simulating.
 func lookupCell(o Options, rc runConfig) (core.Metrics, bool) {
 	if v, ok := cellMemo.Load(rc); ok {
+		memoHits.Add(1)
 		return v.(core.Metrics), true
 	}
 	if st := cellstore.For(o.CacheDir); st != nil {

@@ -1,0 +1,353 @@
+// Package obs is a dependency-free metrics subsystem: a registry of
+// counters, gauges, and histograms with atomic hot paths, exposed in the
+// Prometheus text exposition format (a GET /metrics handler). It exists so
+// the long-lived sweep service can be scraped by stock tooling without
+// pulling a client library into the module.
+//
+// Two registration styles cover every producer in the tree:
+//
+//   - Owned instruments (Counter, Gauge, Histogram) for call sites that
+//     want to increment something directly — lock-free atomics on the hot
+//     path, read at scrape time.
+//   - Read-through instruments (CounterFunc, GaugeFunc, Collect) for
+//     subsystems that already keep their own atomic counters (dist,
+//     cellstore, runner, experiments): the registry reads them at scrape
+//     time through a closure instead of forcing a parallel bespoke struct.
+//     Collect additionally emits a dynamic label set per scrape (per-sweep
+//     progress gauges, per-connection byte counters).
+//
+// Scrapes are deterministic (families sort by name) and race-clean: every
+// value is read through an atomic or a caller-supplied closure, never a
+// lock shared with the hot path. Metric and label names are sanitized to
+// the Prometheus charset and label values escaped per the text format, so
+// a hostile sweep name cannot corrupt the exposition.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing uint64 with an atomic hot path.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable signed value with an atomic hot path.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free: one atomic
+// add on the bucket, one CAS loop on the float sum. The exposition computes
+// cumulative bucket counts at scrape time, so `le="+Inf"` always equals
+// `_count` even while observations race the scrape.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; the +Inf bucket is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// metricKind is the TYPE line's value.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one registered metric name: its metadata plus how to read its
+// samples at scrape time.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	readC   func() uint64
+	readG   func() float64
+	collect func(emit func(v float64, labels ...Label))
+	labels  []Label // static labels for the owned/read-through forms
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// register adds f, panicking on a duplicate name: double registration is a
+// wiring bug, and failing at startup beats silently shadowing a metric.
+func (r *Registry) register(f *family) {
+	f.name = SanitizeName(f.name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic("obs: metric " + f.name + " registered twice")
+	}
+	r.fams[f.name] = f
+}
+
+// Counter registers and returns an owned counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, kind: kindCounter, counter: c, labels: labels})
+	return c
+}
+
+// Gauge registers and returns an owned gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, kind: kindGauge, gauge: g, labels: labels})
+	return g
+}
+
+// Histogram registers and returns an owned histogram with the given bucket
+// upper bounds (sorted ascending; the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	r.register(&family{name: name, help: help, kind: kindHistogram, hist: h, labels: labels})
+	return h
+}
+
+// CounterFunc registers a counter read through fn at scrape time — the seam
+// by which subsystems expose the atomic counters they already keep.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(&family{name: name, help: help, kind: kindCounter, readC: fn, labels: labels})
+}
+
+// GaugeFunc registers a gauge read through fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&family{name: name, help: help, kind: kindGauge, readG: fn, labels: labels})
+}
+
+// Collect registers a metric whose sample set is produced per scrape:
+// collect is called with an emit function and may emit any number of
+// samples, each with its own labels (per-sweep progress, per-connection
+// counters). kind must be "counter" or "gauge".
+func (r *Registry) Collect(name, help, kind string, collect func(emit func(v float64, labels ...Label))) {
+	k := metricKind(kind)
+	if k != kindCounter && k != kindGauge {
+		panic("obs: Collect kind must be counter or gauge, got " + kind)
+	}
+	r.register(&family{name: name, help: help, kind: k, collect: collect})
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by metric name so scrapes are diffable and golden-testable.
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// Expose returns the full exposition as a string (one allocation chain per
+// scrape; scraping is a cold path next to the simulators it observes).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns the GET /metrics handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Expose())
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(string(f.kind))
+	b.WriteByte('\n')
+
+	switch {
+	case f.counter != nil:
+		writeSample(b, f.name, f.labels, float64(f.counter.Value()))
+	case f.gauge != nil:
+		writeSample(b, f.name, f.labels, float64(f.gauge.Value()))
+	case f.readC != nil:
+		writeSample(b, f.name, f.labels, float64(f.readC()))
+	case f.readG != nil:
+		writeSample(b, f.name, f.labels, f.readG())
+	case f.collect != nil:
+		f.collect(func(v float64, labels ...Label) {
+			writeSample(b, f.name, labels, v)
+		})
+	case f.hist != nil:
+		f.hist.write(b, f.name, f.labels)
+	}
+}
+
+// write renders one histogram: cumulative buckets, then sum and count.
+// Bucket counts are loaded once and summed, so the rendered buckets are
+// cumulative by construction and le="+Inf" equals _count exactly, even
+// while Observe races the scrape.
+func (h *Histogram) write(b *strings.Builder, name string, labels []Label) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", append(labels[:len(labels):len(labels)],
+			Label{"le", formatFloat(bound)}), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(b, name+"_bucket", append(labels[:len(labels):len(labels)],
+		Label{"le", "+Inf"}), float64(cum))
+	writeSample(b, name+"_sum", labels, math.Float64frombits(h.sum.Load()))
+	writeSample(b, name+"_count", labels, float64(cum))
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(SanitizeName(l.Name))
+			b.WriteString(`="`)
+			b.WriteString(EscapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizeName maps an arbitrary string onto the Prometheus metric/label
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every invalid rune with
+// '_' (and prefixing one when the first rune is a digit). Deterministic, so
+// the same source name always scrapes under the same metric name.
+func SanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			if b != nil {
+				b = append(b, c)
+			}
+			continue
+		}
+		if b == nil { // first invalid rune: copy the clean prefix
+			b = append(b, s[:i]...)
+		}
+		b = append(b, '_')
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// EscapeLabelValue escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: backslash and newline (quotes are legal).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}

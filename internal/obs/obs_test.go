@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"bashsim_leases_total": "bashsim_leases_total",
+		"sweep.done":           "sweep_done",
+		"1weird":               "_weird",
+		"spaces and-dashes":    "spaces_and_dashes",
+		"ok:colon":             "ok:colon",
+		"":                     "_",
+		"héllo":                "h__llo", // two UTF-8 bytes, two underscores
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		`plain`:            `plain`,
+		`a"b`:              `a\"b`,
+		`back\slash`:       `back\\slash`,
+		"line\nbreak":      `line\nbreak`,
+		`all"of\it` + "\n": `all\"of\\it\n`,
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExpositionShape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs seen")
+	c.Add(3)
+	g := r.Gauge("queue depth", "queued sweeps") // name sanitized
+	g.Set(-2)
+	r.CounterFunc("read_through_total", "from a closure", func() uint64 { return 7 })
+	r.GaugeFunc("temp", "read gauge", func() float64 { return 1.5 })
+	r.Collect("sweep_done", "per-sweep progress", "gauge", func(emit func(v float64, labels ...Label)) {
+		emit(4, Label{"id", `s"1`}, Label{"exp", "fig1"})
+		emit(9, Label{"id", "s2"}, Label{"exp", "fig2"})
+	})
+
+	out := r.Expose()
+	for _, want := range []string{
+		"# HELP jobs_total jobs seen\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE queue_depth gauge\nqueue_depth -2\n",
+		"read_through_total 7\n",
+		"temp 1.5\n",
+		`sweep_done{id="s\"1",exp="fig1"} 4` + "\n",
+		`sweep_done{id="s2",exp="fig2"} 9` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if i, j := strings.Index(out, "jobs_total"), strings.Index(out, "queue_depth"); i > j {
+		t.Errorf("families not sorted: jobs_total at %d, queue_depth at %d", i, j)
+	}
+}
+
+func TestHistogramBucketCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("grant_size", "jobs per grant", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 1, 3, 5, 100} {
+		h.Observe(v)
+	}
+	out := r.Expose()
+	want := []string{
+		`grant_size_bucket{le="1"} 3`,
+		`grant_size_bucket{le="2"} 3`,
+		`grant_size_bucket{le="4"} 4`,
+		`grant_size_bucket{le="8"} 5`,
+		`grant_size_bucket{le="+Inf"} 6`,
+		`grant_size_sum 110.5`,
+		`grant_size_count 6`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("histogram missing %q in:\n%s", w, out)
+		}
+	}
+	// Buckets must be non-decreasing and +Inf must equal _count.
+	if !bucketInvariant(out, "grant_size") {
+		t.Errorf("bucket cumulativity violated:\n%s", out)
+	}
+}
+
+// bucketInvariant checks that name's buckets render non-decreasing and that
+// the +Inf bucket equals _count.
+func bucketInvariant(out, name string) bool {
+	var prev, inf, count float64
+	for _, line := range strings.Split(out, "\n") {
+		var v float64
+		switch {
+		case strings.HasPrefix(line, name+"_bucket{"):
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v)
+			if v < prev {
+				return false
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, name+"_count "):
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &count)
+		}
+	}
+	return inf == count
+}
+
+// TestConcurrentIncrementWhileScrape races owned instruments against
+// scrapes; run under -race this is the data-race check, and the invariant
+// check catches torn histogram reads either way.
+func TestConcurrentIncrementWhileScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("inflight", "in flight")
+	h := r.Histogram("lat", "latency", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64((seed*31 + j) % 200))
+				g.Add(-1)
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		out := r.Expose()
+		if !bucketInvariant(out, "lat") {
+			t.Fatalf("scrape %d: bucket invariant violated mid-race:\n%s", i, out)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1\n") {
+		t.Errorf("handler body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second registration of dup_total did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}

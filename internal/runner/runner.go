@@ -27,8 +27,38 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Process-wide pool telemetry, exposed through InFlight/Panics for the
+// metrics registry (internal/obs): every Map/Each job counts, whichever
+// consumer dispatched it — in-process sweeps, the dist LocalBackend, and
+// worker processes all fan through here.
+var (
+	inFlight atomic.Int64
+	panics   atomic.Uint64
+)
+
+// InFlight reports the number of pool jobs currently executing.
+func InFlight() int64 { return inFlight.Load() }
+
+// Panics reports the lifetime count of jobs that panicked (each captured as
+// a *PanicError rather than crashing the process).
+func Panics() uint64 { return panics.Load() }
+
+// JobBegin marks one externally executed job in flight and returns the
+// closure that ends it. The dist worker's slots run executors outside Map
+// (streaming results per job instead of folding a batch) but belong in the
+// same in-flight gauge.
+func JobBegin() (end func()) {
+	inFlight.Add(1)
+	return func() { inFlight.Add(-1) }
+}
+
+// NotePanic counts one captured executor panic for callers that recover
+// panics themselves instead of letting Map's recovery see them.
+func NotePanic() { panics.Add(1) }
 
 // Options configures one Map/Each invocation.
 type Options struct {
@@ -110,8 +140,11 @@ func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
 		wg   sync.WaitGroup
 	)
 	run := func(i int) {
+		inFlight.Add(1)
 		defer func() {
+			inFlight.Add(-1)
 			if r := recover(); r != nil {
+				panics.Add(1)
 				errs[i] = &PanicError{Index: i, Label: opt.label(i), Value: r, Stack: debug.Stack()}
 			}
 			mu.Lock()

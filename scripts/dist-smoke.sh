@@ -31,8 +31,17 @@
 # Then kills the workers and re-runs the coordinator against the populated
 # cell store: the sweep must complete from published cells alone — zero
 # workers, zero co-execution, zero simulations — and still match byte for
-# byte. The coordinator's final status JSON and the cell store's
-# manifest.json are copied to $DIST_SMOKE_ARTIFACTS (default
+# byte.
+#
+# Then a service-mode phase: a long-lived `bashsim -serve` (no -exp) takes
+# two concurrent `bashsim -submit` sweeps from separate processes; a
+# mid-run /metrics scrape must show bashsim_leases_total moving and the
+# peer-exchange families exposed; both /sweeps/{id}/result.tsv downloads
+# must be byte-identical to serial runs; and SIGTERM must drain — exit 0,
+# "draining" logged, the final status JSON persisted with completed > 0.
+#
+# The coordinator status JSONs, the final service /metrics scrape, and the
+# cell store's manifest.json are copied to $DIST_SMOKE_ARTIFACTS (default
 # ./dist-smoke-artifacts) for CI to upload.
 #
 # The same binary must serve every role: cell cache keys embed the binary
@@ -246,6 +255,115 @@ if [ $((3 * bin_bytes)) -gt "$http_bytes" ]; then
 fi
 echo "OK: $bin_done cells took $bin_bytes coordinator bytes over binary vs $http_bytes over HTTP ($((http_bytes / bin_bytes))x fewer)"
 
+echo "==> service mode: long-lived coordinator, two concurrent submits, /metrics, SIGTERM drain"
+"$WORK/bashsim" -exp fig2 -parallel 1 -no-cache -out "$WORK/serial-fig2.tsv"
+SVCPORT=$((PORT + 5))
+"$WORK/bashsim" -serve "127.0.0.1:$SVCPORT" -dist-secret "$SECRET" \
+    -co-execute 2 -cache-dir "$WORK/svccache" \
+    -dist-status "$WORK/status-svc.json" >"$WORK/svc.log" 2>&1 &
+SVC=$!
+PIDS="$SVC"
+
+i=0
+until curl -sf "http://127.0.0.1:$SVCPORT/sweeps" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "FAIL: sweep service never came up" >&2
+        cat "$WORK/svc.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Two named submissions from separate concurrent processes.
+"$WORK/bashsim" -submit "http://127.0.0.1:$SVCPORT" -exp fig1 \
+    -dist-secret "$SECRET" >"$WORK/submit1.log" 2>&1 &
+S1=$!
+"$WORK/bashsim" -submit "http://127.0.0.1:$SVCPORT" -exp fig2 \
+    -dist-secret "$SECRET" >"$WORK/submit2.log" 2>&1 &
+S2=$!
+wait "$S1"
+wait "$S2"
+ID1="$(sed -n 's/^queued \(s[0-9][0-9]*\):.*/\1/p' "$WORK/submit1.log")"
+ID2="$(sed -n 's/^queued \(s[0-9][0-9]*\):.*/\1/p' "$WORK/submit2.log")"
+if [ -z "$ID1" ] || [ -z "$ID2" ]; then
+    echo "FAIL: concurrent submissions not both accepted" >&2
+    cat "$WORK/submit1.log" "$WORK/submit2.log" >&2
+    exit 1
+fi
+echo "OK: accepted $ID1 (fig1) and $ID2 (fig2) concurrently"
+
+# Mid-run scrape: the fleet counters must already be moving while the
+# sweeps execute, and the exchange family must be exposed.
+i=0
+while :; do
+    curl -sf "http://127.0.0.1:$SVCPORT/metrics" >"$WORK/metrics-mid.txt" || true
+    svc_leases="$(sed -n 's/^bashsim_leases_total \([0-9][0-9]*\).*/\1/p' "$WORK/metrics-mid.txt")"
+    [ "${svc_leases:-0}" -gt 0 ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "FAIL: bashsim_leases_total never went nonzero mid-run" >&2
+        cat "$WORK/metrics-mid.txt" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '^bashsim_fetch_false_positive_total ' "$WORK/metrics-mid.txt"
+echo "OK: mid-run scrape shows bashsim_leases_total=$svc_leases and the exchange counters"
+
+# Both results must appear and match the serial references byte for byte.
+svc_result() {
+    i=0
+    until curl -sf "http://127.0.0.1:$SVCPORT/sweeps/$1/result.tsv" -o "$2" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 1200 ]; then
+            echo "FAIL: $1 result never became ready:" >&2
+            curl -s "http://127.0.0.1:$SVCPORT/sweeps/$1" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+svc_result "$ID1" "$WORK/svc-fig1.tsv"
+svc_result "$ID2" "$WORK/svc-fig2.tsv"
+cmp "$WORK/serial.tsv" "$WORK/svc-fig1.tsv"
+cmp "$WORK/serial-fig2.tsv" "$WORK/svc-fig2.tsv"
+echo "OK: both service results byte-identical to serial"
+
+"$WORK/bashsim" -status "http://127.0.0.1:$SVCPORT" -dist-secret "$SECRET" >"$WORK/svc-status.txt"
+grep -qi 'workers' "$WORK/svc-status.txt"
+curl -sf "http://127.0.0.1:$SVCPORT/metrics" >"$WORK/metrics-final.txt"
+
+kill -TERM "$SVC"
+i=0
+while kill -0 "$SVC" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "FAIL: service did not drain within 60s of SIGTERM" >&2
+        cat "$WORK/svc.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+SVCRC=0
+wait "$SVC" || SVCRC=$?
+PIDS=""
+if [ "$SVCRC" -ne 0 ]; then
+    echo "FAIL: service exited $SVCRC after SIGTERM drain" >&2
+    cat "$WORK/svc.log" >&2
+    exit 1
+fi
+grep -q 'draining' "$WORK/svc.log"
+[ -s "$WORK/status-svc.json" ]
+grep -q '"draining": *true' "$WORK/status-svc.json"
+svc_completed="$(status_field "$WORK/status-svc.json" completed)"
+if [ "${svc_completed:-0}" -eq 0 ]; then
+    echo "FAIL: drained service persisted zero completed jobs" >&2
+    cat "$WORK/status-svc.json" >&2
+    exit 1
+fi
+echo "OK: SIGTERM drained cleanly; persisted status shows $svc_completed completed jobs"
+
 echo "==> exporting artifacts to $ART"
 mkdir -p "$ART"
 cp "$WORK/status.json" "$ART/dist-status.json"
@@ -253,4 +371,6 @@ cp "$WORK/status-cold.json" "$ART/dist-status-cold-worker.json"
 cp "$WORK/status-bin.json" "$ART/dist-status-binary.json"
 cp "$WORK/status-http.json" "$ART/dist-status-http.json"
 cp "$WORK/cache/manifest.json" "$ART/manifest.json"
+cp "$WORK/status-svc.json" "$ART/service-status.json"
+cp "$WORK/metrics-final.txt" "$ART/service-metrics-scrape.txt"
 echo "dist smoke passed"
