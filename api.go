@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/cache"
+	"repro/internal/campaign"
 	"repro/internal/cellstore"
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -374,6 +375,64 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // are normally simulated once per process; reset when repeated invocations
 // must re-simulate (benchmarks, timing comparisons).
 func ResetExperimentMemo() { experiments.ResetMemo() }
+
+// ParseSeeds parses a comma-separated seed list ("11,23,37") as accepted
+// by the -seeds flag, with descriptive errors for non-integers.
+func ParseSeeds(s string) ([]uint64, error) { return experiments.ParseSeeds(s) }
+
+// ValidateSeeds rejects empty and duplicate-bearing seed lists with
+// descriptive errors.
+func ValidateSeeds(seeds []uint64) error { return experiments.ValidateSeeds(seeds) }
+
+// Campaigns (internal/campaign): the long-running, resumable full-scale
+// figure campaign with CoV-targeted seed escalation (`bashsim -campaign`
+// from the command line; see doc.go, section Campaigns).
+type (
+	// ExperimentScale selects per-cell operation counts and default seed
+	// lists (Quick or Full).
+	ExperimentScale = experiments.Scale
+	// SimulationCell describes one simulation point for
+	// RunSimulationCells: the public mirror of the harness's internal cell
+	// spec — equal cells are guaranteed equal Metrics.
+	SimulationCell = experiments.Cell
+	// CampaignOptions configures one campaign: harness options, grid,
+	// CoV target, seed cap, checkpoint path, priority, and log sink.
+	CampaignOptions = campaign.Options
+	// Campaign is one configured campaign run: New, optionally
+	// RegisterMetrics, then Run once.
+	Campaign = campaign.Campaign
+	// CampaignGrid is a named, ordered set of panels — the campaign's
+	// unit of definition and of checkpoint compatibility.
+	CampaignGrid = campaign.Grid
+	// CampaignPanel is one declarative sub-grid: all three protocols over
+	// its Xs with every other cell coordinate fixed.
+	CampaignPanel = campaign.Panel
+	// CampaignResult summarizes a completed campaign.
+	CampaignResult = campaign.Result
+	// CampaignPanelResult is one finished panel's artifact.
+	CampaignPanelResult = campaign.PanelResult
+)
+
+// NewCampaign validates the grid and knobs and prepares the deterministic
+// per-campaign seed sequence.
+func NewCampaign(o CampaignOptions) (*Campaign, error) { return campaign.New(o) }
+
+// DefaultCampaignGrid returns the built-in campaign grid for a scale: the
+// paper's full evaluation (dense log-spaced bandwidth grids, scaling to
+// 256 nodes, both broadcast costs across every workload) for Full, a
+// small same-shaped grid for Quick.
+func DefaultCampaignGrid(scale ExperimentScale) *CampaignGrid {
+	return campaign.DefaultGrid(scale)
+}
+
+// RunSimulationCells evaluates one simulation cell per entry and returns
+// their metrics in input order, serving repeats from the memo and the
+// persistent cell store and dispatching misses through o.Backend when one
+// is set. Unlike RunExperiment it reports failure as an error rather than
+// a panic, so long-running callers can checkpoint and retry.
+func RunSimulationCells(o ExperimentOptions, cells []SimulationCell) ([]Metrics, error) {
+	return experiments.RunCells(o, cells)
+}
 
 // Random protocol tester (internal/tester).
 type (

@@ -30,6 +30,15 @@
 //	bashsim -status http://localhost:8497             # one-line fleet/sweep table
 //	curl http://localhost:8497/sweeps/s001/result.tsv # retrieve its artifacts
 //
+// Campaign mode drives the full-scale figure grid as a long-running,
+// resumable run: seeds escalate per cell until the metric's coefficient of
+// variation drops under -cov-target (or -max-seeds), and progress
+// checkpoints atomically to -campaign-state after every round, so a killed
+// campaign resumes without re-simulating anything:
+//
+//	bashsim -campaign -scale full -campaign-state campaign.json
+//	bashsim -campaign -serve :8497 ...    # same, dispatching to a fleet
+//
 // Cell-store hygiene:
 //
 //	bashsim -cache-gc                     # evict stale/aged cache entries
@@ -44,7 +53,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,11 +64,13 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/cellstore"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/svc"
 	"repro/internal/tester"
@@ -100,6 +113,12 @@ func main() {
 		cacheGC     = flag.Bool("cache-gc", false, "evict stale-format and aged cell-store entries, print a report, and exit")
 		cacheMaxAge = flag.Duration("cache-max-age", 30*24*time.Hour, "with -cache-gc: evict entries older than this (0 = stale formats only)")
 
+		campaignMode  = flag.Bool("campaign", false, "run the resumable figure campaign for -scale (its own grid; excludes -exp)")
+		covTarget     = flag.Float64("cov-target", 0, "with -campaign: per-cell CoV convergence target (0 = the paper's 1%; negative = never, run every cell to -max-seeds)")
+		maxSeeds      = flag.Int("max-seeds", 0, "with -campaign: seed cap per cell (0 = 16)")
+		campaignState = flag.String("campaign-state", "campaign.json", "with -campaign: checkpoint file for resumable progress (empty disables)")
+		seedsFlag     = flag.String("seeds", "", "comma-separated seed list for sweeps (e.g. 11,23,37; empty = per-scale defaults); applies to -exp, -submit, and -campaign")
+
 		single    = flag.Bool("run", false, "single ad-hoc run instead of an experiment")
 		protoName = flag.String("protocol", "bash", "snooping | directory | bash | bash-pred | bash-bcast | bash-ucast")
 		nodes     = flag.Int("nodes", 16, "processors (single run)")
@@ -119,10 +138,15 @@ func main() {
 	}
 	// Reject contradictory flag combinations up front with a description of
 	// the conflict, instead of silently ignoring one side.
-	expSet := false
+	expSet, seedsSet, campaignKnob := false, false, ""
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "exp" {
+		switch f.Name {
+		case "exp":
 			expSet = true
+		case "seeds":
+			seedsSet = true
+		case "cov-target", "max-seeds", "campaign-state":
+			campaignKnob = "-" + f.Name
 		}
 	})
 	switch {
@@ -134,6 +158,24 @@ func main() {
 		fatalUsage("-submit and -run are mutually exclusive: -submit queues a named sweep on a remote service, -run simulates one ad-hoc configuration locally")
 	case *submit != "" && *serve != "":
 		fatalUsage("-submit and -serve are mutually exclusive: start the service first, then submit to it from another process")
+	case *campaignMode && expSet:
+		fatalUsage("-campaign runs its own figure grid and excludes -exp; drop one of them")
+	case *campaignMode && *single:
+		fatalUsage("-campaign and -run are mutually exclusive")
+	case *campaignMode && *submit != "":
+		fatalUsage("-campaign and -submit are mutually exclusive: a campaign drives its own sweeps")
+	case *campaignMode && *worker != "":
+		fatalUsage("-campaign and -worker are mutually exclusive: point workers at the campaign's -serve address instead")
+	case campaignKnob != "" && !*campaignMode:
+		fatalUsage(campaignKnob + " only applies to a campaign; add -campaign")
+	}
+	var seedList []uint64
+	if seedsSet {
+		var err error
+		if seedList, err = experiments.ParseSeeds(*seedsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: -seeds: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -150,7 +192,7 @@ func main() {
 		return
 	}
 	if *submit != "" {
-		runSubmit(*submit, *exp, *scale, *priority, *distSecret, *distWire)
+		runSubmit(*submit, *exp, *scale, *priority, seedList, *distSecret, *distWire)
 		return
 	}
 	if *worker != "" {
@@ -164,6 +206,7 @@ func main() {
 
 	opts := experiments.Options{
 		Parallel:         *parallel,
+		Seeds:            seedList,
 		NoReuse:          *noReuse,
 		WatchdogInterval: sim.Time(watchdog.Nanoseconds()),
 	}
@@ -189,7 +232,7 @@ func main() {
 	// stays up, runs submitted sweeps, and drains on SIGINT/SIGTERM. An
 	// explicit -exp (even "-exp all") keeps the classic one-shot behavior:
 	// serve, run that experiment across the fleet, exit.
-	if *serve != "" && !expSet {
+	if *serve != "" && !expSet && !*campaignMode {
 		runService(*serve, dist.CoordinatorOptions{
 			LeaseTTL:   *leaseTTL,
 			LeaseBatch: *leaseBatch,
@@ -204,6 +247,23 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		opts.Context = ctx
+	}
+
+	if *campaignMode {
+		runCampaign(opts, *serve, dist.CoordinatorOptions{
+			LeaseTTL:   *leaseTTL,
+			LeaseBatch: *leaseBatch,
+			Secret:     *distSecret,
+			CoExecute:  *coExecute,
+			Wire:       *distWire,
+			CacheDir:   opts.CacheDir,
+		}, campaign.Options{
+			CovTarget: *covTarget,
+			MaxSeeds:  *maxSeeds,
+			StatePath: *campaignState,
+			Priority:  *priority,
+		}, *waitWork, *progress, *out)
+		return
 	}
 
 	var coord *dist.Coordinator
@@ -367,16 +427,125 @@ func runService(addr string, copt dist.CoordinatorOptions, opts experiments.Opti
 		st.Dispatched, st.Leases, st.Refills, st.Completed, st.Reassigned, st.Failed)
 }
 
+// runCampaign runs the resumable figure campaign: optionally coordinating
+// a fleet (with campaign CoV gauges on /metrics alongside the dist
+// counters), escalating seeds per cell to the CoV target, checkpointing to
+// -campaign-state after every round, and printing one TSV block per panel.
+// SIGINT/SIGTERM cancel the run gracefully — in-flight cells finish and
+// land in the cell store, the checkpoint keeps the frontier, and re-running
+// the same command resumes with zero re-simulation.
+func runCampaign(opts experiments.Options, serveAddr string, copt dist.CoordinatorOptions,
+	camp campaign.Options, waitWorkers int, progress bool, outPath string) {
+
+	base := opts.Context
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, stop := signal.NotifyContext(base, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+
+	var coord *dist.Coordinator
+	if serveAddr != "" {
+		if copt.CoExecute > 0 {
+			experiments.RegisterCellExecutor(experiments.Options{CacheDir: opts.CacheDir, NoReuse: opts.NoReuse})
+			tester.RegisterTrialExecutor(opts.CacheDir)
+		}
+		coord = dist.NewCoordinator(copt)
+		opts.Backend = coord
+	}
+	if progress {
+		opts.Progress = func(done, total int) {
+			if coord != nil {
+				fmt.Fprintf(os.Stderr, "\r%d/%d cells (%d workers)", done, total, coord.Workers())
+			} else {
+				fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			}
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	camp.Experiments = opts
+	camp.Log = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	c, err := campaign.New(camp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
+		os.Exit(2)
+	}
+	if coord != nil {
+		reg := obs.NewRegistry()
+		coord.RegisterMetrics(reg)
+		c.RegisterMetrics(reg)
+		reg.CounterFunc("bashsim_cells_simulated_total", "simulation cells actually executed", experiments.Simulations)
+		mux := http.NewServeMux()
+		mux.Handle("/dist/", coord.Handler())
+		mux.Handle("GET /metrics", reg.Handler())
+		l, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: -serve %s: %v\n", serveAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bashsim: campaign coordinating on %s (workers: bashsim -worker http://%s; metrics: http://%s/metrics)\n",
+			l.Addr(), l.Addr(), l.Addr())
+		go coord.ServeHandler(l, mux)
+		defer l.Close()
+		if waitWorkers > 0 {
+			awaitWorkers(coord, waitWorkers)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	sims0 := experiments.Simulations()
+	res, err := c.Run()
+	elapsed := time.Since(start).Seconds()
+	sims := experiments.Simulations() - sims0
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bashsim: %v\n", err)
+		if camp.StatePath != "" {
+			fmt.Fprintf(os.Stderr, "bashsim: campaign checkpoint %s holds the frontier (simulated %d cells this run); re-run the same command to resume\n",
+				camp.StatePath, sims)
+		}
+		os.Exit(1)
+	}
+	for _, p := range res.Panels {
+		fmt.Fprintln(w, p.TSV)
+	}
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	fmt.Fprintf(os.Stderr, "campaign summary: panels=%d resumed=%d cells=%d converged=%d seeds=%d escalated=%d simulated=%d elapsed=%.2fs cells_per_sec=%.1f\n",
+		len(res.Panels), res.PanelsResumed, res.Cells, res.Converged, res.SeedsRun, res.Escalated, sims, elapsed, float64(res.Cells)/elapsed)
+	if coord != nil {
+		st := coord.Stats()
+		fmt.Fprintf(os.Stderr, "dist: %d jobs dispatched over %d leases + %d refills, %d completed, %d leases reassigned, %d failed\n",
+			st.Dispatched, st.Leases, st.Refills, st.Completed, st.Reassigned, st.Failed)
+	}
+}
+
 // runSubmit queues one named sweep on a sweep-service coordinator and
 // prints the acknowledged id and queue position.
-func runSubmit(coordinator, exp, scale string, priority int, secret, wire string) {
+func runSubmit(coordinator, exp, scale string, priority int, seeds []uint64, secret, wire string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	resp, err := dist.SubmitSweep(ctx, dist.WorkerOptions{
 		Coordinator: coordinator,
 		Secret:      secret,
 		Wire:        wire,
-	}, dist.SubmitRequest{Exp: exp, Scale: scale, Priority: priority})
+	}, dist.SubmitRequest{Exp: exp, Scale: scale, Priority: priority, Seeds: seeds})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bashsim: -submit: %v\n", err)
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cellstore"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tester"
@@ -28,7 +29,7 @@ func main() {
 		nodes     = flag.Int("nodes", 8, "processors")
 		blocks    = flag.Int("blocks", 12, "falsely shared blocks")
 		ops       = flag.Uint64("ops", 200000, "operations per run")
-		seeds     = flag.Int("seeds", 4, "number of seeds")
+		seedsFlag = flag.String("seeds", "", "comma-separated trial seeds like 11,23,37 (default: four derived seeds)")
 		jitter    = flag.Int("jitter", 150, "max extra message latency (ns)")
 		retryBuf  = flag.Int("retrybuf", 0, "BASH retry buffer (0 = default)")
 		tiny      = flag.Bool("tiny", false, "tiny caches (replacement races)")
@@ -61,10 +62,29 @@ func main() {
 		run = []core.Protocol{p}
 	}
 
+	// The default seed list reproduces the historical four derived trials;
+	// an explicit -seeds list replaces the seeds but keeps the per-index
+	// think/bandwidth variation so trials still differ in timing shape.
+	var seedList []uint64
+	if *seedsFlag != "" {
+		var serr error
+		if seedList, serr = experiments.ParseSeeds(*seedsFlag); serr == nil {
+			serr = experiments.ValidateSeeds(seedList)
+		}
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "bashtest: -seeds: %v\n", serr)
+			os.Exit(2)
+		}
+	} else {
+		for s := 0; s < 4; s++ {
+			seedList = append(seedList, uint64(s)*104729+13)
+		}
+	}
+
 	// One trial per (protocol, seed), protocol-major.
 	var cfgs []tester.Config
 	for _, p := range run {
-		for s := 0; s < *seeds; s++ {
+		for s, seed := range seedList {
 			cfgs = append(cfgs, tester.Config{
 				Protocol:     p,
 				Nodes:        *nodes,
@@ -74,7 +94,7 @@ func main() {
 				JitterNs:     *jitter,
 				RetryBuffer:  *retryBuf,
 				TinyCache:    *tiny,
-				Seed:         uint64(s)*104729 + 13,
+				Seed:         seed,
 				BandwidthMBs: 600 + 300*float64(s%3),
 			})
 		}
@@ -106,7 +126,7 @@ func main() {
 		if rep.Ops == 0 {
 			continue // trial never ran (canceled before dispatch)
 		}
-		fmt.Printf("seed %d: %s", i%*seeds, rep.Summary())
+		fmt.Printf("seed %d: %s", i%len(seedList), rep.Summary())
 		if *uncovered {
 			for _, u := range rep.UncoveredCache {
 				fmt.Printf("  uncovered cache: %s\n", u)

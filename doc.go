@@ -217,6 +217,35 @@
 // -dist-status file. `bashsim -status URL` prints an aligned table of the
 // same snapshot for a quick look from the terminal.
 //
+// # Campaigns
+//
+// `bashsim -campaign` (Campaign, internal/campaign) runs the paper's
+// full-scale figure set — dense log-spaced bandwidth grids, scaling to
+// 256 nodes, every workload at both broadcast costs, all three protocols
+// — as one long-running, resumable campaign over whatever backend the
+// harness is given: the in-process pool, a dist fleet, or the sweep
+// service's shared fleet (Priority tags its cells at the lease queue).
+// Instead of a fixed seed count, each cell's seeds escalate (×1.5 per
+// round, from the base seed list up to -max-seeds) until the panel
+// metric's coefficient of variation drops under -cov-target (default the
+// paper's 1%) — noisy contended cells earn more seeds, quiet ones stop
+// early — and the rendered figures draw one-standard-deviation error bars
+// exactly where CoV exceeds 1%, the paper's reporting rule. Progress
+// checkpoints atomically to -campaign-state after every completed round:
+// a killed campaign re-run with the identical command replays finished
+// panels byte for byte from the checkpoint, refolds unfinished cells from
+// the content-addressed cell store, and simulates only never-run
+// (cell, seed) points (the e2e test and the CI smoke assert the strong
+// form: interrupted + resumed simulation counts sum exactly to an
+// uninterrupted run's). The checkpoint embeds a hash of the grid
+// definition, knobs, seed sequence, scale, and binary fingerprint, so
+// resuming under any other configuration is refused with the remedy
+// spelled out. From code: NewCampaign(CampaignOptions) with
+// DefaultCampaignGrid or a custom CampaignGrid, then Run; RegisterMetrics
+// exposes live per-panel convergence gauges
+// (bashsim_campaign_panel_cov_max and friends) on a MetricsRegistry.
+// RunSimulationCells is the underlying exported cell funnel.
+//
 // # Observability
 //
 // MetricsRegistry (internal/obs) is a dependency-free metrics subsystem:

@@ -1,0 +1,437 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Options configures one campaign.
+type Options struct {
+	// Experiments is the harness configuration every cell runs with: cache
+	// directory, parallelism, scale (it selects the default grid and the
+	// per-cell operation counts), backend, cancellation context, watchdog,
+	// and the base seed list (Seeds; resolved like the figure sweeps).
+	Experiments experiments.Options
+	// Grid overrides the campaign grid; nil selects
+	// DefaultGrid(Experiments.Scale).
+	Grid *Grid
+	// CovTarget is the per-cell convergence target on the panel metric's
+	// coefficient of variation: seeds escalate until CoV <= CovTarget or
+	// the seed cap. Zero selects the paper's 1%; a negative target never
+	// converges early, driving every cell to MaxSeeds.
+	CovTarget float64
+	// MaxSeeds caps seeds per cell. Zero selects 16. It is raised to the
+	// starting seed count when smaller.
+	MaxSeeds int
+	// StatePath is the checkpoint file; empty disables checkpointing (the
+	// cell store still makes re-runs cheap, but completed panels re-fold).
+	StatePath string
+	// Priority tags the campaign's job submissions when the backend
+	// supports priorities (dist.Coordinator, the service's shared fleet),
+	// so interactive sweeps can outrank — or yield to — a campaign.
+	Priority int
+	// Log, when non-nil, receives one line per campaign event.
+	Log func(format string, args ...any)
+}
+
+const (
+	defaultCovTarget = 0.01
+	defaultMaxSeeds  = 16
+)
+
+func (o Options) covTarget() float64 {
+	if o.CovTarget != 0 {
+		return o.CovTarget
+	}
+	return defaultCovTarget
+}
+
+func (o Options) maxSeeds() int {
+	if o.MaxSeeds > 0 {
+		return o.MaxSeeds
+	}
+	return defaultMaxSeeds
+}
+
+// PanelResult is one finished panel's artifact.
+type PanelResult struct {
+	Name string
+	TSV  string
+	// Resumed marks a panel replayed verbatim from the checkpoint.
+	Resumed bool
+}
+
+// Result summarizes a completed campaign.
+type Result struct {
+	Panels []PanelResult
+	// Cells counts distinct (panel, protocol, x) cells.
+	Cells int
+	// SeedsRun sums the final per-cell seed counts.
+	SeedsRun int
+	// Escalated counts seeds assigned beyond each cell's starting minimum.
+	Escalated int
+	// PanelsResumed counts panels served from the checkpoint.
+	PanelsResumed int
+	// Converged counts cells that met the CoV target (the rest hit the
+	// seed cap).
+	Converged int
+}
+
+// panelProgress is the live per-panel view behind the campaign gauges.
+type panelProgress struct {
+	cells, converged, seeds int
+	maxCoV                  float64
+	done                    bool
+}
+
+// Campaign is one configured campaign run. Create with New, optionally
+// RegisterMetrics, then Run once.
+type Campaign struct {
+	opt      Options
+	grid     *Grid
+	target   float64
+	maxSeeds int
+	minSeeds int
+	seeds    []uint64 // deterministic per-campaign seed sequence, maxSeeds long
+
+	mu       sync.Mutex
+	progress map[string]*panelProgress
+}
+
+// New validates the grid and knobs and prepares the seed sequence: the
+// base list first (Options.Experiments.Seeds, or the per-scale defaults),
+// then deterministically derived extras (runner.Seeds) up to MaxSeeds —
+// the same campaign configuration always simulates the same cells.
+func New(o Options) (*Campaign, error) {
+	grid := o.Grid
+	if grid == nil {
+		grid = DefaultGrid(o.Experiments.Scale)
+	}
+	if err := grid.validate(); err != nil {
+		return nil, err
+	}
+	base := o.Experiments.SeedList()
+	if err := experiments.ValidateSeeds(base); err != nil {
+		return nil, err
+	}
+	// CoV needs at least two observations (one seed reads as perfectly
+	// converged), so every cell starts with two seeds even when the base
+	// list has one.
+	minSeeds := len(base)
+	if minSeeds < 2 {
+		minSeeds = 2
+	}
+	maxSeeds := o.maxSeeds()
+	if maxSeeds < minSeeds {
+		maxSeeds = minSeeds
+	}
+	c := &Campaign{
+		opt:      o,
+		grid:     grid,
+		target:   o.covTarget(),
+		maxSeeds: maxSeeds,
+		minSeeds: minSeeds,
+		seeds:    seedSequence(base, maxSeeds),
+		progress: map[string]*panelProgress{},
+	}
+	for _, p := range grid.Panels {
+		c.progress[p.Name] = &panelProgress{cells: len(protocols) * len(p.Xs)}
+	}
+	return c, nil
+}
+
+// seedSequence extends base to n seeds with deterministic SplitMix64
+// derivations, skipping any candidate that would duplicate an earlier seed.
+func seedSequence(base []uint64, n int) []uint64 {
+	seq := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for _, s := range base {
+		if len(seq) == n {
+			break
+		}
+		seq = append(seq, s)
+		seen[s] = true
+	}
+	for batch := uint64(0); len(seq) < n; batch++ {
+		for _, s := range runner.Seeds(base[0]^(0x9e3779b97f4a7c15+batch<<32), n) {
+			if len(seq) == n {
+				break
+			}
+			if !seen[s] {
+				seen[s] = true
+				seq = append(seq, s)
+			}
+		}
+	}
+	return seq
+}
+
+// runPrioritizer is the optional backend capability campaign submissions
+// use to carry their priority (dist.Coordinator implements it; the sweep
+// service wraps it the same way).
+type runPrioritizer interface {
+	RunPriority(jobs []runner.Job, opt runner.Options, priority int) ([][]byte, error)
+}
+
+// priorityAdapter tags every backend run with the campaign's priority.
+type priorityAdapter struct {
+	rp       runPrioritizer
+	priority int
+}
+
+func (a priorityAdapter) Run(jobs []runner.Job, opt runner.Options) ([][]byte, error) {
+	return a.rp.RunPriority(jobs, opt, a.priority)
+}
+
+// RegisterMetrics exposes the campaign's live per-panel convergence state
+// on reg: the largest per-cell CoV, converged/total cells, and assigned
+// seeds, each labelled by panel, plus campaign-wide panel counters.
+func (c *Campaign) RegisterMetrics(reg *obs.Registry) {
+	each := func(emit func(v float64, labels ...obs.Label), f func(*panelProgress) float64) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, p := range c.grid.Panels {
+			emit(f(c.progress[p.Name]), obs.Label{Name: "panel", Value: p.Name})
+		}
+	}
+	reg.Collect("bashsim_campaign_panel_cov_max", "largest per-cell CoV of the panel metric (last completed round)", "gauge",
+		func(emit func(v float64, labels ...obs.Label)) {
+			each(emit, func(p *panelProgress) float64 { return p.maxCoV })
+		})
+	reg.Collect("bashsim_campaign_panel_cells", "cells per panel", "gauge",
+		func(emit func(v float64, labels ...obs.Label)) {
+			each(emit, func(p *panelProgress) float64 { return float64(p.cells) })
+		})
+	reg.Collect("bashsim_campaign_panel_cells_converged", "cells that met the CoV target (or the seed cap)", "gauge",
+		func(emit func(v float64, labels ...obs.Label)) {
+			each(emit, func(p *panelProgress) float64 { return float64(p.converged) })
+		})
+	reg.Collect("bashsim_campaign_panel_seeds", "seeds assigned across the panel's cells", "gauge",
+		func(emit func(v float64, labels ...obs.Label)) {
+			each(emit, func(p *panelProgress) float64 { return float64(p.seeds) })
+		})
+	reg.GaugeFunc("bashsim_campaign_panels_done", "panels finished (including checkpoint replays)", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, p := range c.progress {
+			if p.done {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}
+
+// Run executes the campaign: every panel in grid order, each escalating
+// seeds per cell until its CoV target (or the seed cap), checkpointing
+// after every completed round and every finished panel. On a resumed run,
+// panels the checkpoint marks done replay their TSV verbatim without
+// touching the harness, and in-progress panels re-fold their completed
+// cells from the memo/cell store — nothing already simulated is simulated
+// again. Run returns the first error (cancellation included); the
+// checkpoint on disk then reflects the last completed round.
+func (c *Campaign) Run() (*Result, error) {
+	eo := c.opt.Experiments
+	if c.opt.Priority > 0 && eo.Backend != nil {
+		if rp, ok := eo.Backend.(runPrioritizer); ok {
+			eo.Backend = priorityAdapter{rp: rp, priority: c.opt.Priority}
+		}
+	}
+	hash := gridHash(c.grid, c.target, c.maxSeeds, c.seeds, eo.Scale)
+	st, err := loadState(c.opt.StatePath, hash, c.grid.Name)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	for _, p := range c.grid.Panels {
+		ps := st.panel(p.Name)
+		if ps.Done {
+			c.logf("campaign: panel %s replayed from checkpoint (%d cells)", p.Name, len(ps.Cells))
+			c.noteProgress(p.Name, ps, 0, true)
+			res.Panels = append(res.Panels, PanelResult{Name: p.Name, TSV: ps.TSV, Resumed: true})
+			res.PanelsResumed++
+			c.tally(res, ps)
+			continue
+		}
+		tsv, err := c.runPanel(eo, p, ps, st)
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, PanelResult{Name: p.Name, TSV: tsv})
+		c.tally(res, ps)
+	}
+	return res, nil
+}
+
+// tally folds one finished panel's cell states into the campaign totals.
+func (c *Campaign) tally(res *Result, ps *panelState) {
+	for _, cs := range ps.Cells {
+		res.Cells++
+		res.SeedsRun += cs.Seeds
+		if cs.Seeds > c.minSeeds {
+			res.Escalated += cs.Seeds - c.minSeeds
+		}
+		if cs.CoV <= c.target {
+			res.Converged++
+		}
+	}
+}
+
+// noteProgress publishes one panel's state to the metrics gauges.
+func (c *Campaign) noteProgress(name string, ps *panelState, maxCoV float64, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.progress[name]
+	p.converged = 0
+	p.seeds = 0
+	for _, cs := range ps.Cells {
+		p.seeds += cs.Seeds
+		if cs.Converged {
+			p.converged++
+		}
+	}
+	p.maxCoV = maxCoV
+	p.done = done
+}
+
+// runPanel escalates one panel to convergence. Every round runs the full
+// (cell, seed) frontier through experiments.RunCells — previously
+// completed seeds come back from the in-process memo or the cell store for
+// free, so each round only simulates the newly assigned seeds — then
+// refolds per-cell accumulators in deterministic seed order, marks cells
+// converged, escalates the rest (×1.5, capped), and checkpoints.
+func (c *Campaign) runPanel(eo experiments.Options, p Panel, ps *panelState, st *state) (string, error) {
+	type cellRef struct {
+		proto core.Protocol
+		x     float64
+		id    string
+	}
+	refs := make([]cellRef, 0, len(protocols)*len(p.Xs))
+	for _, proto := range protocols {
+		for _, x := range p.Xs {
+			id := fmt.Sprintf("%s@%g", proto, x)
+			refs = append(refs, cellRef{proto: proto, x: x, id: id})
+			if ps.Cells[id] == nil {
+				ps.Cells[id] = &cellState{Seeds: c.minSeeds}
+			}
+		}
+	}
+
+	for round := 1; ; round++ {
+		if ctx := eo.Context; ctx != nil && ctx.Err() != nil {
+			return "", fmt.Errorf("campaign: panel %s interrupted: %w", p.Name, ctx.Err())
+		}
+		var cells []experiments.Cell
+		var owner []int
+		for ri, ref := range refs {
+			for si := 0; si < ps.Cells[ref.id].Seeds; si++ {
+				cells = append(cells, p.cell(ref.proto, ref.x, c.seeds[si]))
+				owner = append(owner, ri)
+			}
+		}
+		ms, err := experiments.RunCells(eo, cells)
+		if err != nil {
+			return "", fmt.Errorf("campaign: panel %s round %d: %w", p.Name, round, err)
+		}
+
+		accs := make([]stats.Accumulator, len(refs))
+		for i, m := range ms {
+			accs[owner[i]].Add(p.metricOf(m))
+		}
+		escalated, converged := 0, 0
+		maxCoV := 0.0
+		for ri, ref := range refs {
+			cs := ps.Cells[ref.id]
+			cov := accs[ri].CoV()
+			cs.Mean = accs[ri].Mean()
+			cs.CoV = cov
+			if cov > maxCoV {
+				maxCoV = cov
+			}
+			cs.Converged = cov <= c.target || cs.Seeds >= c.maxSeeds
+			if cs.Converged {
+				converged++
+				continue
+			}
+			next := cs.Seeds + (cs.Seeds+1)/2
+			if next > c.maxSeeds {
+				next = c.maxSeeds
+			}
+			cs.Seeds = next
+			escalated++
+		}
+
+		if escalated == 0 {
+			ps.TSV = c.renderFigure(p, accs, ps).TSV()
+			ps.Done = true
+			c.noteProgress(p.Name, ps, maxCoV, true)
+			if err := st.save(c.opt.StatePath); err != nil {
+				return "", err
+			}
+			c.logf("campaign: panel %s done: %d/%d cells under CoV target %.3g after %d rounds (max CoV %.3g)",
+				p.Name, converged, len(refs), c.target, round, maxCoV)
+			return ps.TSV, nil
+		}
+		c.noteProgress(p.Name, ps, maxCoV, false)
+		if err := st.save(c.opt.StatePath); err != nil {
+			return "", err
+		}
+		c.logf("campaign: panel %s round %d: %d/%d cells converged (max CoV %.3g), escalating %d cells",
+			p.Name, round, converged, len(refs), maxCoV, escalated)
+	}
+}
+
+// renderFigure builds the panel's artifact: one series per protocol, the
+// metric mean per x, and — per the paper's reporting rule — an error bar
+// of one standard deviation only where CoV exceeds 1%.
+func (c *Campaign) renderFigure(p Panel, accs []stats.Accumulator, ps *panelState) *experiments.Figure {
+	minUsed, maxUsed := c.maxSeeds, 0
+	for _, cs := range ps.Cells {
+		if cs.Seeds < minUsed {
+			minUsed = cs.Seeds
+		}
+		if cs.Seeds > maxUsed {
+			maxUsed = cs.Seeds
+		}
+	}
+	fig := &experiments.Figure{
+		ID:     p.Name,
+		Title:  p.Title,
+		XLabel: p.xLabel(),
+		YLabel: p.yLabel(),
+		Notes: []string{
+			fmt.Sprintf("campaign grid %s: cov target %g, seed cap %d, seeds per cell %d..%d",
+				c.grid.Name, c.target, c.maxSeeds, minUsed, maxUsed),
+			"error bars: one standard deviation, drawn when CoV > 1% (the paper's rule)",
+		},
+	}
+	for pi, proto := range protocols {
+		s := experiments.Series{Name: proto.String()}
+		for xi, x := range p.Xs {
+			a := accs[pi*len(p.Xs)+xi]
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, a.Mean())
+			e := 0.0
+			if a.CoV() > 0.01 {
+				e = a.StdDev()
+			}
+			s.Err = append(s.Err, e)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+func (c *Campaign) logf(format string, args ...any) {
+	if c.opt.Log != nil {
+		c.opt.Log(format, args...)
+	}
+}

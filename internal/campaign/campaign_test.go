@@ -1,0 +1,235 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// testGrid is a tiny two-panel grid: small enough for unit tests, but with
+// both axis kinds and multiple cells per panel so resume, escalation, and
+// rendering are all exercised.
+func testGrid() *Grid {
+	return &Grid{Name: "test", Panels: []Panel{
+		{Name: "p1", Kind: KindBandwidth, Nodes: 4, Xs: []float64{400, 1600}},
+		{Name: "p2", Kind: KindScaling, BandwidthMBs: 1600, Xs: []float64{2, 4}},
+	}}
+}
+
+func runCampaign(t *testing.T, o Options) (*Result, uint64, error) {
+	t.Helper()
+	experiments.ResetMemo()
+	c, err := New(o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	before := experiments.Simulations()
+	res, err := c.Run()
+	return res, experiments.Simulations() - before, err
+}
+
+// TestResumeSimulatesNothingTwice is the campaign's core contract: a
+// campaign killed mid-grid and restarted re-simulates zero already-completed
+// cells, and its final TSVs are byte-identical to an uninterrupted run's.
+func TestResumeSimulatesNothingTwice(t *testing.T) {
+	grid := testGrid()
+	// A loose CoV target converges every cell in one round, which keeps the
+	// seed schedule trivially deterministic across the interrupted and the
+	// uninterrupted run.
+	base := Options{Grid: grid, CovTarget: 10, MaxSeeds: 4}
+
+	// Uninterrupted reference run.
+	ref := base
+	ref.Experiments = experiments.Options{Scale: experiments.Quick, CacheDir: t.TempDir()}
+	ref.StatePath = filepath.Join(t.TempDir(), "ref.json")
+	refRes, refSims, err := runCampaign(t, ref)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if refSims == 0 {
+		t.Fatalf("reference run simulated nothing")
+	}
+
+	// Interrupted run: cancel as soon as the first panel checkpoints done.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cacheDir, statePath := t.TempDir(), filepath.Join(t.TempDir(), "camp.json")
+	intr := base
+	intr.Experiments = experiments.Options{Scale: experiments.Quick, CacheDir: cacheDir, Context: ctx}
+	intr.StatePath = statePath
+	intr.Log = func(format string, args ...any) {
+		if strings.Contains(format, "done:") {
+			cancel()
+		}
+	}
+	_, intrSims, err := runCampaign(t, intr)
+	if err == nil {
+		t.Fatalf("interrupted run finished without error")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted run error = %v, want interruption", err)
+	}
+	if intrSims == 0 || intrSims >= refSims {
+		t.Fatalf("interrupted run simulated %d cells, want in (0, %d)", intrSims, refSims)
+	}
+
+	// Resume with the same state and cache (fresh process memo): it must
+	// finish, simulate only what the interrupted run did not, and render
+	// byte-identical TSVs.
+	resume := base
+	resume.Experiments = experiments.Options{Scale: experiments.Quick, CacheDir: cacheDir}
+	resume.StatePath = statePath
+	resRes, resSims, err := runCampaign(t, resume)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if intrSims+resSims != refSims {
+		t.Errorf("interrupted %d + resumed %d simulations != uninterrupted %d: resumed run re-simulated completed cells",
+			intrSims, resSims, refSims)
+	}
+	if len(resRes.Panels) != len(refRes.Panels) {
+		t.Fatalf("resumed run rendered %d panels, want %d", len(resRes.Panels), len(refRes.Panels))
+	}
+	if !resRes.Panels[0].Resumed {
+		t.Errorf("first panel not replayed from checkpoint")
+	}
+	for i := range refRes.Panels {
+		if resRes.Panels[i].TSV != refRes.Panels[i].TSV {
+			t.Errorf("panel %s TSV differs between uninterrupted and resumed runs:\n--- uninterrupted ---\n%s--- resumed ---\n%s",
+				refRes.Panels[i].Name, refRes.Panels[i].TSV, resRes.Panels[i].TSV)
+		}
+	}
+}
+
+// TestCovTargetControlsSeeds: a looser CoV target provably runs fewer seeds
+// than a target that can never be met.
+func TestCovTargetControlsSeeds(t *testing.T) {
+	grid := testGrid()
+	cacheDir := t.TempDir() // shared: the strict run extends the loose run's cells
+
+	loose := Options{Grid: grid, CovTarget: 10, MaxSeeds: 4,
+		Experiments: experiments.Options{Scale: experiments.Quick, CacheDir: cacheDir}}
+	looseRes, _, err := runCampaign(t, loose)
+	if err != nil {
+		t.Fatalf("loose run: %v", err)
+	}
+
+	strict := Options{Grid: grid, CovTarget: -1, MaxSeeds: 4,
+		Experiments: experiments.Options{Scale: experiments.Quick, CacheDir: cacheDir}}
+	strictRes, _, err := runCampaign(t, strict)
+	if err != nil {
+		t.Fatalf("strict run: %v", err)
+	}
+
+	if looseRes.SeedsRun >= strictRes.SeedsRun {
+		t.Errorf("loose target ran %d seeds, strict ran %d: want loose < strict",
+			looseRes.SeedsRun, strictRes.SeedsRun)
+	}
+	// Loose target converges every cell at the starting minimum; a negative
+	// target drives every cell to the seed cap.
+	if want := looseRes.Cells * 2; looseRes.SeedsRun != want {
+		t.Errorf("loose run SeedsRun = %d, want %d (minimum seeds per cell)", looseRes.SeedsRun, want)
+	}
+	if want := strictRes.Cells * 4; strictRes.SeedsRun != want {
+		t.Errorf("strict run SeedsRun = %d, want %d (seed cap per cell)", strictRes.SeedsRun, want)
+	}
+	if looseRes.Converged != looseRes.Cells {
+		t.Errorf("loose run converged %d/%d cells", looseRes.Converged, looseRes.Cells)
+	}
+	if strictRes.Converged != 0 {
+		t.Errorf("strict run converged %d cells, want 0 (target is unreachable)", strictRes.Converged)
+	}
+	if strictRes.Escalated == 0 {
+		t.Errorf("strict run escalated no seeds")
+	}
+}
+
+// TestStateMismatchRefused: resuming a checkpoint under different campaign
+// knobs is an error naming the remedy, not a silent mix of results.
+func TestStateMismatchRefused(t *testing.T) {
+	grid := testGrid()
+	statePath := filepath.Join(t.TempDir(), "camp.json")
+	first := Options{Grid: grid, CovTarget: 10, MaxSeeds: 4, StatePath: statePath,
+		Experiments: experiments.Options{Scale: experiments.Quick, CacheDir: t.TempDir()}}
+	if _, _, err := runCampaign(t, first); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	second := first
+	second.MaxSeeds = 8 // changes the grid hash
+	_, _, err := runCampaign(t, second)
+	if err == nil {
+		t.Fatalf("resume with different -max-seeds succeeded, want refusal")
+	}
+	for _, want := range []string{"different campaign", "delete it"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q does not mention %q", err, want)
+		}
+	}
+
+	if err := os.WriteFile(statePath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = runCampaign(t, first)
+	if err == nil || !strings.Contains(err.Error(), "not valid JSON") {
+		t.Errorf("corrupt state error = %v, want a descriptive JSON error", err)
+	}
+}
+
+// TestSeedSequenceDeterministicAndDistinct: the escalation seed sequence
+// starts with the base list, never repeats a seed, and is reproducible.
+func TestSeedSequenceDeterministicAndDistinct(t *testing.T) {
+	base := []uint64{11, 23, 37}
+	a := seedSequence(base, 16)
+	b := seedSequence(base, 16)
+	if len(a) != 16 {
+		t.Fatalf("sequence length %d, want 16", len(a))
+	}
+	for i := range base {
+		if a[i] != base[i] {
+			t.Errorf("sequence[%d] = %d, want base seed %d", i, a[i], base[i])
+		}
+	}
+	seen := map[uint64]bool{}
+	for i, s := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence not deterministic at %d: %d != %d", i, a[i], b[i])
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed %d in sequence", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestDefaultGridValid: both built-in grids pass their own validation and
+// the full grid covers the paper's macro panels and 256-node scaling.
+func TestDefaultGridValid(t *testing.T) {
+	for _, scale := range []experiments.Scale{experiments.Quick, experiments.Full} {
+		g := DefaultGrid(scale)
+		if err := g.validate(); err != nil {
+			t.Errorf("DefaultGrid(%d): %v", scale, err)
+		}
+	}
+	full := DefaultGrid(experiments.Full)
+	if len(full.Panels) < 12 {
+		t.Errorf("full grid has %d panels, want at least the 12 macro + 3 headline panels", len(full.Panels))
+	}
+	max := 0.0
+	for _, p := range full.Panels {
+		if p.Kind == KindScaling {
+			for _, x := range p.Xs {
+				if x > max {
+					max = x
+				}
+			}
+		}
+	}
+	if max < 256 {
+		t.Errorf("full grid scaling tops out at %g nodes, want >= 256", max)
+	}
+}

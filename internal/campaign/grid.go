@@ -1,0 +1,225 @@
+// Package campaign is the long-running, resumable campaign runner: it
+// drives the paper's full-scale figure set — dense log-spaced bandwidth
+// grids, scaling points up to 256 nodes, all three protocols — as a
+// sequence of named panels through the experiment harness (and through
+// whatever runner.Backend the harness is given, so a campaign runs equally
+// on the in-process pool or a dist fleet), escalating the number of seeds
+// per cell until the coefficient of variation drops under a target or a
+// seed cap is hit. Progress checkpoints atomically to a JSON state file
+// after every completed round, so a killed campaign — or a torn-down fleet
+// — resumes without re-simulating anything: finished panels replay from
+// the checkpoint byte-for-byte and unfinished cells come back from the
+// content-addressed cell store.
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// protocols is the evaluation's fixed protocol set, in the paper's order.
+var protocols = []core.Protocol{core.Snooping, core.BASH, core.Directory}
+
+// Panel kinds: what the panel's x axis varies.
+const (
+	KindBandwidth = "bandwidth" // x is endpoint bandwidth in MB/s
+	KindScaling   = "scaling"   // x is the node count
+	KindThink     = "think"     // x is workload think time in simulated ns
+)
+
+// Panel metrics: which core.Metrics field the panel plots and converges on.
+const (
+	MetricThroughput  = "throughput"
+	MetricMissLatency = "miss-latency"
+	MetricUtilization = "utilization"
+	MetricBroadcast   = "broadcast-fraction"
+)
+
+// Panel is one declarative sub-grid of a campaign: a named sweep of all
+// three protocols over Xs, with every other cell coordinate fixed. Panels
+// are plain data (JSON-stable) because the campaign's resume contract
+// hashes them into the checkpoint.
+type Panel struct {
+	Name  string `json:"name"`
+	Title string `json:"title,omitempty"`
+	// Kind selects the x axis (KindBandwidth, KindScaling, KindThink).
+	Kind string `json:"kind"`
+	// Metric selects the y axis and the convergence signal; empty means
+	// MetricThroughput.
+	Metric string `json:"metric,omitempty"`
+	// Fixed cell coordinates. Nodes is ignored by scaling panels and
+	// BandwidthMBs by bandwidth panels (the x value supplies them).
+	Nodes         int       `json:"nodes,omitempty"`
+	BandwidthMBs  float64   `json:"bandwidth_mbs,omitempty"`
+	BroadcastCost float64   `json:"broadcast_cost,omitempty"`
+	Workload      string    `json:"workload,omitempty"` // "" = locking microbenchmark
+	Xs            []float64 `json:"xs"`
+}
+
+// Grid is a named, ordered set of panels — the campaign's unit of
+// definition and of checkpoint compatibility.
+type Grid struct {
+	Name   string  `json:"name"`
+	Panels []Panel `json:"panels"`
+}
+
+func (p Panel) validate() error {
+	switch p.Kind {
+	case KindBandwidth, KindScaling, KindThink:
+	default:
+		return fmt.Errorf("panel %q: unknown kind %q", p.Name, p.Kind)
+	}
+	switch p.Metric {
+	case "", MetricThroughput, MetricMissLatency, MetricUtilization, MetricBroadcast:
+	default:
+		return fmt.Errorf("panel %q: unknown metric %q", p.Name, p.Metric)
+	}
+	if p.Name == "" {
+		return fmt.Errorf("campaign: panel with empty name")
+	}
+	if len(p.Xs) == 0 {
+		return fmt.Errorf("panel %q: no x values", p.Name)
+	}
+	for _, x := range p.Xs {
+		if p.Kind == KindScaling && (x != math.Trunc(x) || x < 1) {
+			return fmt.Errorf("panel %q: scaling x %g is not a positive node count", p.Name, x)
+		}
+		if p.Kind == KindBandwidth && x <= 0 {
+			return fmt.Errorf("panel %q: bandwidth x %g must be positive", p.Name, x)
+		}
+	}
+	return nil
+}
+
+func (g *Grid) validate() error {
+	if len(g.Panels) == 0 {
+		return fmt.Errorf("campaign: grid %q has no panels", g.Name)
+	}
+	seen := map[string]bool{}
+	for _, p := range g.Panels {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("campaign: duplicate panel name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// cell materializes one (protocol, x, seed) point of the panel.
+func (p Panel) cell(proto core.Protocol, x float64, seed uint64) experiments.Cell {
+	c := experiments.Cell{
+		Protocol:      proto,
+		Nodes:         p.Nodes,
+		BandwidthMBs:  p.BandwidthMBs,
+		BroadcastCost: p.BroadcastCost,
+		Workload:      p.Workload,
+		Seed:          seed,
+	}
+	switch p.Kind {
+	case KindBandwidth:
+		c.BandwidthMBs = x
+	case KindScaling:
+		c.Nodes = int(x)
+	case KindThink:
+		c.Think = sim.Time(x)
+	}
+	return c
+}
+
+// metricOf extracts the panel's convergence/plot metric from m.
+func (p Panel) metricOf(m core.Metrics) float64 {
+	switch p.Metric {
+	case MetricMissLatency:
+		return m.AvgMissLatency
+	case MetricUtilization:
+		return m.Utilization
+	case MetricBroadcast:
+		return m.BroadcastFraction
+	default:
+		return m.Throughput
+	}
+}
+
+func (p Panel) xLabel() string {
+	switch p.Kind {
+	case KindScaling:
+		return "nodes"
+	case KindThink:
+		return "think_ns"
+	default:
+		return "bandwidth_MBs"
+	}
+}
+
+func (p Panel) yLabel() string {
+	if p.Metric == "" {
+		return MetricThroughput
+	}
+	return p.Metric
+}
+
+// logSpace returns n log-spaced values from lo to hi inclusive, rounded to
+// whole units so the grid reads cleanly in TSVs and cache keys.
+func logSpace(lo, hi float64, n int) []float64 {
+	xs := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range xs {
+		xs[i] = math.Round(v)
+		v *= ratio
+	}
+	xs[n-1] = hi
+	return xs
+}
+
+// DefaultGrid returns the campaign grid for a scale. Full is the paper's
+// evaluation: a dense 16-point log-spaced bandwidth grid for the
+// microbenchmark at 64 nodes and for every Figure 10/11 workload panel at
+// both broadcast costs, the Figure 8 scaling panel up to 256 nodes, and
+// the Figure 9 think-time panel on miss latency. Quick is a small grid
+// with the same shape for tests and the CI smoke.
+func DefaultGrid(scale experiments.Scale) *Grid {
+	if scale != experiments.Full {
+		return &Grid{Name: "quick", Panels: []Panel{
+			{Name: "micro-bandwidth", Title: "Microbenchmark bandwidth sweep",
+				Kind: KindBandwidth, Nodes: 16, Xs: []float64{200, 1600, 10000}},
+			{Name: "scaling", Title: "System-size scaling at 1600 MB/s",
+				Kind: KindScaling, BandwidthMBs: 1600, Xs: []float64{4, 8, 16}},
+		}}
+	}
+	dense := logSpace(100, 14000, 16)
+	g := &Grid{Name: "full", Panels: []Panel{
+		{Name: "micro-bandwidth", Title: "Microbenchmark bandwidth sweep (64 nodes)",
+			Kind: KindBandwidth, Nodes: 64, Xs: dense},
+		{Name: "scaling", Title: "System-size scaling at 1600 MB/s",
+			Kind: KindScaling, BandwidthMBs: 1600, Xs: []float64{4, 8, 16, 32, 64, 128, 256}},
+		{Name: "think-latency", Title: "Miss latency vs think time (64 nodes, 1600 MB/s)",
+			Kind: KindThink, Metric: MetricMissLatency, Nodes: 64, BandwidthMBs: 1600,
+			Xs: []float64{0, 100, 200, 400, 700, 1000}},
+	}}
+	for _, bc := range []float64{1, 4} {
+		for _, wl := range []string{"", "Apache", "Barnes-Hut", "OLTP", "Slashcode", "SPECjbb"} {
+			name := wl
+			if name == "" {
+				name = "Microbenchmark"
+			}
+			g.Panels = append(g.Panels, Panel{
+				Name:          fmt.Sprintf("macro-%s-bc%g", name, bc),
+				Title:         fmt.Sprintf("%s bandwidth sweep (16 nodes, %gx broadcast cost)", name, bc),
+				Kind:          KindBandwidth,
+				Nodes:         16,
+				BroadcastCost: bc,
+				Workload:      wl,
+				Xs:            dense,
+			})
+		}
+	}
+	return g
+}

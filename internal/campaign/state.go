@@ -1,0 +1,159 @@
+package campaign
+
+// Checkpointing. The state file is one JSON document: a hash binding it to
+// the exact grid definition, convergence knobs, seed list, scale, and
+// binary fingerprint it was produced by, plus per-panel progress — the
+// per-cell seed counts and summaries of the escalation frontier, and the
+// rendered TSV of every completed panel. Writes are atomic (temp file +
+// rename in the same directory), so a kill at any instant leaves either
+// the previous checkpoint or the new one, never a torn file.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cellstore"
+	"repro/internal/experiments"
+)
+
+// stateFormat versions the checkpoint schema itself.
+const stateFormat = 1
+
+// cellState is the checkpointed escalation state of one (protocol, x) cell.
+type cellState struct {
+	// Seeds is how many seeds of the deterministic per-campaign sequence
+	// this cell has been assigned so far.
+	Seeds int `json:"seeds"`
+	// Mean and CoV summarize the panel metric across those seeds.
+	Mean float64 `json:"mean"`
+	CoV  float64 `json:"cov"`
+	// Converged records whether the cell met the CoV target (or hit the
+	// seed cap) as of the last completed round.
+	Converged bool `json:"converged"`
+}
+
+// panelState is one panel's checkpointed progress.
+type panelState struct {
+	// Done marks a fully converged panel; TSV holds its rendered artifact,
+	// replayed verbatim on resume so output is byte-identical.
+	Done bool   `json:"done,omitempty"`
+	TSV  string `json:"tsv,omitempty"`
+	// Cells maps cell ids ("<protocol>@<x>") to escalation state.
+	Cells map[string]*cellState `json:"cells,omitempty"`
+}
+
+// state is the whole checkpoint document.
+type state struct {
+	Format   int                    `json:"format"`
+	GridHash string                 `json:"grid_hash"`
+	GridName string                 `json:"grid_name"`
+	Panels   map[string]*panelState `json:"panels"`
+}
+
+// gridHash binds a checkpoint to everything that shapes its results: the
+// grid definition, the CoV target and seed cap, the seed sequence, the
+// scale (it selects per-cell operation counts), the checkpoint schema, and
+// the binary fingerprint (a different build's cells are different cells —
+// the store would re-simulate them, so the checkpoint must not claim them
+// done).
+func gridHash(g *Grid, covTarget float64, maxSeeds int, seeds []uint64, scale experiments.Scale) string {
+	doc, err := json.Marshal(struct {
+		Format    int
+		Bin       string
+		Grid      *Grid
+		CovTarget float64
+		MaxSeeds  int
+		Seeds     []uint64
+		Scale     int
+	}{stateFormat, cellstore.Fingerprint(), g, covTarget, maxSeeds, seeds, int(scale)})
+	if err != nil {
+		panic(fmt.Sprintf("campaign: hashing grid: %v", err)) // plain data, cannot fail
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:])
+}
+
+// loadState reads the checkpoint at path, returning a fresh state when the
+// file does not exist and an error when it exists but does not match hash
+// — resuming under a different grid, knob set, seed list, scale, or binary
+// would silently mix incompatible results, so it is refused with the
+// remedy spelled out.
+func loadState(path, hash, gridName string) (*state, error) {
+	st := &state{Format: stateFormat, GridHash: hash, GridName: gridName, Panels: map[string]*panelState{}}
+	if path == "" {
+		return st, nil
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reading state %s: %w", path, err)
+	}
+	var got state
+	if err := json.Unmarshal(raw, &got); err != nil {
+		return nil, fmt.Errorf("campaign: state %s is not valid JSON (%v): delete it to start over", path, err)
+	}
+	if got.Format != stateFormat {
+		return nil, fmt.Errorf("campaign: state %s has format %d, this binary writes %d: delete it or point -campaign-state elsewhere",
+			path, got.Format, stateFormat)
+	}
+	if got.GridHash != hash {
+		return nil, fmt.Errorf("campaign: state %s was written for a different campaign (grid/seeds/cov-target/max-seeds/scale/binary changed; hash %.12s != %.12s): delete it or point -campaign-state elsewhere",
+			path, got.GridHash, hash)
+	}
+	if got.Panels == nil {
+		got.Panels = map[string]*panelState{}
+	}
+	return &got, nil
+}
+
+// save atomically writes the checkpoint: temp file in the same directory,
+// fsync-free rename (the campaign tolerates losing the very last round to
+// a power cut — it only costs replaying that round from the cell store).
+func (st *state) save(path string) error {
+	if path == "" {
+		return nil
+	}
+	doc, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding state: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-campaign-*")
+	if err != nil {
+		return fmt.Errorf("campaign: writing state: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(doc, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("campaign: writing state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("campaign: writing state: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("campaign: writing state: %w", err)
+	}
+	return nil
+}
+
+// panel returns the named panel's state, creating it on first use.
+func (st *state) panel(name string) *panelState {
+	ps := st.Panels[name]
+	if ps == nil {
+		ps = &panelState{Cells: map[string]*cellState{}}
+		st.Panels[name] = ps
+	}
+	if ps.Cells == nil {
+		ps.Cells = map[string]*cellState{}
+	}
+	return ps
+}

@@ -45,8 +45,14 @@ const tempMaxAge = time.Hour
 func (s *Store) GC(maxAge time.Duration) (GCResult, error) {
 	var res GCResult
 	cutoff := time.Time{}
+	// Temp litter must never outlive the entries themselves: under an
+	// aggressive maxAge the default grace period is clamped down to it.
+	tempAge := tempMaxAge
 	if maxAge > 0 {
 		cutoff = time.Now().Add(-maxAge)
+		if maxAge < tempAge {
+			tempAge = maxAge
+		}
 	}
 	defer func() { s.evictions.Add(uint64(res.Removed())) }()
 	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
@@ -60,7 +66,7 @@ func (s *Store) GC(maxAge time.Duration) (GCResult, error) {
 		name := d.Name()
 		switch {
 		case strings.HasPrefix(name, ".tmp-"):
-			if time.Since(info.ModTime()) > tempMaxAge {
+			if time.Since(info.ModTime()) > tempAge {
 				if os.Remove(path) == nil {
 					res.RemovedTemp++
 					res.RemovedBytes += info.Size()

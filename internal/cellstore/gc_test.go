@@ -101,3 +101,44 @@ func TestGCZeroMaxAgeKeepsAnyAge(t *testing.T) {
 		t.Errorf("GC(0) kept %d removed %d, want 1/0", res.Kept, res.Removed())
 	}
 }
+
+// TestGCTempAgeClampedToMaxAge: under an aggressive maxAge, temp litter
+// younger than the default one-hour grace period but older than maxAge is
+// still evicted — crashed-writer droppings must not outlive the entries.
+func TestGCTempAgeClampedToMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	if err := st.Put("live", 1); err != nil {
+		t.Fatal(err)
+	}
+	// A temp file 10 minutes old: younger than tempMaxAge (1h) but older
+	// than the aggressive 5-minute maxAge below.
+	tmp := filepath.Join(dir, "00", ".tmp-crashed")
+	os.MkdirAll(filepath.Dir(tmp), 0o755)
+	os.WriteFile(tmp, []byte("x"), 0o644)
+	tenMin := time.Now().Add(-10 * time.Minute)
+	os.Chtimes(tmp, tenMin, tenMin)
+
+	res, err := st.GC(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedTemp != 1 {
+		t.Errorf("RemovedTemp = %d, want 1 (temp age clamped to maxAge)", res.RemovedTemp)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("clamped temp file still present")
+	}
+
+	// Without a maxAge the default one-hour grace period still protects it.
+	tmp2 := filepath.Join(dir, "00", ".tmp-young")
+	os.WriteFile(tmp2, []byte("x"), 0o644)
+	os.Chtimes(tmp2, tenMin, tenMin)
+	res, err = st.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedTemp != 0 {
+		t.Errorf("GC(0) RemovedTemp = %d, want 0 (grace period applies)", res.RemovedTemp)
+	}
+}

@@ -28,6 +28,7 @@ const (
 	maxWireStr   = 1 << 20 // worker names, kinds, labels, error/panic text
 	maxWireKinds = 1 << 10
 	maxWireJobs  = 1 << 16
+	maxWireSeeds = 1 << 12 // per-sweep seed-list override
 )
 
 // byteReader is a strict cursor over one message payload.
@@ -401,7 +402,12 @@ const maxSweepPriority = 1 << 20
 func appendSubmit(b []byte, req SubmitRequest) []byte {
 	b = appendString(b, req.Exp)
 	b = appendString(b, req.Scale)
-	return appendUvarint(b, uint64(req.Priority))
+	b = appendUvarint(b, uint64(req.Priority))
+	b = appendUvarint(b, uint64(len(req.Seeds)))
+	for _, s := range req.Seeds {
+		b = appendUvarint(b, s)
+	}
+	return b
 }
 
 func parseSubmit(p []byte) (SubmitRequest, error) {
@@ -414,6 +420,12 @@ func parseSubmit(p []byte) (SubmitRequest, error) {
 		r.fail("dist: sweep priority %d exceeds bound %d", prio, maxSweepPriority)
 	}
 	req.Priority = int(prio)
+	if n := r.count("seeds", maxWireSeeds); r.err == nil && n > 0 {
+		req.Seeds = make([]uint64, n)
+		for i := range req.Seeds {
+			req.Seeds[i] = r.uvarint("seed")
+		}
+	}
 	return req, r.finish("submit")
 }
 

@@ -127,8 +127,13 @@ func TestCodecRoundTrips(t *testing.T) {
 	t.Run("submit", func(t *testing.T) {
 		want := SubmitRequest{Exp: "fig1", Scale: "quick", Priority: 7}
 		got, err := parseSubmit(appendSubmit(nil, want))
-		if err != nil || got != want {
+		if err != nil || !reflect.DeepEqual(got, want) {
 			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+		seeded := SubmitRequest{Exp: "fig8", Priority: 1, Seeds: []uint64{11, 23, 1 << 60}}
+		got, err = parseSubmit(appendSubmit(nil, seeded))
+		if err != nil || !reflect.DeepEqual(got, seeded) {
+			t.Fatalf("seeded: got %+v, %v; want %+v", got, err, seeded)
 		}
 	})
 

@@ -25,6 +25,11 @@ type SubmitRequest struct {
 	// scheduled (and their jobs granted) first; equal priorities run FIFO.
 	// Must be in [0, 1<<20].
 	Priority int `json:"priority,omitempty"`
+	// Seeds overrides the sweep's per-cell seed list (experiments
+	// Options.Seeds); empty takes the per-scale default. The service
+	// validates the list (non-empty after parse, no duplicates) and rejects
+	// bad lists in-band.
+	Seeds []uint64 `json:"seeds,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission. Err is the in-band rejection

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Cell describes one simulation point for the exported RunCells entry
+// point. It is the public mirror of the internal runConfig: every field
+// that influences the simulation appears here, and two equal Cells are
+// guaranteed equal Metrics. The campaign runner (internal/campaign) drives
+// the figure grids through it incrementally, cell by cell and seed by
+// seed, instead of through the fixed per-figure sweeps.
+type Cell struct {
+	Protocol      core.Protocol
+	Nodes         int
+	BandwidthMBs  float64
+	BroadcastCost float64
+	Think         sim.Time
+	Workload      string // "" selects the locking microbenchmark
+	Threshold     int    // BASH utilization threshold (0 = default 75)
+	Interval      sim.Time
+	PolicyBits    uint
+	Seed          uint64
+	// Warm and Measure override the per-scale operation counts; when both
+	// are zero the Options scale defaults apply (matching what the figure
+	// sweeps simulate, so campaign cells share their cache entries).
+	Warm, Measure uint64
+}
+
+// SeedList resolves Options.Seeds against the per-scale defaults — the
+// exact list the figure sweeps run with. The campaign runner seeds its
+// per-cell escalation sequences from it.
+func (o Options) SeedList() []uint64 { return o.seeds() }
+
+func (c Cell) runConfig(o Options) runConfig {
+	warm, measure := c.Warm, c.Measure
+	if warm == 0 && measure == 0 {
+		warm, measure = o.ops()
+	}
+	return runConfig{
+		protocol: c.Protocol, nodes: c.Nodes, bandwidth: c.BandwidthMBs,
+		broadcastCost: c.BroadcastCost, think: c.Think, workloadName: c.Workload,
+		threshold: c.Threshold, interval: c.Interval, policyBits: c.PolicyBits,
+		seed: c.Seed, warm: warm, measure: measure, watchdog: o.WatchdogInterval,
+	}
+}
+
+// Key returns the content address under which the cell's result persists
+// in the cell store (it embeds the binary fingerprint and format version).
+func (c Cell) Key(o Options) string { return c.runConfig(o).cacheKey() }
+
+// RunCells evaluates one simulation cell per entry and returns their
+// metrics in input order. It is the exported face of the internal cell
+// funnel: cells already in the in-process memo or the persistent store are
+// served locally, misses dispatch through Options.Backend when one is set
+// (or the in-process pool otherwise), and fresh results write through both
+// cache layers. Unlike the figure runners it reports failure as an error
+// rather than a panic, so a long-running caller can checkpoint and retry.
+func RunCells(o Options, cells []Cell) (ms []core.Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(abort)
+			if !ok {
+				panic(r)
+			}
+			ms, err = nil, a.err
+		}
+	}()
+	rcs := make([]runConfig, len(cells))
+	for i, c := range cells {
+		rcs[i] = c.runConfig(o)
+	}
+	label := func(i int) string {
+		c := cells[i]
+		return fmt.Sprintf("cell %s nodes=%d bw=%g wl=%q seed=%d",
+			c.Protocol, c.Nodes, c.BandwidthMBs, c.Workload, c.Seed)
+	}
+	return runCells(o, rcs, label), nil
+}

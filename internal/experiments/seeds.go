@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSeeds parses a comma-separated seed list as accepted by the CLIs'
+// -seeds flag ("11,23,37"). Whitespace around entries is tolerated. The
+// list must be non-empty, every entry must be an unsigned 64-bit integer,
+// and duplicates are rejected — each seed contributes one independent
+// observation per cell, so repeating one would silently narrow the error
+// bars without adding information.
+func ParseSeeds(s string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: want an unsigned integer (example: -seeds 11,23,37)", part)
+		}
+		seeds = append(seeds, v)
+	}
+	if err := ValidateSeeds(seeds); err != nil {
+		return nil, err
+	}
+	return seeds, nil
+}
+
+// ValidateSeeds checks an already-parsed seed list: it must be non-empty
+// and free of duplicates. Submission paths (-submit, the service) call
+// this on lists that arrive over the wire rather than through ParseSeeds.
+func ValidateSeeds(seeds []uint64) error {
+	if len(seeds) == 0 {
+		return fmt.Errorf("empty seed list: want comma-separated integers like 11,23,37")
+	}
+	seen := make(map[uint64]bool, len(seeds))
+	for _, v := range seeds {
+		if seen[v] {
+			return fmt.Errorf("duplicate seed %d: each seed must appear once", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}

@@ -64,13 +64,28 @@ func (a *Accumulator) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
 
-// CoV returns the coefficient of variation (stddev/mean), or 0 for a zero
-// mean. The paper draws error bars only when CoV exceeds 1%.
+// covEpsilon is the absolute-spread floor for CoV: when both |mean| and
+// stddev sit below it, the signal is indistinguishable from zero and the
+// ratio stddev/mean would only amplify floating-point noise (a near-zero
+// mean — e.g. nack rates at saturating bandwidth — must not read as
+// astronomically noisy and burn seeds under CoV-targeted escalation).
+// Genuine metrics in this repo (throughputs in ops/ns, latencies in ns,
+// rates per op) all sit many orders of magnitude above 1e-12.
+const covEpsilon = 1e-12
+
+// CoV returns the coefficient of variation (stddev/mean). It is defined as
+// 0 when both |mean| and the standard deviation are below an absolute
+// epsilon (the observations are all zero up to floating-point noise). The
+// paper draws error bars only when CoV exceeds 1%.
 func (a *Accumulator) CoV() float64 {
-	if a.mean == 0 {
-		return 0
+	sd := a.StdDev()
+	if math.Abs(a.mean) < covEpsilon {
+		if sd < covEpsilon {
+			return 0
+		}
+		return sd / covEpsilon
 	}
-	return a.StdDev() / math.Abs(a.mean)
+	return sd / math.Abs(a.mean)
 }
 
 // Summary is a point estimate with spread, as plotted in the paper
@@ -88,8 +103,10 @@ func (a *Accumulator) Summarize() Summary {
 }
 
 // String renders "mean" or "mean ±σ" following the paper's CoV>1% rule.
+// Consistently with Accumulator.CoV's absolute-spread floor, a spread below
+// epsilon never draws an error bar regardless of how small the mean is.
 func (s Summary) String() string {
-	if s.CoV > 0.01 {
+	if s.CoV > 0.01 && s.StdDev >= covEpsilon {
 		return fmt.Sprintf("%.4g ±%.2g", s.Mean, s.StdDev)
 	}
 	return fmt.Sprintf("%.4g", s.Mean)

@@ -186,3 +186,45 @@ func TestAccumulatorCoVSmallN(t *testing.T) {
 		t.Errorf("n=2 CoV = %v, want > 0", got)
 	}
 }
+
+// TestCoVNearZeroFloor: a mean that is merely *near* zero (floating-point
+// noise around an all-zero metric, e.g. nack rates at high bandwidth) must
+// read as perfectly converged, not astronomically noisy — otherwise
+// CoV-targeted seed escalation would burn seeds forever on a dead metric.
+func TestCoVNearZeroFloor(t *testing.T) {
+	var a Accumulator
+	a.Add(1e-15)
+	a.Add(-1e-15)
+	a.Add(2e-16)
+	if got := a.CoV(); got != 0 {
+		t.Errorf("near-zero observations CoV = %v, want 0", got)
+	}
+	// Whatever the tiny mean formats as, it must not carry an error bar.
+	if s := a.Summarize().String(); containsPlusMinus(s) {
+		t.Errorf("near-zero summary %q should omit the error bar", s)
+	}
+	// A genuinely small metric with genuine relative spread keeps its CoV.
+	var small Accumulator
+	small.Add(1e-6)
+	small.Add(1.2e-6)
+	if got := small.CoV(); got < 0.05 || got > 0.2 {
+		t.Errorf("small-scale CoV = %v, want ~0.09", got)
+	}
+	// Real spread around a zero mean is NOT converged: the floor only
+	// applies when the spread itself is negligible too.
+	var sym Accumulator
+	sym.Add(-5)
+	sym.Add(5)
+	if got := sym.CoV(); got <= 1 {
+		t.Errorf("zero-mean wide-spread CoV = %v, want large", got)
+	}
+}
+
+func containsPlusMinus(s string) bool {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == 0xc2 && s[i+1] == 0xb1 { // UTF-8 "±"
+			return true
+		}
+	}
+	return false
+}

@@ -81,6 +81,7 @@ type SweepStatus struct {
 	Exp      string     `json:"exp"`
 	Scale    string     `json:"scale"`
 	Priority int        `json:"priority,omitempty"`
+	Seeds    []uint64   `json:"seeds,omitempty"`
 	State    SweepState `json:"state"`
 	// Done/Total count simulation cells across the sweep's figures so far
 	// (Total grows as each figure's sweep starts; a queued sweep reports
@@ -101,6 +102,7 @@ type sweep struct {
 	scale     experiments.Scale
 	scaleName string
 	priority  int
+	seeds     []uint64 // per-sweep seed override; nil takes scale defaults
 	state     SweepState
 	submitted time.Time
 	started   time.Time
@@ -123,6 +125,7 @@ func (sw *sweep) status() SweepStatus {
 		Exp:       sw.exp,
 		Scale:     sw.scaleName,
 		Priority:  sw.priority,
+		Seeds:     sw.seeds,
 		State:     sw.state,
 		Done:      sw.baseDone + sw.lastDone,
 		Total:     sw.baseTotal + sw.lastTotal,
@@ -321,6 +324,11 @@ func (s *Service) submit(req dist.SubmitRequest) dist.SubmitResponse {
 	if err != nil {
 		return dist.SubmitResponse{Err: err.Error()}
 	}
+	if len(req.Seeds) > 0 {
+		if err := experiments.ValidateSeeds(req.Seeds); err != nil {
+			return dist.SubmitResponse{Err: err.Error()}
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -334,6 +342,7 @@ func (s *Service) submit(req dist.SubmitRequest) dist.SubmitResponse {
 		scale:     scale,
 		scaleName: scaleName,
 		priority:  req.Priority,
+		seeds:     slices.Clone(req.Seeds),
 		state:     Queued,
 		submitted: time.Now(),
 	}
@@ -382,6 +391,9 @@ func (s *Service) runSweep(sw *sweep, ctx context.Context) {
 	defer s.wg.Done()
 	o := s.opt.Experiments
 	o.Scale = sw.scale
+	if len(sw.seeds) > 0 {
+		o.Seeds = sw.seeds
+	}
 	o.Context = ctx
 	o.Backend = priorityBackend{c: s.coord, priority: sw.priority}
 	o.Progress = func(done, total int) { s.observeProgress(sw, done, total) }

@@ -1,0 +1,139 @@
+#!/bin/sh
+# campaign-smoke.sh: end-to-end resumable-campaign smoke test (the CI job).
+#
+# Builds bashsim once, then exercises the campaign runner's whole contract
+# at the process level:
+#
+#   * an uninterrupted quick campaign is the reference: its TSV file and its
+#     summary-line counters (simulated cells, seeds) are captured;
+#   * a second campaign against fresh caches is SIGTERMed as soon as its
+#     first panel checkpoints done; it must exit non-zero and print the
+#     resume hint naming the checkpoint;
+#   * re-running the identical command must complete, and the two runs'
+#     simulated-cell counts must sum exactly to the reference's — the
+#     resumed campaign re-simulated nothing;
+#   * the resumed campaign's TSV file must be byte-identical to the
+#     reference (finished panels replay from the checkpoint, unfinished
+#     cells come back from the cell store);
+#   * a campaign with an unreachable CoV target (-cov-target -1) must run
+#     strictly more seeds than one with a loose target (-cov-target 99) —
+#     the convergence knob provably controls per-cell seed counts.
+#
+# The reference summary is archived as BENCH_campaign.json (cells/sec,
+# seeds, escalations) and the checkpoint + TSVs are copied to
+# $CAMPAIGN_SMOKE_ARTIFACTS (default ./campaign-smoke-artifacts) for CI.
+set -eu
+
+WORK="$(mktemp -d)"
+ART="${CAMPAIGN_SMOKE_ARTIFACTS:-campaign-smoke-artifacts}"
+
+PID=""
+cleanup() {
+    [ -z "$PID" ] || kill "$PID" 2>/dev/null || true
+    [ -z "$PID" ] || wait "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# summary_field LOG NAME: value of NAME=... in the campaign summary line.
+summary_field() {
+    sed -n 's/.*campaign summary:.* '"$2"'=\([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+echo "==> building bashsim"
+go build -o "$WORK/bashsim" ./cmd/bashsim
+
+echo "==> uninterrupted reference campaign"
+"$WORK/bashsim" -campaign -scale quick -parallel 2 \
+    -campaign-state "$WORK/ref-state.json" -cache-dir "$WORK/ref-cache" \
+    -out "$WORK/ref.tsv" 2>"$WORK/ref.log"
+cat "$WORK/ref.log"
+REF_SIMS="$(summary_field "$WORK/ref.log" simulated)"
+REF_SEEDS="$(summary_field "$WORK/ref.log" seeds)"
+[ -n "$REF_SIMS" ] && [ "$REF_SIMS" -gt 0 ] || {
+    echo "FAIL: reference campaign simulated nothing" >&2; exit 1; }
+
+echo "==> campaign to be SIGTERMed after its first panel (serial, fresh caches)"
+"$WORK/bashsim" -campaign -scale quick -parallel 1 \
+    -campaign-state "$WORK/state.json" -cache-dir "$WORK/cache" \
+    -out "$WORK/interrupted.tsv" 2>"$WORK/interrupted.log" &
+PID=$!
+KILLED=0
+i=0
+while [ $i -lt 3000 ]; do
+    if grep -q "done:" "$WORK/interrupted.log" 2>/dev/null; then
+        kill -TERM "$PID"
+        KILLED=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.01
+    i=$((i + 1))
+done
+[ "$KILLED" = 1 ] || { echo "FAIL: campaign finished before it could be interrupted" >&2; exit 1; }
+if wait "$PID"; then
+    echo "FAIL: SIGTERMed campaign exited zero" >&2; exit 1
+fi
+PID=""
+cat "$WORK/interrupted.log"
+grep -q "re-run the same command to resume" "$WORK/interrupted.log" || {
+    echo "FAIL: interrupted campaign printed no resume hint" >&2; exit 1; }
+KILLED_SIMS="$(sed -n 's/.*simulated \([0-9]*\) cells this run.*/\1/p' "$WORK/interrupted.log" | head -n 1)"
+echo "==> interrupted after $KILLED_SIMS of $REF_SIMS simulations"
+
+echo "==> resuming the identical command"
+"$WORK/bashsim" -campaign -scale quick -parallel 1 \
+    -campaign-state "$WORK/state.json" -cache-dir "$WORK/cache" \
+    -out "$WORK/resumed.tsv" 2>"$WORK/resumed.log"
+cat "$WORK/resumed.log"
+grep -q "replayed from checkpoint" "$WORK/resumed.log" || {
+    echo "FAIL: resumed campaign replayed no panel from the checkpoint" >&2; exit 1; }
+RESUME_SIMS="$(summary_field "$WORK/resumed.log" simulated)"
+if [ "$((KILLED_SIMS + RESUME_SIMS))" -ne "$REF_SIMS" ]; then
+    echo "FAIL: interrupted ($KILLED_SIMS) + resumed ($RESUME_SIMS) simulations != reference ($REF_SIMS): the resume re-simulated completed cells" >&2
+    exit 1
+fi
+cmp "$WORK/ref.tsv" "$WORK/resumed.tsv" || {
+    echo "FAIL: resumed campaign TSV differs from the uninterrupted reference" >&2; exit 1; }
+echo "==> resume simulated $RESUME_SIMS cells, none repeated; TSVs byte-identical"
+
+echo "==> CoV target controls seed counts (loose vs unreachable target)"
+"$WORK/bashsim" -campaign -scale quick -parallel 2 -cov-target 99 \
+    -campaign-state "$WORK/loose-state.json" -cache-dir "$WORK/cov-cache" \
+    -out /dev/null 2>"$WORK/loose.log"
+"$WORK/bashsim" -campaign -scale quick -parallel 2 -cov-target -1 -max-seeds 4 \
+    -campaign-state "$WORK/strict-state.json" -cache-dir "$WORK/cov-cache" \
+    -out /dev/null 2>"$WORK/strict.log"
+LOOSE_SEEDS="$(summary_field "$WORK/loose.log" seeds)"
+STRICT_SEEDS="$(summary_field "$WORK/strict.log" seeds)"
+if [ "$LOOSE_SEEDS" -ge "$STRICT_SEEDS" ]; then
+    echo "FAIL: loose target ran $LOOSE_SEEDS seeds, unreachable target ran $STRICT_SEEDS" >&2
+    exit 1
+fi
+echo "==> loose target ran $LOOSE_SEEDS seeds, unreachable target $STRICT_SEEDS"
+
+mkdir -p "$ART"
+cp "$WORK/ref-state.json" "$ART/campaign-state.json"
+cp "$WORK/ref.tsv" "$ART/campaign-figures.tsv"
+ELAPSED="$(summary_field "$WORK/ref.log" elapsed)"
+RATE="$(summary_field "$WORK/ref.log" cells_per_sec)"
+ESCALATED="$(summary_field "$WORK/ref.log" escalated)"
+CELLS="$(summary_field "$WORK/ref.log" cells)"
+cat >"$ART/BENCH_campaign.json" <<EOF
+{
+  "bench": "campaign_quick",
+  "cells": $CELLS,
+  "seeds": $REF_SEEDS,
+  "escalated": $ESCALATED,
+  "simulated": $REF_SIMS,
+  "elapsed_s": $ELAPSED,
+  "cells_per_sec": $RATE,
+  "interrupted_sims": $KILLED_SIMS,
+  "resumed_sims": $RESUME_SIMS
+}
+EOF
+cat "$ART/BENCH_campaign.json"
+
+echo "PASS: campaign smoke"
