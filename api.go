@@ -147,12 +147,16 @@ type (
 	// the coordinator's; MaxBatch caps accepted batch sizes; Wire forces
 	// "binary" or "http", defaulting to negotiation; CacheDir names the
 	// worker's cell store and enables the peer cell exchange, whose
-	// advertisement traffic AdvertBudget caps in bytes per second).
+	// advertisement traffic AdvertBudget caps in bytes per second;
+	// PeerAddr additionally serves that store to other workers directly,
+	// enabling the worker-to-worker data path).
 	DistWorkerOptions = dist.WorkerOptions
 	// DistStats are a coordinator's lifetime dispatch counters, including
-	// lease/refill round-trip counts, expired-lease reassignments, and the
+	// lease/refill round-trip counts, expired-lease reassignments, the
 	// peer-cell-exchange counters (adverts, fetches, served, relayed,
-	// false positives).
+	// false positives), and the direct-data-path counters (worker-reported
+	// direct fetches, relay fallbacks, replica puts, owner-preferred
+	// grants, and current placement-ring size).
 	DistStats = dist.Stats
 	// DistAuthError is the terminal error a worker returns when the
 	// coordinator rejects its shared secret (HTTP 401, or an auth-failed

@@ -103,6 +103,7 @@ func main() {
 		distWire   = flag.String("wire", "", "distributed transport: auto (default: negotiate binary frames, fall back to JSON), binary, or http; with -serve, http disables the binary endpoint")
 		advBudget  = flag.Int("advert-budget", 65536, "peer cell exchange: approximate bytes/sec each worker may spend advertising its cell-store indicator (0 = unpaced)")
 		workerKind = flag.String("worker-kinds", "", "with -worker: comma-separated job kinds to lease (empty = every registered executor); a kind matching no jobs makes a holder-only worker that just advertises and serves its cell store")
+		peerAddr   = flag.String("peer-addr", "", "with -worker: serve this worker's cell store to other workers on this address (e.g. :9102; must be dialable by peers); empty disables the direct data path")
 		waitWork   = flag.Int("wait-workers", 0, "with -serve: wait for this many live workers (and their first indicator adverts) before dispatching")
 
 		submit    = flag.String("submit", "", "submit a named sweep (-exp, -scale, -priority) to a sweep-service coordinator at this URL and exit")
@@ -168,6 +169,10 @@ func main() {
 		fatalUsage("-campaign and -worker are mutually exclusive: point workers at the campaign's -serve address instead")
 	case campaignKnob != "" && !*campaignMode:
 		fatalUsage(campaignKnob + " only applies to a campaign; add -campaign")
+	case *peerAddr != "" && *worker == "":
+		fatalUsage("-peer-addr only applies to a worker; add -worker URL")
+	case *peerAddr != "" && *noCache:
+		fatalUsage("-peer-addr needs the cell store that -no-cache disables: a peer listener with no store has nothing to serve")
 	}
 	var seedList []uint64
 	if seedsSet {
@@ -196,7 +201,7 @@ func main() {
 		return
 	}
 	if *worker != "" {
-		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll, *distWire, *advBudget, *workerKind)
+		runWorker(*worker, *cacheDir, *noCache, *noReuse, *parallel, *distSecret, *workerPoll, *distWire, *advBudget, *workerKind, *peerAddr)
 		return
 	}
 	if *single {
@@ -581,6 +586,10 @@ func runStatus(coordinator, secret string) {
 	fmt.Fprintf(w, "frames\t%d in, %d out\n", st.FramesIn, st.FramesOut)
 	fmt.Fprintf(w, "exchange\t%d adverts (%d B), %d fetches: %d served, %d relayed, %d false-pos\n",
 		st.Adverts, st.AdvertBytes, st.Fetches, st.FetchServed, st.FetchRelayed, st.FetchFalsePos)
+	fmt.Fprintf(w, "direct\t%d peer fetches, %d relay fallbacks, %d replica puts\n",
+		st.FetchDirect, st.FetchFallback, st.PeerPuts)
+	fmt.Fprintf(w, "ring\t%d workers, %d owner-preferred grants\n",
+		st.RingWorkers, st.RingOwnerGrants)
 	if len(st.WireConns) > 0 {
 		fmt.Fprintf(w, "\nWORKER\tREMOTE\tFRAMES IN/OUT\tBYTES IN/OUT\t\n")
 		for _, c := range st.WireConns {
@@ -665,7 +674,7 @@ func writeDistStatus(coord *dist.Coordinator, path string) error {
 // The store also feeds the peer cell exchange: its keys are advertised to
 // the coordinator (paced by -advert-budget) and hinted cells are fetched
 // from the fleet instead of simulated.
-func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration, wire string, advertBudget int, kindList string) {
+func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, secret string, poll time.Duration, wire string, advertBudget int, kindList, peerAddr string) {
 	var kinds []string
 	for _, k := range strings.Split(kindList, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -697,6 +706,7 @@ func runWorker(coordinator, cacheDir string, noCache, noReuse bool, slots int, s
 		Kinds:        kinds,
 		CacheDir:     dir,
 		AdvertBudget: advertBudget,
+		PeerAddr:     peerAddr,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -160,14 +160,28 @@
 // (paced and sized against DistWorkerOptions.AdvertBudget, deltas
 // preferred over full re-sends); the coordinator tables them per worker
 // and marks each granted job with a likely-holder hint. Before simulating
-// a hinted cell, the worker fetches it — served from the coordinator's own
-// store (DistOptions.CacheDir) or relayed from an advertised holder — and
-// installs the raw entry after the same fail-closed envelope checks as a
-// local store read. Indicator false positives, departed holders, and
-// relay timeouts all degrade to simulating locally, never to a wrong
-// result; a cold worker joining a published sweep simulates nothing (the
-// e2e tests assert exactly zero). DistStats and /dist/status report
-// advert, fetch, served, relayed, and false-positive counters.
+// a hinted cell, the worker fetches it — directly from an advertised
+// holder's peer listener when one is known, else served from the
+// coordinator's own store (DistOptions.CacheDir) or relayed from the
+// holder — and installs the raw entry after the same fail-closed envelope
+// checks as a local store read. Indicator false positives, departed
+// holders, and relay timeouts all degrade tier by tier (direct fetch,
+// coordinator relay, local simulation), never to a wrong result; a cold
+// worker joining a published sweep simulates nothing (the e2e tests
+// assert exactly zero). DistStats and /dist/status report advert, fetch,
+// served, relayed, false-positive, direct, fallback, and replica-put
+// counters.
+//
+// The direct data path takes the coordinator off the bulk-data transfer:
+// a worker started with DistWorkerOptions.PeerAddr (requires CacheDir)
+// serves its cell store to other workers over the framed wire — the same
+// shared-secret handshake, then FETCH/CELL and PUT/PUT_ACK only. The
+// coordinator places cells on a consistent-hash ring over live workers
+// (64 virtual nodes each, so membership changes remap about 1/workers of
+// the keyspace), prefers a key's ring owner when granting its job, hands
+// fetching workers up to two holders' peer addresses per hinted job, and
+// tells finishing workers which ring owners to replicate each published
+// cell to.
 //
 // Three properties make the fleet exact and restartable:
 //

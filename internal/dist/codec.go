@@ -16,11 +16,11 @@ import (
 )
 
 // wireProtoName is the HTTP Upgrade token that negotiates the binary
-// transport on /dist/wire. The "/2" tracks wire.Version: a worker offering
+// transport on /dist/wire. The "/3" tracks wire.Version: a worker offering
 // a token the coordinator does not speak gets a plain HTTP refusal and
 // negotiates down to JSON — mixed builds degrade gracefully at the upgrade
 // instead of failing on a frame parse mid-sweep.
-const wireProtoName = "bashsim-wire/2"
+const wireProtoName = "bashsim-wire/3"
 
 // Parse bounds: generous multiples of anything the protocol produces, tight
 // enough that a malformed length fails immediately instead of allocating.
@@ -29,6 +29,7 @@ const (
 	maxWireKinds = 1 << 10
 	maxWireJobs  = 1 << 16
 	maxWireSeeds = 1 << 12 // per-sweep seed-list override
+	maxWireAddrs = 1 << 4  // holder/owner peer addresses per granted job
 )
 
 // byteReader is a strict cursor over one message payload.
@@ -144,22 +145,27 @@ func appendBool(b []byte, v bool) []byte {
 // --- HELLO / WELCOME / ERROR -------------------------------------------
 
 // appendHello encodes the connection handshake: protocol version, worker
-// name, and the SHA-256 digest of the shared secret (the server compares
-// digests in constant time; an empty secret digests the empty string).
-func appendHello(b []byte, worker string, digest []byte) []byte {
+// name, the SHA-256 digest of the shared secret (the server compares
+// digests in constant time; an empty secret digests the empty string), and
+// the worker's peer listener address ("" when it serves no peers). The same
+// handshake opens both coordinator connections and worker-to-worker peer
+// connections.
+func appendHello(b []byte, worker string, digest []byte, peer string) []byte {
 	b = appendUvarint(b, wire.Version)
 	b = appendString(b, worker)
-	return appendBytes(b, digest)
+	b = appendBytes(b, digest)
+	return appendString(b, peer)
 }
 
-func parseHello(p []byte) (worker string, digest []byte, err error) {
+func parseHello(p []byte) (worker string, digest []byte, peer string, err error) {
 	r := &byteReader{p: p}
 	if v := r.uvarint("hello version"); r.err == nil && v != wire.Version {
-		return "", nil, fmt.Errorf("dist: hello for protocol version %d (this build speaks %d)", v, wire.Version)
+		return "", nil, "", fmt.Errorf("dist: hello for protocol version %d (this build speaks %d)", v, wire.Version)
 	}
 	worker = r.str("worker name", maxWireStr)
 	digest = r.bytes("secret digest", 64)
-	return worker, digest, r.finish("hello")
+	peer = r.str("peer address", maxWireStr)
+	return worker, digest, peer, r.finish("hello")
 }
 
 func appendWelcome(b []byte) []byte { return appendUvarint(b, wire.Version) }
@@ -179,6 +185,7 @@ func parseErrorFrame(p []byte) string { return string(p) }
 
 func appendLeaseRequest(b []byte, req leaseRequest) []byte {
 	b = appendString(b, req.Worker)
+	b = appendString(b, req.Peer)
 	b = appendUvarint(b, uint64(req.Max))
 	b = appendUvarint(b, uint64(len(req.Kinds)))
 	for _, k := range req.Kinds {
@@ -191,6 +198,7 @@ func parseLeaseRequest(p []byte) (leaseRequest, error) {
 	r := &byteReader{p: p}
 	var req leaseRequest
 	req.Worker = r.str("worker name", maxWireStr)
+	req.Peer = r.str("peer address", maxWireStr)
 	req.Max = int(r.uvarint("lease max"))
 	if n := r.count("kinds", maxWireKinds); r.err == nil && n > 0 {
 		req.Kinds = make([]string, n)
@@ -217,6 +225,14 @@ func appendGrant(b []byte, resp leaseResponse) []byte {
 		b = appendString(b, j.Label)
 		b = appendBytes(b, j.Spec)
 		b = appendBool(b, j.Held)
+		b = appendUvarint(b, uint64(len(j.Holders)))
+		for _, a := range j.Holders {
+			b = appendString(b, a)
+		}
+		b = appendUvarint(b, uint64(len(j.Owners)))
+		for _, a := range j.Owners {
+			b = appendString(b, a)
+		}
 	}
 	return b
 }
@@ -241,6 +257,18 @@ func parseGrant(p []byte) (leaseResponse, error) {
 			j.Label = r.str("job label", maxWireStr)
 			j.Spec = r.bytes("job spec", wire.MaxPayload)
 			j.Held = r.bool("job held hint")
+			if n := r.count("holder addresses", maxWireAddrs); r.err == nil && n > 0 {
+				j.Holders = make([]string, n)
+				for i := range j.Holders {
+					j.Holders[i] = r.str("holder address", maxWireStr)
+				}
+			}
+			if n := r.count("owner addresses", maxWireAddrs); r.err == nil && n > 0 {
+				j.Owners = make([]string, n)
+				for i := range j.Owners {
+					j.Owners[i] = r.str("owner address", maxWireStr)
+				}
+			}
 		}
 	}
 	return resp, r.finish("grant")
@@ -295,6 +323,9 @@ func appendResultRequest(b []byte, req resultRequest) []byte {
 	b = appendString(b, req.Worker)
 	b = appendUvarint(b, uint64(req.JobID))
 	b = appendUvarint(b, uint64(req.Refill))
+	b = appendUvarint(b, req.FetchDirect)
+	b = appendUvarint(b, req.FetchFallback)
+	b = appendUvarint(b, req.PeerPuts)
 	b = appendUvarint(b, uint64(len(req.Kinds)))
 	for _, k := range req.Kinds {
 		b = appendString(b, k)
@@ -312,6 +343,9 @@ func parseResultRequest(p []byte) (resultRequest, error) {
 	req.Worker = r.str("worker name", maxWireStr)
 	req.JobID = int64(r.uvarint("job id"))
 	req.Refill = int(r.uvarint("refill"))
+	req.FetchDirect = r.uvarint("direct fetches")
+	req.FetchFallback = r.uvarint("fallback fetches")
+	req.PeerPuts = r.uvarint("peer puts")
 	if n := r.count("kinds", maxWireKinds); r.err == nil && n > 0 {
 		req.Kinds = make([]string, n)
 		for i := range req.Kinds {
@@ -444,4 +478,39 @@ func parseSweep(p []byte) (SubmitResponse, error) {
 	resp.Position = int(r.uvarint("queue position"))
 	resp.Err = r.str("submit error", maxWireStr)
 	return resp, r.finish("sweep")
+}
+
+// --- PUT / PUT-ACK (peer-to-peer cell replication) -----------------------
+
+func appendPut(b []byte, req putRequest) []byte {
+	b = appendString(b, req.Worker)
+	b = appendString(b, req.Key)
+	// The raw entry rides last so large cells append in one copy.
+	return appendBytes(b, req.Raw)
+}
+
+func parsePut(p []byte) (putRequest, error) {
+	r := &byteReader{p: p}
+	var req putRequest
+	req.Worker = r.str("worker name", maxWireStr)
+	req.Key = r.str("cell key", maxWireStr)
+	req.Raw = r.bytes("raw cell entry", wire.MaxPayload)
+	if err := r.finish("put"); err != nil {
+		return req, err
+	}
+	if len(req.Raw) == 0 {
+		return req, fmt.Errorf("dist: put message: empty cell payload")
+	}
+	return req, nil
+}
+
+func appendPutAck(b []byte, resp putResponse) []byte {
+	return appendBool(b, resp.Accepted)
+}
+
+func parsePutAck(p []byte) (putResponse, error) {
+	r := &byteReader{p: p}
+	var resp putResponse
+	resp.Accepted = r.bool("put accepted flag")
+	return resp, r.finish("put ack")
 }

@@ -10,10 +10,15 @@ func TestCodecRoundTrips(t *testing.T) {
 	digest := sha256.Sum256([]byte("secret"))
 
 	t.Run("hello", func(t *testing.T) {
-		b := appendHello(nil, "worker-7", digest[:])
-		worker, got, err := parseHello(b)
-		if err != nil || worker != "worker-7" || !reflect.DeepEqual(got, digest[:]) {
-			t.Fatalf("parseHello = %q, %x, %v", worker, got, err)
+		b := appendHello(nil, "worker-7", digest[:], "")
+		worker, got, peer, err := parseHello(b)
+		if err != nil || worker != "worker-7" || !reflect.DeepEqual(got, digest[:]) || peer != "" {
+			t.Fatalf("parseHello = %q, %x, %q, %v", worker, got, peer, err)
+		}
+		b = appendHello(nil, "worker-7", digest[:], "10.0.0.7:9102")
+		worker, got, peer, err = parseHello(b)
+		if err != nil || worker != "worker-7" || !reflect.DeepEqual(got, digest[:]) || peer != "10.0.0.7:9102" {
+			t.Fatalf("parseHello with peer = %q, %x, %q, %v", worker, got, peer, err)
 		}
 	})
 
@@ -28,6 +33,11 @@ func TestCodecRoundTrips(t *testing.T) {
 		got, err := parseLeaseRequest(appendLeaseRequest(nil, want))
 		if err != nil || !reflect.DeepEqual(got, want) {
 			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+		withPeer := leaseRequest{Worker: "w", Peer: "127.0.0.1:9102", Kinds: []string{"bashsim.cell"}}
+		got, err = parseLeaseRequest(appendLeaseRequest(nil, withPeer))
+		if err != nil || !reflect.DeepEqual(got, withPeer) {
+			t.Fatalf("with peer: got %+v, %v; want %+v", got, err, withPeer)
 		}
 	})
 
@@ -77,11 +87,52 @@ func TestCodecRoundTrips(t *testing.T) {
 		if err != nil || !reflect.DeepEqual(got, panicky) {
 			t.Fatalf("panic result: got %+v, %v", got, err)
 		}
+		counted := resultRequest{
+			Worker: "w", JobID: 46, Result: []byte("r"),
+			FetchDirect: 3, FetchFallback: 1, PeerPuts: 2,
+		}
+		got, err = parseResultRequest(appendResultRequest(nil, counted))
+		if err != nil || !reflect.DeepEqual(got, counted) {
+			t.Fatalf("counted result: got %+v, %v", got, err)
+		}
+	})
+
+	t.Run("put", func(t *testing.T) {
+		want := putRequest{Worker: "w", Key: "abcd", Raw: []byte("gob envelope bytes")}
+		got, err := parsePut(appendPut(nil, want))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+		accepted := putResponse{Accepted: true}
+		gotAck, err := parsePutAck(appendPutAck(nil, accepted))
+		if err != nil || gotAck != accepted {
+			t.Fatalf("ack: got %+v, %v", gotAck, err)
+		}
+		refused, err := parsePutAck(appendPutAck(nil, putResponse{}))
+		if err != nil || refused.Accepted {
+			t.Fatalf("refusal: got %+v, %v", refused, err)
+		}
 	})
 
 	t.Run("grant held hint", func(t *testing.T) {
 		want := leaseResponse{
 			Jobs:        []leasedJob{{JobID: 1, Kind: "k", Key: "x", Held: true}, {JobID: 2, Kind: "k", Key: "y"}},
+			LeaseMillis: 1000, Total: 2,
+		}
+		got, err := parseGrant(appendGrant(nil, want))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, %v; want %+v", got, err, want)
+		}
+	})
+
+	t.Run("grant peer addresses", func(t *testing.T) {
+		want := leaseResponse{
+			Jobs: []leasedJob{
+				{JobID: 1, Kind: "k", Key: "x", Held: true,
+					Holders: []string{"10.0.0.2:9102", "10.0.0.3:9102"},
+					Owners:  []string{"10.0.0.4:9102"}},
+				{JobID: 2, Kind: "k", Key: "y", Owners: []string{"10.0.0.2:9102"}},
+			},
 			LeaseMillis: 1000, Total: 2,
 		}
 		got, err := parseGrant(appendGrant(nil, want))
@@ -164,7 +215,7 @@ func TestCodecRejectsMalformed(t *testing.T) {
 	if _, err := parseGrant(append(grant, 0)); err == nil {
 		t.Error("grant with trailing bytes parsed")
 	}
-	if _, _, err := parseHello([]byte{0xFF}); err == nil {
+	if _, _, _, err := parseHello([]byte{0xFF}); err == nil {
 		t.Error("garbage hello parsed")
 	}
 	if _, err := parseLeaseRequest([]byte{1, 'w', 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
@@ -253,6 +304,42 @@ func TestCodecRejectsMalformed(t *testing.T) {
 		t.Error("sweep with trailing bytes parsed")
 	}
 
+	// A grant whose holder-address count exceeds the wire bound must be
+	// rejected before any allocation sized from it.
+	hogGrant := appendUvarint(nil, 1)                  // one job
+	hogGrant = appendUvarint(hogGrant, 1)              // job id
+	hogGrant = appendString(hogGrant, "k")             // kind
+	hogGrant = appendString(hogGrant, "x")             // key
+	hogGrant = appendString(hogGrant, "l")             // label
+	hogGrant = appendBytes(hogGrant, nil)              // spec
+	hogGrant = appendBool(hogGrant, false)             // held
+	hogGrant = appendUvarint(hogGrant, maxWireAddrs+1) // holder count past the bound
+	if _, err := parseGrant(hogGrant); err == nil {
+		t.Error("grant with absurd holder count parsed")
+	}
+
+	put := appendPut(nil, putRequest{Worker: "w", Key: "k", Raw: []byte("raw")})
+	if _, err := parsePut(put[:len(put)-1]); err == nil {
+		t.Error("truncated put parsed")
+	}
+	if _, err := parsePut(append(put, 0)); err == nil {
+		t.Error("put with trailing bytes parsed")
+	}
+	// A PUT with no payload is contradictory — there is nothing to install.
+	hollow := appendString(nil, "w")
+	hollow = appendString(hollow, "k")
+	hollow = appendBytes(hollow, nil)
+	if _, err := parsePut(hollow); err == nil {
+		t.Error("empty-payload put parsed")
+	}
+	ack := appendPutAck(nil, putResponse{Accepted: true})
+	if _, err := parsePutAck(ack[:len(ack)-1]); err == nil {
+		t.Error("truncated put-ack parsed")
+	}
+	if _, err := parsePutAck(append(ack, 0)); err == nil {
+		t.Error("put-ack with trailing bytes parsed")
+	}
+
 	cell := appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw")})
 	if _, err := parseCell(cell[:len(cell)-1]); err == nil {
 		t.Error("truncated cell parsed")
@@ -273,8 +360,12 @@ func TestCodecRejectsMalformed(t *testing.T) {
 // out-of-bounds — over arbitrary bytes.
 func FuzzCodecParsers(f *testing.F) {
 	f.Add(appendGrant(nil, leaseResponse{Jobs: []leasedJob{{JobID: 1, Kind: "k", Spec: []byte{1}}}, LeaseMillis: 5}))
+	f.Add(appendGrant(nil, leaseResponse{Jobs: []leasedJob{{JobID: 1, Kind: "k", Key: "x", Held: true, Holders: []string{"h:1"}, Owners: []string{"o:1"}}}, LeaseMillis: 5}))
 	f.Add(appendResultRequest(nil, resultRequest{Worker: "w", JobID: 2, Result: []byte("r")}))
-	f.Add(appendHello(nil, "w", make([]byte, sha256.Size)))
+	f.Add(appendResultRequest(nil, resultRequest{Worker: "w", JobID: 2, Result: []byte("r"), FetchDirect: 1, FetchFallback: 2, PeerPuts: 3}))
+	f.Add(appendHello(nil, "w", make([]byte, sha256.Size), "peer:9102"))
+	f.Add(appendPut(nil, putRequest{Worker: "w", Key: "k", Raw: []byte("raw")}))
+	f.Add(appendPutAck(nil, putResponse{Accepted: true}))
 	f.Add(appendAdvert(nil, advertRequest{Worker: "w", Gen: 1, Full: true, M: 64, K: 3, Bits: make([]byte, 8)}))
 	f.Add(appendFetchRequest(nil, fetchRequest{Worker: "w", Key: "k"}))
 	f.Add(appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw entry")}))
@@ -294,5 +385,31 @@ func FuzzCodecParsers(f *testing.F) {
 		parseCell(data)
 		parseSubmit(data)
 		parseSweep(data)
+		parsePut(data)
+		parsePutAck(data)
+	})
+}
+
+// FuzzPeerCodec: the peer-to-peer data-path parsers — everything a worker's
+// peer listener or peer client decodes from a socket another worker wrote —
+// must be total over arbitrary bytes. Narrower than FuzzCodecParsers so the
+// fuzzer's whole budget lands on the frames a (possibly hostile) peer can
+// actually send.
+func FuzzPeerCodec(f *testing.F) {
+	digest := sha256.Sum256([]byte("secret"))
+	f.Add(appendHello(nil, "w", digest[:], "10.0.0.7:9102"))
+	f.Add(appendFetchRequest(nil, fetchRequest{Worker: "w", Key: "abcd"}))
+	f.Add(appendCell(nil, fetchResponse{Found: true, Raw: []byte("raw entry")}))
+	f.Add(appendPut(nil, putRequest{Worker: "w", Key: "abcd", Raw: []byte("raw entry")}))
+	f.Add(appendPutAck(nil, putResponse{Accepted: true}))
+	f.Add(appendWelcome(nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parseHello(data)
+		parseWelcome(data)
+		parseFetchRequest(data)
+		parseCell(data)
+		parsePut(data)
+		parsePutAck(data)
 	})
 }

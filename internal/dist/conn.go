@@ -159,7 +159,7 @@ func (c *Coordinator) serveWireConn(conn net.Conn, r io.Reader) {
 		count(wr.WriteFrame(wire.FrameError, 0, 0, []byte("dist: expected HELLO, got "+wire.TypeName(h.Type))))
 		return
 	}
-	worker, digest, err := parseHello(payload)
+	worker, digest, peer, err := parseHello(payload)
 	if err != nil {
 		count(wr.WriteFrame(wire.FrameError, 0, 0, []byte(err.Error())))
 		return
@@ -187,7 +187,7 @@ func (c *Coordinator) serveWireConn(conn net.Conn, r io.Reader) {
 		wc.failRelays()
 	}()
 	c.mu.Lock()
-	c.workers[worker] = time.Now()
+	c.registerWorkerLocked(worker, peer, time.Now())
 	c.mu.Unlock()
 
 	idle := workerTTLFactor * c.opt.leaseTTL()

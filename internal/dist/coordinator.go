@@ -101,6 +101,7 @@ type trackedJob struct {
 	index    int    // index into the batch's job list
 	b        *batch // owning batch (concurrent Runs interleave in one queue)
 	job      runner.Job
+	keyHash  uint64 // ring position of job.Key, computed once at enqueue
 	state    jobState
 	worker   string    // current (or last) lease holder
 	deadline time.Time // lease expiry when leased
@@ -163,6 +164,14 @@ type Coordinator struct {
 	workers  map[string]time.Time  // worker name -> last contact
 	draining bool                  // Drain called: grant nothing, let leases finish
 
+	// Consistent-hash placement over the registered workers (ring.go):
+	// every contact adds the worker, liveness expiry removes it, and
+	// grantLocked prefers offering each job to its Key's ring owner.
+	// peerAddrs maps workers to their advertised peer listener addresses
+	// (only workers serving peers appear). Both guarded by mu.
+	placement ring
+	peerAddrs map[string]string
+
 	// submitMu guards the sweep-submission hook, installed by the service
 	// layer (internal/svc). Nil rejects submissions in-band: a plain
 	// one-shot coordinator is not a sweep service.
@@ -190,6 +199,7 @@ type Coordinator struct {
 	leases, refills, dispatched, completed, failed, reassigned atomic.Uint64
 	bytesIn, bytesOut                                          atomic.Uint64 // socket-level, via Serve
 	framesIn, framesOut                                        atomic.Uint64 // binary frames, via /dist/wire
+	ringOwnerGrants                                            atomic.Uint64 // jobs granted to their ring owner
 }
 
 // NewCoordinator returns an idle coordinator.
@@ -200,6 +210,7 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 		leased:    map[int64]*trackedJob{},
 		batches:   map[*batch]struct{}{},
 		workers:   map[string]time.Time{},
+		peerAddrs: map[string]string{},
 		wireConns: map[*wireConn]struct{}{},
 	}
 	mux := http.NewServeMux()
@@ -307,7 +318,12 @@ func (c *Coordinator) authenticate(next http.Handler) http.Handler {
 
 // Stats returns lifetime dispatch and transport counters.
 func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	ringWorkers := c.placement.size()
+	c.mu.Unlock()
 	return Stats{
+		RingWorkers: ringWorkers,
+
 		Leases:     c.leases.Load(),
 		Refills:    c.refills.Load(),
 		Dispatched: c.dispatched.Load(),
@@ -325,6 +341,11 @@ func (c *Coordinator) Stats() Stats {
 		FetchServed:   c.exch.served.Load(),
 		FetchRelayed:  c.exch.relayed.Load(),
 		FetchFalsePos: c.exch.fetchMissing.Load(),
+
+		FetchDirect:     c.exch.direct.Load(),
+		FetchFallback:   c.exch.fallback.Load(),
+		PeerPuts:        c.exch.peerPuts.Load(),
+		RingOwnerGrants: c.ringOwnerGrants.Load(),
 	}
 }
 
@@ -343,9 +364,23 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 			n++
 		} else {
 			delete(c.workers, name)
+			c.placement.remove(name)
+			delete(c.peerAddrs, name)
 		}
 	}
 	return n
+}
+
+// registerWorkerLocked records a worker contact: liveness timestamp, ring
+// membership, and (when the contact carried one) its peer listener address.
+// peer == "" leaves any previously registered address alone — heartbeats
+// and results don't re-send it.
+func (c *Coordinator) registerWorkerLocked(name, peer string, now time.Time) {
+	c.workers[name] = now
+	c.placement.add(name)
+	if peer != "" {
+		c.peerAddrs[name] = peer
+	}
 }
 
 // Run implements runner.Backend: it enqueues the jobs, waits for workers to
@@ -383,7 +418,7 @@ func (c *Coordinator) RunPriority(jobs []runner.Job, opt runner.Options, priorit
 	c.mu.Lock()
 	for i, j := range jobs {
 		c.nextID++
-		tj := &trackedJob{id: c.nextID, index: i, b: b, job: j}
+		tj := &trackedJob{id: c.nextID, index: i, b: b, job: j, keyHash: ringKeyHash(j.Key)}
 		b.jobs[i] = tj
 		c.enqueueLocked(tj)
 	}
@@ -641,14 +676,55 @@ func (c *Coordinator) finishLocked(b *batch, tj *trackedJob, result []byte, err 
 // and leases them to it. A worker advertising no kinds can execute nothing:
 // grant it nothing rather than jobs it would terminally fail (one
 // misconfigured worker must not abort a healthy fleet's batch).
+//
+// With more than one worker on the placement ring the scan runs twice:
+// first over jobs whose Key the ring assigns to this worker (so cells are
+// simulated — and published — where fetches will look for them), then over
+// anything else to fill the batch. Placement preference never starves a
+// worker: an owner that is slow or gone just sees its jobs taken in some
+// other worker's second pass.
 func (c *Coordinator) grantLocked(now time.Time, worker string, kinds map[string]bool, max int) []*trackedJob {
 	if c.draining {
 		return nil // drain mode: let held leases finish, hand out nothing new
 	}
 	var grants []*trackedJob
-	for qi := 0; qi < len(c.queue) && len(grants) < max; {
+	// The queue is sorted by (priority desc, id asc); placement preference
+	// reorders only within one priority segment, so a higher-priority
+	// batch's jobs are still always granted first (the RunPriority
+	// contract).
+	prefer := c.placement.size() > 1 && c.placement.members[worker]
+	for lo := 0; lo < len(c.queue) && len(grants) < max; {
+		hi := lo + 1
+		for hi < len(c.queue) && c.queue[hi].b.priority == c.queue[lo].b.priority {
+			hi++
+		}
+		if prefer {
+			grants = c.scanSegmentLocked(now, worker, kinds, max, grants, lo, &hi, true)
+		}
+		grants = c.scanSegmentLocked(now, worker, kinds, max, grants, lo, &hi, false)
+		lo = hi
+	}
+	if c.placement.size() > 0 {
+		for _, tj := range grants {
+			if c.placement.ownerHash(tj.keyHash) == worker {
+				c.ringOwnerGrants.Add(1)
+			}
+		}
+	}
+	c.dispatched.Add(uint64(len(grants)))
+	return grants
+}
+
+// scanSegmentLocked is one grant pass over the queue segment [lo, *hi): it
+// appends pending jobs matching the worker's kinds (and, when ownedOnly,
+// owned by it on the placement ring) to grants until max, leasing each.
+// Granted jobs are removed from the queue in place, shrinking *hi so the
+// caller's segment bounds stay valid.
+func (c *Coordinator) scanSegmentLocked(now time.Time, worker string, kinds map[string]bool, max int, grants []*trackedJob, lo int, hi *int, ownedOnly bool) []*trackedJob {
+	for qi := lo; qi < *hi && len(grants) < max; {
 		tj := c.queue[qi]
-		if tj.state != jobPending || !kinds[tj.job.Kind] {
+		if tj.state != jobPending || !kinds[tj.job.Kind] ||
+			(ownedOnly && c.placement.ownerHash(tj.keyHash) != worker) {
 			qi++
 			continue
 		}
@@ -657,6 +733,7 @@ func (c *Coordinator) grantLocked(now time.Time, worker string, kinds map[string
 		c.queue = append(c.queue[:qi], c.queue[qi+1:]...)
 		clearTail := c.queue[:len(c.queue)+1]
 		clearTail[len(clearTail)-1] = nil // release the shifted-out tail slot
+		*hi--
 		tj.state = jobLeased
 		tj.worker = worker
 		tj.deadline = now.Add(c.opt.leaseTTL())
@@ -664,7 +741,6 @@ func (c *Coordinator) grantLocked(now time.Time, worker string, kinds map[string
 		c.pending--
 		grants = append(grants, tj)
 	}
-	c.dispatched.Add(uint64(len(grants)))
 	return grants
 }
 
@@ -732,7 +808,7 @@ func (c *Coordinator) leaseRPC(req leaseRequest) leaseResponse {
 	now := time.Now()
 
 	c.mu.Lock()
-	c.workers[req.Worker] = now
+	c.registerWorkerLocked(req.Worker, req.Peer, now)
 	notes := c.reclaimExpiredLocked(now)
 	grants := c.grantLocked(now, req.Worker, kinds, c.leaseSizeLocked(now, req.Max))
 	pdone, ptotal := c.progressLocked()
@@ -754,7 +830,7 @@ func (c *Coordinator) leaseRPC(req leaseRequest) leaseResponse {
 func (c *Coordinator) heartbeatRPC(req heartbeatRequest) heartbeatResponse {
 	now := time.Now()
 	c.mu.Lock()
-	c.workers[req.Worker] = now
+	c.registerWorkerLocked(req.Worker, "", now)
 	for _, id := range req.JobIDs {
 		if tj, ok := c.leased[id]; ok && tj.worker == req.Worker {
 			tj.deadline = now.Add(c.opt.leaseTTL())
@@ -769,9 +845,15 @@ func (c *Coordinator) heartbeatRPC(req heartbeatRequest) heartbeatResponse {
 // resultRPC records one job's outcome and serves any requested refill
 // (shared by transports).
 func (c *Coordinator) resultRPC(req resultRequest) resultResponse {
+	// Fold the worker's fetch-path delta counters into the exchange totals
+	// (direct fetches and peer puts never touch the coordinator's socket,
+	// so this is the only place it learns about them).
+	c.exch.direct.Add(req.FetchDirect)
+	c.exch.fallback.Add(req.FetchFallback)
+	c.exch.peerPuts.Add(req.PeerPuts)
 	now := time.Now()
 	c.mu.Lock()
-	c.workers[req.Worker] = now
+	c.registerWorkerLocked(req.Worker, "", now)
 	tj, ok := c.leased[req.JobID]
 	if ok {
 		delete(c.leased, req.JobID)
@@ -911,9 +993,15 @@ func (c *Coordinator) statusSnapshot() StatusSnapshot {
 		FetchServed:   st.FetchServed,
 		FetchRelayed:  st.FetchRelayed,
 		FetchFalsePos: st.FetchFalsePos,
+
+		FetchDirect:     st.FetchDirect,
+		FetchFallback:   st.FetchFallback,
+		PeerPuts:        st.PeerPuts,
+		RingOwnerGrants: st.RingOwnerGrants,
 	}
 	resp.Active = len(c.batches) > 0
 	resp.Draining = c.draining
+	resp.RingWorkers = c.placement.size()
 	resp.Done, resp.Total = c.progressLocked()
 	c.mu.Unlock()
 	c.wireMu.Lock()

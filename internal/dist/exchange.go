@@ -41,6 +41,9 @@ type exchange struct {
 
 	adverts, advertBytes                   atomic.Uint64
 	fetches, served, relayed, fetchMissing atomic.Uint64
+	// Worker-reported direct-path totals, folded in from the delta counters
+	// on result posts (the traffic itself bypasses the coordinator).
+	direct, fallback, peerPuts atomic.Uint64
 }
 
 func newExchange(cacheDir string) *exchange {
@@ -138,19 +141,73 @@ func (x *exchange) likelyHeld(requester, key string, window time.Duration, now t
 // as worker contact, like every other protocol action.
 func (c *Coordinator) advertRPC(req advertRequest, wireBytes int) advertResponse {
 	c.mu.Lock()
-	c.workers[req.Worker] = time.Now()
+	c.registerWorkerLocked(req.Worker, "", time.Now())
 	c.mu.Unlock()
 	return c.exch.noteAdvert(req, wireBytes)
 }
 
+// maxGrantAddrs caps how many holder and owner peer addresses ride on one
+// granted job: enough for a primary plus a backup on each list, small
+// enough that grants stay cheap even on a large fleet.
+const maxGrantAddrs = 2
+
 // annotateHints marks each granted job with the exchange's likely-holder
-// verdict. Runs outside the coordinator mutex: Contains stats the store's
-// filesystem and the indicator table has its own lock.
+// verdict and, when peers serve their stores, the holder/owner peer
+// addresses for the direct data path. Runs outside the coordinator mutex:
+// Contains stats the store's filesystem and the indicator table has its own
+// lock (the peer-address snapshot re-takes c.mu briefly).
 func (c *Coordinator) annotateHints(worker string, jobs []leasedJob) {
 	window := workerTTLFactor * c.opt.leaseTTL()
 	now := time.Now()
 	for i := range jobs {
 		jobs[i].Held = c.exch.likelyHeld(worker, jobs[i].Key, window, now)
+	}
+	c.annotatePeers(worker, jobs, window, now)
+}
+
+// annotatePeers fills each job's Holders (advertised holders with a peer
+// listener, freshest first) and Owners (the Key's ring owners' peer
+// addresses, for replication pushes). Both lists exclude the leased worker
+// and workers without a peer listener; with no peer listeners registered
+// anywhere the grant shape is exactly the v4 one.
+func (c *Coordinator) annotatePeers(worker string, jobs []leasedJob, window time.Duration, now time.Time) {
+	c.mu.Lock()
+	if len(c.peerAddrs) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	addrs := make(map[string]string, len(c.peerAddrs))
+	for w, a := range c.peerAddrs {
+		addrs[w] = a
+	}
+	owners := make([][]string, len(jobs))
+	for i := range jobs {
+		owners[i] = c.placement.owners(jobs[i].Key, maxGrantAddrs+1)
+	}
+	c.mu.Unlock()
+
+	for i := range jobs {
+		if jobs[i].Held {
+			for _, h := range c.exch.holders(worker, jobs[i].Key, window, now) {
+				if a := addrs[h]; a != "" {
+					jobs[i].Holders = append(jobs[i].Holders, a)
+					if len(jobs[i].Holders) == maxGrantAddrs {
+						break
+					}
+				}
+			}
+		}
+		for _, o := range owners[i] {
+			if o == worker {
+				continue
+			}
+			if a := addrs[o]; a != "" {
+				jobs[i].Owners = append(jobs[i].Owners, a)
+				if len(jobs[i].Owners) == maxGrantAddrs {
+					break
+				}
+			}
+		}
 	}
 }
 

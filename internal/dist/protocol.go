@@ -14,7 +14,7 @@
 //	POST /dist/advert    {worker, gen, bits...}  -> records the worker's cell-store indicator
 //	POST /dist/fetch     {worker, key}           -> raw cell entry bytes from any holder, or found=false
 //	POST /dist/submit    {exp, scale, priority}  -> queues one named sweep on a sweep-service coordinator
-//	POST /dist/wire      Upgrade: bashsim-wire/2 -> 101; the connection becomes binary frames
+//	POST /dist/wire      Upgrade: bashsim-wire/3 -> 101; the connection becomes binary frames
 //	GET  /dist/status                            -> batch progress, live workers, lifetime counters
 //
 // Submissions also travel the binary wire as a SUBMIT/SWEEP frame pair (see
@@ -72,6 +72,24 @@
 // indicator false positive, a stale advert, or a hostile peer degrades to
 // the pre-exchange behavior (simulate locally), never to a wrong result.
 //
+// Protocol v5 adds deterministic placement and a direct worker-to-worker
+// data path on top of the exchange. The coordinator keeps a consistent-hash
+// ring (ring.go) over the registered workers and prefers granting each job
+// to the worker that owns its Key, so in the steady state cells are
+// published where fetches will look for them. Workers may serve their store
+// to peers directly: WorkerOptions.PeerAddr starts a listener speaking the
+// same framed wire (HELLO-authenticated, FETCH→CELL and PUT→PUT-ACK only),
+// and the address is advertised at registration — in the HELLO frame on
+// binary connections, in the lease request over HTTP. Grants then carry
+// each hinted job's holder peer addresses (Holders, freshest advertisement
+// first) and the ring owners' addresses (Owners, the replication targets a
+// publisher pushes finished cells to). A worker resolves a hinted key
+// direct→relay→simulate: dial a holder and FETCH, fall back to the
+// coordinator relay on connect failure, timeout, or verification failure,
+// and finally simulate locally — the TSV is byte-identical on every path,
+// the paths differ only in bandwidth. With placement converged,
+// fetch_relayed stays ~0 and the coordinator is off the data path.
+//
 // Coordinator and workers are assumed to run the same binary (cache keys
 // embed the binary fingerprint, so mismatched builds waste work but never
 // corrupt results). The protocol optionally authenticates with a shared
@@ -101,6 +119,10 @@ type leaseRequest struct {
 	Worker string   `json:"worker"`
 	Kinds  []string `json:"kinds"`
 	Max    int      `json:"max,omitempty"`
+	// Peer is the worker's peer listener address, registered with the
+	// coordinator for consistent-hash placement and direct fetch routing
+	// ("" when the worker serves no peers).
+	Peer string `json:"peer,omitempty"`
 }
 
 // leasedJob is one granted job inside a lease or refill reply. Held is the
@@ -116,6 +138,16 @@ type leasedJob struct {
 	Label string `json:"label"`
 	Spec  []byte `json:"spec"`
 	Held  bool   `json:"held,omitempty"`
+	// Holders lists peer listener addresses of advertised holders (freshest
+	// advertisement first, excluding the leased worker) for a Held job: the
+	// worker tries a direct FETCH against each before falling back to the
+	// coordinator relay. Empty when no holder serves peers.
+	Holders []string `json:"holders,omitempty"`
+	// Owners lists the peer addresses of the job Key's consistent-hash ring
+	// owners (excluding the leased worker): after publishing the finished
+	// cell the worker best-effort PUTs it to these, converging placement
+	// even when a non-owner ran the job.
+	Owners []string `json:"owners,omitempty"`
 }
 
 // leaseResponse grants a batch of jobs (each with its own lease, all
@@ -162,6 +194,15 @@ type resultRequest struct {
 	Stack  []byte   `json:"stack,omitempty"`
 	Kinds  []string `json:"kinds,omitempty"`
 	Refill int      `json:"refill,omitempty"`
+	// Fetch-path delta counters since the worker's last report: cells
+	// fetched directly from a peer, direct attempts that fell back to the
+	// coordinator relay, and replication PUTs pushed to ring owners. The
+	// coordinator folds them into its exchange totals so /dist/status sees
+	// traffic that never touched its socket. Advisory: deltas lost to a
+	// result retry undercount, never double-count.
+	FetchDirect   uint64 `json:"fetch_direct,omitempty"`
+	FetchFallback uint64 `json:"fetch_fallback,omitempty"`
+	PeerPuts      uint64 `json:"peer_puts,omitempty"`
 }
 
 // resultResponse acknowledges a result and, when the worker asked for a
@@ -213,6 +254,22 @@ type fetchResponse struct {
 	Raw   []byte `json:"raw,omitempty"`
 }
 
+// putRequest replicates one raw cell entry onto a peer (PUT frames on a
+// peer connection): the receiver verifies the entry against its key before
+// installing it, exactly like a fetched cell.
+type putRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Raw    []byte `json:"raw"`
+}
+
+// putResponse acknowledges a PUT. Accepted=false means the receiver
+// declined (no store, or the entry failed verification); the sender never
+// retries — replication is best-effort, the relay path covers misses.
+type putResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
 // StatusSnapshot reports batch progress and the coordinator's lifetime
 // counters, for dashboards, the CLI's aggregated progress line, the sweep
 // service's status page, and the CI smoke's per-commit artifact (lease,
@@ -251,6 +308,16 @@ type StatusSnapshot struct {
 	FetchServed   uint64 `json:"fetch_served"`
 	FetchRelayed  uint64 `json:"fetch_relayed"`
 	FetchFalsePos uint64 `json:"fetch_false_pos"`
+	// Direct data path counters (worker-reported deltas folded in via
+	// result posts, plus the coordinator's own ring state): cells fetched
+	// worker-to-worker without touching the coordinator, direct attempts
+	// that fell back to the relay, replication PUTs to ring owners, jobs
+	// granted to their ring owner, and current ring membership.
+	FetchDirect     uint64 `json:"fetch_direct"`
+	FetchFallback   uint64 `json:"fetch_fallback"`
+	PeerPuts        uint64 `json:"peer_puts"`
+	RingOwnerGrants uint64 `json:"ring_owner_grants"`
+	RingWorkers     int    `json:"ring_workers"`
 	// WireConns details each live binary connection, followed by a bounded
 	// history of recently closed ones (Closed=true): the retention cap and
 	// age window in conn.go keep a week-long service's status payload and
@@ -296,6 +363,15 @@ type Stats struct {
 	// false positives (plus departed holders), each of which degraded to a
 	// local simulation on the requester.
 	Adverts, AdvertBytes, Fetches, FetchServed, FetchRelayed, FetchFalsePos uint64
+	// Direct data path: FetchDirect counts cells fetched worker-to-worker
+	// (reported by workers as deltas on result posts — this traffic never
+	// touches the coordinator's socket), FetchFallback direct attempts that
+	// degraded to the coordinator relay, PeerPuts replication pushes to
+	// ring owners, and RingOwnerGrants jobs granted to the worker the
+	// consistent-hash ring assigns their Key to.
+	FetchDirect, FetchFallback, PeerPuts, RingOwnerGrants uint64
+	// RingWorkers is the current placement-ring membership (live workers).
+	RingWorkers int
 }
 
 // workerTTL is how long after its last contact a worker still counts as

@@ -1,0 +1,140 @@
+package dist
+
+// Consistent-hash cell placement: a ring of SHA-256 points over the
+// registered workers. The coordinator uses it for two things:
+//
+//   - dispatch preference: when granting leases it first offers a worker
+//     the jobs whose cell keys the ring assigns to that worker, so in the
+//     steady state a cell is simulated (and therefore published) by its
+//     owner and stays where fetches will look for it;
+//   - replication targets: grants name the ring owners of each cell so the
+//     publisher can push the finished cell to its owner(s) directly,
+//     keeping placement converged even when a non-owner had to run the job.
+//
+// Placement is advisory only — correctness never depends on it. A fetch
+// that misses the owner falls back to the coordinator relay and finally to
+// local simulation, and results are byte-identical on every path.
+//
+// Hashing is SHA-256 like the rest of the exchange (see indicator.go):
+// deterministic across processes, builds, and architectures, so every
+// coordinator and worker derives the same ownership from the same
+// membership. Each worker contributes ringVnodes virtual points, which
+// bounds the load skew between workers (ring_test.go pins the bound) and
+// makes join/leave move only ~1/n of the keyspace.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the number of virtual points each worker contributes.
+const ringVnodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// worker.
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// ring is a consistent-hash ring over worker names. The zero value is an
+// empty ring; it is not safe for concurrent use (the coordinator guards it
+// with its own mutex).
+type ring struct {
+	points  []ringPoint // sorted by hash, ties broken by worker name
+	members map[string]bool
+}
+
+// ringPointHash places virtual node i of worker on the ring.
+func ringPointHash(worker string, i int) uint64 {
+	sum := sha256.Sum256([]byte(worker + "\x00" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[0:8])
+}
+
+// ringKeyHash places a cell key on the ring.
+func ringKeyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[0:8])
+}
+
+// add registers a worker's virtual points. Adding a present member is a
+// no-op, so contact-driven registration can call it on every request.
+func (r *ring) add(worker string) {
+	if r.members[worker] {
+		return
+	}
+	if r.members == nil {
+		r.members = make(map[string]bool)
+	}
+	r.members[worker] = true
+	for i := 0; i < ringVnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringPointHash(worker, i), worker: worker})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].worker < r.points[b].worker
+	})
+}
+
+// remove drops a worker's virtual points. Removing an absent member is a
+// no-op.
+func (r *ring) remove(worker string) {
+	if !r.members[worker] {
+		return
+	}
+	delete(r.members, worker)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.worker != worker {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// size is the number of member workers.
+func (r *ring) size() int { return len(r.members) }
+
+// owner is the worker owning key: the first ring point at or clockwise
+// after the key's hash. Empty ring returns "".
+func (r *ring) owner(key string) string { return r.ownerHash(ringKeyHash(key)) }
+
+// ownerHash is owner over a precomputed key hash (the coordinator caches
+// each job's hash so grant scans don't rehash under its mutex).
+func (r *ring) ownerHash(h uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}
+
+// owners returns up to n distinct workers clockwise from key — the owner
+// first, then the successor replicas. n <= 0 or an empty ring returns nil.
+func (r *ring) owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringKeyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell/fig1/proto=%d/bw=%d/seed=%d", i%3, i%16, i)
+	}
+	return keys
+}
+
+// TestRingSkewBound pins the load balance the vnode count buys: across
+// fleet sizes 2..32, no worker owns more than 2x (or fewer than 1/4 of)
+// its fair share of 10k keys.
+func TestRingSkewBound(t *testing.T) {
+	keys := ringKeys(10000)
+	for workers := 2; workers <= 32; workers++ {
+		var r ring
+		for w := 0; w < workers; w++ {
+			r.add(fmt.Sprintf("worker-%d", w))
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			owner := r.owner(k)
+			if owner == "" {
+				t.Fatalf("%d workers: no owner for %q", workers, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != workers {
+			t.Fatalf("%d workers: only %d own any keys", workers, len(counts))
+		}
+		fair := float64(len(keys)) / float64(workers)
+		for w, c := range counts {
+			if f := float64(c); f > 2*fair || f < fair/4 {
+				t.Errorf("%d workers: %s owns %d keys (fair share %.0f)", workers, w, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: a join moves keys only onto the new worker, and
+// a leave moves only the departed worker's keys.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(5000)
+	var r ring
+	for w := 0; w < 8; w++ {
+		r.add(fmt.Sprintf("worker-%d", w))
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.owner(k)
+	}
+
+	r.add("worker-8")
+	moved := 0
+	for _, k := range keys {
+		now := r.owner(k)
+		if now != before[k] {
+			if now != "worker-8" {
+				t.Fatalf("join: %q moved %s -> %s (not to the joiner)", k, before[k], now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join: new worker took over no keys")
+	}
+	// ~1/9 of the keyspace should move; allow generous slack.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.3 {
+		t.Errorf("join moved %.1f%% of keys, want ~11%%", 100*frac)
+	}
+
+	after := make(map[string]string, len(keys))
+	for _, k := range keys {
+		after[k] = r.owner(k)
+	}
+	r.remove("worker-3")
+	for _, k := range keys {
+		now := r.owner(k)
+		if after[k] == "worker-3" {
+			if now == "worker-3" {
+				t.Fatalf("leave: %q still owned by removed worker", k)
+			}
+		} else if now != after[k] {
+			t.Fatalf("leave: %q moved %s -> %s though worker-3 never owned it", k, after[k], now)
+		}
+	}
+}
+
+// TestRingDeterminism: ownership is a pure function of the membership set —
+// insertion order doesn't matter, and a golden sample pins the hash layout
+// so separate processes (and future builds) agree.
+func TestRingDeterminism(t *testing.T) {
+	var a, b ring
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	for _, n := range names {
+		a.add(n)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		b.add(names[i])
+	}
+	b.add("beta") // duplicate add must be a no-op
+	for _, k := range ringKeys(2000) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("owner of %q differs with insertion order: %s vs %s", k, a.owner(k), b.owner(k))
+		}
+	}
+
+	// Golden assignments: SHA-256 is stable everywhere, so these values
+	// only change if the ring's hash derivation changes — which would
+	// invalidate every placement in a mixed-version fleet.
+	golden := map[string]string{
+		"cell-0": "delta",
+		"cell-1": "delta",
+		"cell-2": "alpha",
+		"cell-3": "beta",
+		"cell-4": "delta",
+	}
+	for k, want := range golden {
+		if got := a.owner(k); got != want {
+			t.Errorf("golden owner(%q) = %s, want %s", k, got, want)
+		}
+	}
+}
+
+// TestRingOwners: replica sets are distinct, owner-first, and bounded by
+// membership.
+func TestRingOwners(t *testing.T) {
+	var r ring
+	if r.owners("k", 2) != nil {
+		t.Fatal("empty ring returned owners")
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		r.add(n)
+	}
+	for _, k := range ringKeys(500) {
+		owners := r.owners(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("owners(%q, 2) = %v", k, owners)
+		}
+		if owners[0] != r.owner(k) {
+			t.Fatalf("owners(%q)[0] = %s, owner = %s", k, owners[0], r.owner(k))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("owners(%q) repeats %s", k, owners[0])
+		}
+	}
+	if got := r.owners("k", 10); len(got) != 3 {
+		t.Fatalf("owners capped at membership: got %v", got)
+	}
+	if got := r.owners("k", 0); got != nil {
+		t.Fatalf("owners(k, 0) = %v", got)
+	}
+}

@@ -485,7 +485,7 @@ func (t *binaryTransport) dial(ctx context.Context) (*wireSession, error) {
 	wr := wire.NewWriter(conn)
 	digest := sha256.Sum256([]byte(t.opt.Secret))
 	hello := wire.GetBuffer()
-	*hello = appendHello(*hello, t.name, digest[:])
+	*hello = appendHello(*hello, t.name, digest[:], t.opt.PeerAddr)
 	err = wr.WriteFrame(wire.FrameHello, 0, 0, *hello)
 	wire.PutBuffer(hello)
 	if err != nil {

@@ -57,7 +57,13 @@ const (
 	// submissions) was appended without a bump: the new types only ever
 	// flow client -> coordinator after negotiation, and an older build
 	// rejects them cleanly as unknown frame types at the header parse.
-	Version = 2
+	// v3 is consistent-hash placement and direct peer fetch: HELLO gains
+	// the worker's peer listener address and GRANT jobs gain holder/owner
+	// peer-address lists, plus RESULT gains the worker's fetch-path delta
+	// counters — strict codec-shape changes again, so the version bumps.
+	// The PUT/PUT-ACK pair (peer-to-peer cell replication) is appended
+	// under the same no-bump rule as SUBMIT/SWEEP.
+	Version = 3
 	// MaxPayload bounds a frame's payload (raw or compressed), mirroring
 	// the HTTP transport's request-body cap.
 	MaxPayload = 64 << 20
@@ -83,6 +89,8 @@ const (
 	FrameCell                      // either direction: FETCH reply (found flag + raw entry bytes)
 	FrameSubmit                    // client -> coordinator: submit one named sweep (exp, scale, priority)
 	FrameSweep                     // coordinator -> client: SUBMIT reply (sweep id + queue position, or error)
+	FramePut                       // worker -> peer: replicate one raw cell entry (key + raw bytes)
+	FramePutAck                    // peer -> worker: PUT reply (accepted flag)
 	frameTypeEnd
 )
 
@@ -140,6 +148,10 @@ func TypeName(t byte) string {
 		return "SUBMIT"
 	case FrameSweep:
 		return "SWEEP"
+	case FramePut:
+		return "PUT"
+	case FramePutAck:
+		return "PUT-ACK"
 	default:
 		return fmt.Sprintf("type-%d", t)
 	}

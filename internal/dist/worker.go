@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cellstore"
@@ -67,6 +68,15 @@ type WorkerOptions struct {
 	// AdvertBudget pacing, skipped entirely while the store is unchanged).
 	// Zero selects 1s.
 	AdvertInterval time.Duration
+	// PeerAddr, when non-empty, starts a peer listener on this address
+	// serving the worker's cell store directly to other workers (FETCH) and
+	// accepting replication pushes (PUT), taking the coordinator off the
+	// bulk-data path. The address is advertised to the coordinator, so it
+	// must be dialable by peers — "host:0" works only if the resolved host
+	// is reachable from the rest of the fleet. Requires CacheDir (without a
+	// store there is nothing to serve); empty keeps the v4 relay-only
+	// behavior.
+	PeerAddr string
 }
 
 func (o WorkerOptions) name() string {
@@ -155,6 +165,23 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 	if len(o.kinds()) == 0 {
 		return fmt.Errorf("dist: worker has no job kinds: register executors (e.g. experiments.RegisterCellExecutor) or set WorkerOptions.Kinds before starting")
 	}
+	store := cellstore.For(o.CacheDir)
+	var peer *peerServer
+	if o.PeerAddr != "" {
+		if store == nil {
+			return fmt.Errorf("dist: WorkerOptions.PeerAddr requires CacheDir: a peer listener with no cell store has nothing to serve")
+		}
+		var err error
+		peer, err = startPeerServer(o.PeerAddr, o.Secret, store)
+		if err != nil {
+			return fmt.Errorf("dist: peer listener: %w", err)
+		}
+		defer peer.Close()
+		// Advertise the resolved address (":0" resolves to the kernel's
+		// pick) — it rides the binary HELLO and every lease request.
+		o.PeerAddr = peer.Addr()
+		o.logf("worker %s: peer listener on %s", o.name(), o.PeerAddr)
+	}
 	tr, err := newTransport(o)
 	if err != nil {
 		return err
@@ -162,8 +189,8 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 	defer tr.Close()
 	w := &worker{
 		opt: o, name: o.name(), tr: tr,
-		store: cellstore.For(o.CacheDir),
-		hints: map[string]bool{},
+		store: store,
+		hints: map[string]jobHint{},
 	}
 	slotCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -205,18 +232,30 @@ type worker struct {
 	progressMu          sync.Mutex
 	lastDone, lastTotal int
 
-	// hints maps leased job keys to the coordinator's likely-held verdict;
-	// fetchKey consults it so cells nobody claims skip the fetch
-	// round-trip. Entries are dropped as jobs complete.
+	// hints maps leased job keys to the coordinator's likely-held verdict
+	// and the holder peer addresses for the direct data path; fetchKey
+	// consults it so cells nobody claims skip the fetch round-trip and
+	// claimed ones try their holders peer-to-peer before the coordinator
+	// relay. Entries are dropped as jobs complete.
 	hintMu sync.Mutex
-	hints  map[string]bool
+	hints  map[string]jobHint
+
+	// Direct-path delta counters, drained onto the next result post (the
+	// coordinator cannot see peer-to-peer traffic, so workers report it).
+	fetchDirect, fetchFallback, peerPuts atomic.Uint64
 }
 
-// noteHints records the held hints carried on a grant.
+// jobHint is the per-key slice of a grant that fetchKey needs.
+type jobHint struct {
+	held    bool
+	holders []string // peer addresses, freshest first
+}
+
+// noteHints records the held hints and holder addresses carried on a grant.
 func (w *worker) noteHints(jobs []leasedJob) {
 	w.hintMu.Lock()
 	for _, j := range jobs {
-		w.hints[j.Key] = j.Held
+		w.hints[j.Key] = jobHint{held: j.Held, holders: j.Holders}
 	}
 	w.hintMu.Unlock()
 }
@@ -230,14 +269,26 @@ func (w *worker) dropHint(key string) {
 
 // fetchKey is the runner.SetKeyFetcher hook: fetch key's raw entry from
 // the fleet, but only when the coordinator hinted someone likely holds it.
-// Any failure — no hint, transport error, not found — reports ok=false and
-// the executor simulates locally.
+// Holders with peer listeners are tried directly first (cheapest path, no
+// coordinator in the loop), then the coordinator relay. Any failure — no
+// hint, transport error, verification failure, not found — reports
+// ok=false and the executor simulates locally; a direct fetch is verified
+// against the key before use, so a confused or malicious peer costs a
+// fallback, never a wrong result.
 func (w *worker) fetchKey(key string) ([]byte, bool) {
 	w.hintMu.Lock()
-	held := w.hints[key]
+	hint := w.hints[key]
 	w.hintMu.Unlock()
-	if !held {
+	if !hint.held {
 		return nil, false
+	}
+	for _, addr := range hint.holders {
+		raw, ok := peerFetch(context.Background(), addr, w.name, w.opt.Secret, key)
+		if !ok || cellstore.VerifyRaw(key, raw) != nil {
+			continue
+		}
+		w.fetchDirect.Add(1)
+		return raw, true
 	}
 	// Bounded independently of any job context: a fetch is an optimization
 	// with a cheap fallback, never worth a long stall.
@@ -247,7 +298,32 @@ func (w *worker) fetchKey(key string) ([]byte, bool) {
 	if err != nil || !resp.Found {
 		return nil, false
 	}
+	if len(hint.holders) > 0 {
+		// Direct was attempted and lost; the relay saved the simulation.
+		w.fetchFallback.Add(1)
+	}
 	return resp.Raw, true
+}
+
+// replicate pushes job's freshly published cell entry to the ring owners'
+// peer listeners, best-effort and asynchronous: the sweep never waits on
+// replication, and a failed push only means the next fetch for the key
+// relays through the coordinator instead.
+func (w *worker) replicate(job leasedJob) {
+	if w.store == nil || len(job.Owners) == 0 {
+		return
+	}
+	raw, ok := w.store.GetRaw(job.Key)
+	if !ok {
+		return
+	}
+	go func() {
+		for _, addr := range job.Owners {
+			if peerPut(context.Background(), addr, w.name, w.opt.Secret, job.Key, raw) {
+				w.peerPuts.Add(1)
+			}
+		}
+	}()
 }
 
 // advertise periodically rebuilds the store indicator and publishes it,
@@ -357,7 +433,7 @@ func (w *worker) loop(ctx context.Context) error {
 
 // lease asks for a batch of jobs; (nil, nil) means no work available.
 func (w *worker) lease(ctx context.Context) (*leaseResponse, error) {
-	resp, err := w.tr.Lease(ctx, leaseRequest{Worker: w.name, Kinds: w.opt.kinds(), Max: w.opt.MaxBatch})
+	resp, err := w.tr.Lease(ctx, leaseRequest{Worker: w.name, Kinds: w.opt.kinds(), Max: w.opt.MaxBatch, Peer: w.opt.PeerAddr})
 	if err != nil || resp == nil {
 		return nil, err
 	}
@@ -430,6 +506,12 @@ func (w *worker) executeBatch(ctx context.Context, lease *leaseResponse) error {
 			// already posted stay completed.
 			return nil
 		}
+		if res.Error == "" && res.Panic == "" {
+			// The cell just published locally; push it to its ring owners so
+			// the keyspace's designated holders can serve future direct
+			// fetches without a coordinator relay.
+			w.replicate(job)
+		}
 		// Ask for one replacement job per completed job: the queue holds
 		// its granted depth while work remains and drains naturally as the
 		// coordinator runs out (near exhaustion it grants nothing, so tail
@@ -491,6 +573,12 @@ func (w *worker) heartbeat(ctx context.Context, done chan<- struct{}, held *infl
 // returning any refill grant carried on the reply. An auth rejection
 // returns *AuthError immediately.
 func (w *worker) postResult(ctx context.Context, job leasedJob, res resultRequest) (*resultResponse, error) {
+	// Drain the direct-path delta counters onto this post. Advisory
+	// totals: a post lost after the coordinator applied it undercounts
+	// (the deltas were already zeroed), but never double-counts.
+	res.FetchDirect = w.fetchDirect.Swap(0)
+	res.FetchFallback = w.fetchFallback.Swap(0)
+	res.PeerPuts = w.peerPuts.Swap(0)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			// Only the first attempt asks for a refill: a lost reply may

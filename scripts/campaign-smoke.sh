@@ -59,8 +59,11 @@ echo "==> campaign to be SIGTERMed after its first panel (serial, fresh caches)"
     -out "$WORK/interrupted.tsv" 2>"$WORK/interrupted.log" &
 PID=$!
 KILLED=0
-i=0
-while [ $i -lt 3000 ]; do
+# Deadline-based poll (not iteration-counted): a slow runner whose greps
+# each take a while still gets the full window before we declare the
+# campaign finished too fast to interrupt.
+DEADLINE=$(($(date +%s) + 60))
+while [ "$(date +%s)" -le "$DEADLINE" ]; do
     if grep -q "done:" "$WORK/interrupted.log" 2>/dev/null; then
         kill -TERM "$PID"
         KILLED=1
@@ -70,7 +73,6 @@ while [ $i -lt 3000 ]; do
         break
     fi
     sleep 0.01
-    i=$((i + 1))
 done
 [ "$KILLED" = 1 ] || { echo "FAIL: campaign finished before it could be interrupted" >&2; exit 1; }
 if wait "$PID"; then

@@ -28,6 +28,13 @@
 # line, at least half the sweep fetched — with the TSV still byte-identical
 # and the advertisement bytes under the -advert-budget cap.
 #
+# Then the same topology with the holder serving its store on -peer-addr:
+# the cold worker must warm up entirely over direct worker-to-worker
+# fetches (fetch_direct > 0, fetch_relayed == 0, "simulated 0 cells"), the
+# TSV stays byte-identical, and the coordinator's socket bytes must not
+# exceed the relayed phase's — the regression gate archived as
+# BENCH_peer_fetch.json.
+#
 # Then kills the workers and re-runs the coordinator against the populated
 # cell store: the sweep must complete from published cells alone — zero
 # workers, zero co-execution, zero simulations — and still match byte for
@@ -69,6 +76,28 @@ status_field() {
     sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
 }
 
+# wait_until SECS DESC CMD...: poll CMD (output silenced) every 0.1s until
+# it succeeds or SECS of wall clock elapse. Deadline-based rather than
+# iteration-counted, so a slow CI runner whose probes each take hundreds of
+# milliseconds still gets the full window instead of flaking early.
+wait_until() {
+    wu_deadline=$(($(date +%s) + $1))
+    wu_desc="$2"
+    shift 2
+    until "$@" >/dev/null 2>&1; do
+        if [ "$(date +%s)" -gt "$wu_deadline" ]; then
+            echo "FAIL: timed out waiting for $wu_desc" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+# proc_gone PID: true once the process no longer exists.
+proc_gone() {
+    ! kill -0 "$1" 2>/dev/null
+}
+
 echo "==> building bashsim"
 go build -o "$WORK/bashsim" ./cmd/bashsim
 
@@ -96,15 +125,7 @@ cmp "$WORK/serial.tsv" "$WORK/dist.tsv"
 echo "OK: hardened distributed TSV is byte-identical to serial"
 
 echo "==> wrong-secret worker must have been rejected"
-i=0
-while kill -0 "$BAD" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "FAIL: wrong-secret worker still running after the sweep" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_until 30 "wrong-secret worker to exit" proc_gone "$BAD"
 BADRC=0
 wait "$BAD" || BADRC=$?
 if [ "$BADRC" -eq 0 ]; then
@@ -206,6 +227,63 @@ if [ "${advert_bytes:-0}" -gt "$advert_cap" ]; then
 fi
 echo "OK: cold worker fetched $fetched cells (simulated 0), $relayed relayed of $fetches fetches, $advert_bytes advert bytes under budget"
 
+echo "==> direct fetch: holder serves its store peer-to-peer, coordinator off the data path"
+# Same topology as the relay phase above — warm holder-only worker plus a
+# cold executing worker, fresh coordinator cache — but the holder now serves
+# its store on -peer-addr, so grants carry its peer address and the cold
+# worker fetches every published cell worker-to-worker: fetch_direct > 0,
+# fetch_relayed == 0 (the coordinator never touches a cell payload), the
+# TSV still byte-identical, and the coordinator's socket-byte total must
+# not exceed the relayed phase's for the same sweep.
+"$WORK/bashsim" -worker "http://127.0.0.1:$((PORT + 6))" -dist-secret "$SECRET" -parallel 1 \
+    -poll 250ms -wire binary -worker-kinds exchange.holder-only \
+    -peer-addr "127.0.0.1:$((PORT + 7))" \
+    -advert-budget "$COLD_BUDGET" -cache-dir "$WORK/cache" >"$WORK/peerwarm.log" 2>&1 &
+WARM=$!
+"$WORK/bashsim" -worker "http://127.0.0.1:$((PORT + 6))" -dist-secret "$SECRET" -parallel 1 \
+    -poll 50ms -wire binary \
+    -advert-budget "$COLD_BUDGET" -cache-dir "$WORK/directcache" >"$WORK/directworker.log" 2>&1 &
+DIRECT=$!
+PIDS="$WARM $DIRECT"
+"$WORK/bashsim" -exp fig1 -serve "127.0.0.1:$((PORT + 6))" -dist-secret "$SECRET" \
+    -co-execute 0 -wait-workers 2 -advert-budget "$COLD_BUDGET" -cache-dir "$WORK/coorddirect" \
+    -dist-status "$WORK/status-direct.json" -timeout 120s -out "$WORK/dist-direct.tsv" 2>"$WORK/serve-direct.log"
+kill $WARM $DIRECT 2>/dev/null || true
+wait $WARM 2>/dev/null || true
+wait $DIRECT 2>/dev/null || true
+PIDS=""
+cmp "$WORK/serial.tsv" "$WORK/dist-direct.tsv"
+
+grep 'worker stopped' "$WORK/directworker.log"
+if ! grep -q 'simulated 0 cells' "$WORK/directworker.log"; then
+    echo "FAIL: the cold worker simulated published cells on the direct path:" >&2
+    cat "$WORK/directworker.log" >&2
+    exit 1
+fi
+direct="$(status_field "$WORK/status-direct.json" fetch_direct)"
+direct_relayed="$(status_field "$WORK/status-direct.json" fetch_relayed)"
+if [ "${direct:-0}" -eq 0 ]; then
+    echo "FAIL: fetch_direct=$direct: no cell went worker-to-worker" >&2
+    cat "$WORK/status-direct.json" >&2
+    exit 1
+fi
+if [ "${direct_relayed:-0}" -ne 0 ]; then
+    echo "FAIL: fetch_relayed=$direct_relayed on the direct path (want 0: the holder's peer listener must serve everything)" >&2
+    cat "$WORK/status-direct.json" >&2
+    exit 1
+fi
+direct_bytes=$(($(status_field "$WORK/status-direct.json" bytes_in) + $(status_field "$WORK/status-direct.json" bytes_out)))
+relay_bytes=$(($(status_field "$WORK/status-cold.json" bytes_in) + $(status_field "$WORK/status-cold.json" bytes_out)))
+if [ "$direct_bytes" -le 0 ] || [ "$relay_bytes" -le 0 ]; then
+    echo "FAIL: byte counters missing (direct=$direct_bytes relay=$relay_bytes)" >&2
+    exit 1
+fi
+if [ "$direct_bytes" -gt "$relay_bytes" ]; then
+    echo "FAIL: direct-fetch warm-up moved $direct_bytes coordinator bytes vs $relay_bytes relayed (want <=: the payloads must bypass the coordinator)" >&2
+    exit 1
+fi
+echo "OK: $direct cells fetched worker-to-worker (0 relayed); coordinator moved $direct_bytes bytes vs $relay_bytes when relaying"
+
 echo "==> cache-gc on the populated store"
 "$WORK/bashsim" -cache-gc -cache-dir "$WORK/cache"
 
@@ -264,16 +342,11 @@ SVCPORT=$((PORT + 5))
 SVC=$!
 PIDS="$SVC"
 
-i=0
-until curl -sf "http://127.0.0.1:$SVCPORT/sweeps" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "FAIL: sweep service never came up" >&2
-        cat "$WORK/svc.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_until 30 "sweep service to come up" \
+    curl -sf "http://127.0.0.1:$SVCPORT/sweeps" || {
+    cat "$WORK/svc.log" >&2
+    exit 1
+}
 
 # Two named submissions from separate concurrent processes.
 "$WORK/bashsim" -submit "http://127.0.0.1:$SVCPORT" -exp fig1 \
@@ -295,34 +368,25 @@ echo "OK: accepted $ID1 (fig1) and $ID2 (fig2) concurrently"
 
 # Mid-run scrape: the fleet counters must already be moving while the
 # sweeps execute, and the exchange family must be exposed.
-i=0
-while :; do
-    curl -sf "http://127.0.0.1:$SVCPORT/metrics" >"$WORK/metrics-mid.txt" || true
+leases_moving() {
+    curl -sf "http://127.0.0.1:$SVCPORT/metrics" >"$WORK/metrics-mid.txt" || return 1
     svc_leases="$(sed -n 's/^bashsim_leases_total \([0-9][0-9]*\).*/\1/p' "$WORK/metrics-mid.txt")"
-    [ "${svc_leases:-0}" -gt 0 ] && break
-    i=$((i + 1))
-    if [ "$i" -gt 300 ]; then
-        echo "FAIL: bashsim_leases_total never went nonzero mid-run" >&2
-        cat "$WORK/metrics-mid.txt" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+    [ "${svc_leases:-0}" -gt 0 ]
+}
+wait_until 60 "bashsim_leases_total to move mid-run" leases_moving || {
+    cat "$WORK/metrics-mid.txt" >&2
+    exit 1
+}
 grep -q '^bashsim_fetch_false_positive_total ' "$WORK/metrics-mid.txt"
 echo "OK: mid-run scrape shows bashsim_leases_total=$svc_leases and the exchange counters"
 
 # Both results must appear and match the serial references byte for byte.
 svc_result() {
-    i=0
-    until curl -sf "http://127.0.0.1:$SVCPORT/sweeps/$1/result.tsv" -o "$2" 2>/dev/null; do
-        i=$((i + 1))
-        if [ "$i" -gt 1200 ]; then
-            echo "FAIL: $1 result never became ready:" >&2
-            curl -s "http://127.0.0.1:$SVCPORT/sweeps/$1" >&2 || true
-            exit 1
-        fi
-        sleep 0.1
-    done
+    wait_until 180 "sweep $1 result" \
+        curl -sf "http://127.0.0.1:$SVCPORT/sweeps/$1/result.tsv" -o "$2" || {
+        curl -s "http://127.0.0.1:$SVCPORT/sweeps/$1" >&2 || true
+        exit 1
+    }
 }
 svc_result "$ID1" "$WORK/svc-fig1.tsv"
 svc_result "$ID2" "$WORK/svc-fig2.tsv"
@@ -335,16 +399,10 @@ grep -qi 'workers' "$WORK/svc-status.txt"
 curl -sf "http://127.0.0.1:$SVCPORT/metrics" >"$WORK/metrics-final.txt"
 
 kill -TERM "$SVC"
-i=0
-while kill -0 "$SVC" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -gt 600 ]; then
-        echo "FAIL: service did not drain within 60s of SIGTERM" >&2
-        cat "$WORK/svc.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_until 60 "service to drain after SIGTERM" proc_gone "$SVC" || {
+    cat "$WORK/svc.log" >&2
+    exit 1
+}
 SVCRC=0
 wait "$SVC" || SVCRC=$?
 PIDS=""
@@ -368,6 +426,17 @@ echo "==> exporting artifacts to $ART"
 mkdir -p "$ART"
 cp "$WORK/status.json" "$ART/dist-status.json"
 cp "$WORK/status-cold.json" "$ART/dist-status-cold-worker.json"
+cp "$WORK/status-direct.json" "$ART/dist-status-direct-fetch.json"
+cat >"$ART/BENCH_peer_fetch.json" <<EOF
+{
+  "bench": "peer_fetch_warmup",
+  "cells": $completed,
+  "fetch_direct": $direct,
+  "direct_coordinator_bytes": $direct_bytes,
+  "relay_coordinator_bytes": $relay_bytes
+}
+EOF
+cat "$ART/BENCH_peer_fetch.json"
 cp "$WORK/status-bin.json" "$ART/dist-status-binary.json"
 cp "$WORK/status-http.json" "$ART/dist-status-http.json"
 cp "$WORK/cache/manifest.json" "$ART/manifest.json"

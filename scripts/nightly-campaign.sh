@@ -1,0 +1,77 @@
+#!/bin/sh
+# nightly-campaign.sh: the scheduled figure-campaign run (the nightly CI
+# job). Runs the full quick-grid campaign through the distributed path — a
+# -serve coordinator whose -co-execute slots do all the work (the topology a
+# user starts with before pointing real workers at the port) — then proves
+# the checkpoint is honest
+# by re-running the identical command against the same state and caches:
+# the resume must simulate zero new cells and reproduce every TSV byte for
+# byte. A drifting checkpoint (or a non-deterministic cell) fails the job.
+#
+# The figure TSVs, the checkpoint, and BENCH_campaign.json (cells/sec,
+# seeds, escalations from the reference run) land in
+# $NIGHTLY_CAMPAIGN_ARTIFACTS (default ./nightly-campaign-artifacts) for
+# the workflow to upload.
+set -eu
+
+WORK="$(mktemp -d)"
+ART="${NIGHTLY_CAMPAIGN_ARTIFACTS:-nightly-campaign-artifacts}"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# summary_field LOG NAME: value of NAME=... in the campaign summary line.
+summary_field() {
+    sed -n 's/.*campaign summary:.* '"$2"'=\([0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+echo "==> building bashsim"
+go build -o "$WORK/bashsim" ./cmd/bashsim
+
+echo "==> nightly quick campaign (co-executing coordinator)"
+"$WORK/bashsim" -campaign -scale quick -serve 127.0.0.1:0 -co-execute 2 \
+    -campaign-state "$WORK/state.json" -cache-dir "$WORK/cache" \
+    -out "$WORK/figures.tsv" 2>"$WORK/campaign.log"
+cat "$WORK/campaign.log"
+SIMS="$(summary_field "$WORK/campaign.log" simulated)"
+SEEDS="$(summary_field "$WORK/campaign.log" seeds)"
+CELLS="$(summary_field "$WORK/campaign.log" cells)"
+[ -n "$SIMS" ] && [ "$SIMS" -gt 0 ] || {
+    echo "FAIL: nightly campaign simulated nothing" >&2
+    exit 1
+}
+
+echo "==> checkpoint-resume consistency: identical command must replay, not recompute"
+"$WORK/bashsim" -campaign -scale quick -serve 127.0.0.1:0 -co-execute 2 \
+    -campaign-state "$WORK/state.json" -cache-dir "$WORK/cache" \
+    -out "$WORK/figures-resume.tsv" 2>"$WORK/resume.log"
+cat "$WORK/resume.log"
+RESUME_SIMS="$(summary_field "$WORK/resume.log" simulated)"
+if [ "${RESUME_SIMS:-0}" -ne 0 ]; then
+    echo "FAIL: resume against a complete checkpoint simulated $RESUME_SIMS cells, want 0" >&2
+    exit 1
+fi
+cmp "$WORK/figures.tsv" "$WORK/figures-resume.tsv" || {
+    echo "FAIL: checkpoint-resume TSV differs from the reference run" >&2
+    exit 1
+}
+echo "OK: resume simulated 0 cells; TSVs byte-identical"
+
+mkdir -p "$ART"
+cp "$WORK/figures.tsv" "$ART/campaign-figures.tsv"
+cp "$WORK/state.json" "$ART/campaign-state.json"
+ELAPSED="$(summary_field "$WORK/campaign.log" elapsed)"
+RATE="$(summary_field "$WORK/campaign.log" cells_per_sec)"
+ESCALATED="$(summary_field "$WORK/campaign.log" escalated)"
+cat >"$ART/BENCH_campaign.json" <<EOF
+{
+  "bench": "campaign_quick_nightly",
+  "cells": $CELLS,
+  "seeds": $SEEDS,
+  "escalated": $ESCALATED,
+  "simulated": $SIMS,
+  "elapsed_s": $ELAPSED,
+  "cells_per_sec": $RATE
+}
+EOF
+cat "$ART/BENCH_campaign.json"
+
+echo "PASS: nightly campaign"
